@@ -1,0 +1,60 @@
+// Ablation — Autonomic Manager round window length.
+//
+// Section 4: "the more often the Autonomic Manager queries the machine
+// learning model, the faster it reacts to workload changes. However, it
+// also increases the risk to trigger unnecessary configuration changes upon
+// momentary spikes". This ablation sweeps the monitoring window and reports
+// reaction time, reconfiguration count, and converged throughput.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/cluster.hpp"
+
+int main() {
+  using namespace qopt;
+  bench::print_header(
+      "Ablation: monitoring-round window length",
+      "short windows react faster but risk churn; long windows are stable "
+      "but slow (classic autonomic trade-off, Section 4)");
+
+  constexpr std::uint64_t kObjects = 8'000;
+  std::printf("%-10s %12s %14s %12s %12s\n", "window", "converge(s)",
+              "steady ops/s", "reconfigs", "restarts");
+
+  for (const double window_s : {2.0, 5.0, 10.0, 20.0}) {
+    ClusterConfig config;
+    config.seed = 23;
+    config.initial_quorum = {5, 1};  // wrong for the read-heavy workload
+    config.check_consistency = false;
+    Cluster cluster(config);
+    cluster.preload(kObjects, 4096);
+    cluster.set_workload(workload::ycsb_b(kObjects));
+
+    autonomic::AutonomicOptions tuning;
+    tuning.round_window = seconds(window_s);
+    tuning.quarantine = seconds(window_s / 2);
+    cluster.enable_autotuning(tuning);
+
+    const Duration total = seconds(420);
+    cluster.run_for(total);
+
+    const double steady =
+        cluster.metrics().throughput(total - seconds(60), total);
+    // Convergence: first 5 s bucket reaching 95% of the steady level.
+    Time converged = total;
+    for (Time t = 0; t + seconds(5) <= total; t += seconds(5)) {
+      if (cluster.metrics().throughput(t, t + seconds(5)) >= 0.95 * steady) {
+        converged = t;
+        break;
+      }
+    }
+    std::printf("%6.0f s   %12.0f %14.0f %12llu %12llu\n", window_s,
+                to_seconds(converged), steady,
+                static_cast<unsigned long long>(
+                    cluster.rm().stats().reconfigurations_completed),
+                static_cast<unsigned long long>(
+                    cluster.am()->stats().restarts));
+  }
+  std::printf("\n");
+  return 0;
+}

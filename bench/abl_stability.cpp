@@ -1,0 +1,96 @@
+// Ablation — stability machinery (hysteresis + outlier filtering).
+//
+// Near a decision boundary (write ratio where two quorum configurations
+// perform almost equally) the Oracle's prediction can flip round to round.
+// Without damping, every flip triggers a reconfiguration whose repair
+// transient costs throughput. This ablation runs a boundary workload with
+// the stability features on and off and reports reconfiguration churn and
+// throughput variability.
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace qopt;
+
+struct StabilityResult {
+  std::uint64_t reconfigs = 0;
+  std::uint64_t restarts = 0;
+  double mean_tput = 0;
+  double cv_tput = 0;  // coefficient of variation across 5 s buckets
+};
+
+StabilityResult run(bool stabilized,
+                    const std::shared_ptr<oracle::Oracle>& oracle) {
+  ClusterConfig config;
+  config.seed = 41;
+  config.initial_quorum = {3, 3};
+  config.check_consistency = false;
+  config.num_proxies = 1;
+  config.clients_per_proxy = 10;
+  Cluster cluster(config);
+  constexpr std::uint64_t kObjects = 2'000;
+  cluster.preload(kObjects, 4096);
+  // Boundary workload: ~42% writes sits right at the learned tree's
+  // write-ratio threshold, and the tree's ops_per_sec splits make its
+  // prediction sensitive to round-to-round throughput fluctuation.
+  cluster.set_workload(workload::sweep_point(0.42, 4096, kObjects));
+
+  autonomic::AutonomicOptions tuning;
+  tuning.round_window = seconds(4);
+  tuning.quarantine = seconds(2);
+  tuning.drift_hysteresis = stabilized;
+  tuning.filter_kpi_outliers = stabilized;
+  tuning.detect_workload_shift = stabilized;
+  if (!stabilized) tuning.restart_drop_fraction = 0.10;  // jumpy restarts
+  cluster.enable_autotuning(tuning, oracle);
+
+  const Duration total = seconds(240);
+  cluster.run_for(total);
+
+  StabilityResult result;
+  result.reconfigs = cluster.rm().stats().reconfigurations_completed;
+  result.restarts = cluster.am()->stats().restarts;
+  const Duration bucket = seconds(5);
+  RunningStats stats;
+  for (Time t = seconds(60); t + bucket <= total; t += bucket) {
+    stats.add(cluster.metrics().throughput(t, t + bucket));
+  }
+  result.mean_tput = stats.mean();
+  result.cv_tput = stats.mean() > 0 ? stats.stddev() / stats.mean() : 0;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: stability machinery (hysteresis + KPI outlier filter)",
+      "quarantine/moving-average style damping prevents oscillation on "
+      "boundary workloads (Section 4's stability trade-off)");
+
+  const std::vector<CorpusPoint> corpus =
+      load_or_generate_corpus(bench::corpus_cache_path(),
+                              bench::sweep_spec());
+  auto oracle = std::make_shared<oracle::TreeOracle>(5);
+  oracle->train(corpus_to_dataset(corpus));
+
+  const StabilityResult off = run(false, oracle);
+  const StabilityResult on = run(true, oracle);
+
+  std::printf("%-24s %10s %9s %12s %14s\n", "configuration", "reconfigs",
+              "restarts", "mean ops/s", "tput CoV");
+  std::printf("%-24s %10llu %9llu %12.0f %13.1f%%\n", "damping off",
+              static_cast<unsigned long long>(off.reconfigs),
+              static_cast<unsigned long long>(off.restarts), off.mean_tput,
+              100 * off.cv_tput);
+  std::printf("%-24s %10llu %9llu %12.0f %13.1f%%\n", "damping on",
+              static_cast<unsigned long long>(on.reconfigs),
+              static_cast<unsigned long long>(on.restarts), on.mean_tput,
+              100 * on.cv_tput);
+  std::printf("\n");
+  return 0;
+}

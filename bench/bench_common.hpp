@@ -1,0 +1,54 @@
+// Shared helpers for the paper-reproduction bench harnesses.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+
+namespace qopt::bench {
+
+/// The Section-2.2 motivating setup: one proxy, 10 closed-loop clients,
+/// replication degree 5 over 10 storage nodes.
+inline ExperimentSpec figure2_spec() {
+  ExperimentSpec spec;
+  spec.cluster.num_storage = 10;
+  spec.cluster.num_proxies = 1;
+  spec.cluster.clients_per_proxy = 10;
+  spec.cluster.replication = 5;
+  spec.cluster.seed = 42;
+  spec.preload_objects = 20'000;
+  spec.warmup = seconds(2);
+  spec.measure = seconds(12);
+  return spec;
+}
+
+/// The sweep setup used for the ~170-workload study (10 clients per proxy,
+/// as stated in Section 2.2 for Figure 3).
+inline ExperimentSpec sweep_spec() {
+  ExperimentSpec spec;
+  spec.cluster.num_storage = 10;
+  spec.cluster.num_proxies = 1;
+  spec.cluster.clients_per_proxy = 10;
+  spec.cluster.replication = 5;
+  spec.cluster.seed = 17;
+  spec.cluster.check_consistency = false;  // pure performance runs
+  spec.preload_objects = 2'000;
+  spec.warmup = seconds(1);
+  spec.measure = seconds(4);
+  return spec;
+}
+
+inline const char* corpus_cache_path() { return "qopt_corpus_cache.csv"; }
+
+inline void print_header(const std::string& title,
+                         const std::string& paper_claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper: %s\n", paper_claim.c_str());
+  std::printf("---------------------------------------------------------------"
+              "-----------------\n");
+}
+
+}  // namespace qopt::bench

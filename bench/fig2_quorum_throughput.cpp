@@ -1,0 +1,55 @@
+// Figure 2 — "Normalized throughput of the studied workloads".
+//
+// YCSB Workload A (50/50), Workload B (95% reads) and the paper's backup
+// Workload C (99% writes), each run under every strict quorum configuration
+// R/W in {(1,5),(2,4),(3,3),(4,2),(5,1)} with N=5, one proxy and 10 clients
+// (Section 2.2). Throughput is normalized to the best configuration per
+// workload, reproducing the figure's bars.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace qopt;
+  bench::print_header(
+      "Figure 2: normalized throughput vs quorum configuration",
+      "smaller read quorums win read-dominated workloads (B), smaller write "
+      "quorums win write-dominated ones (C); mixed (A) is much flatter");
+
+  ExperimentSpec spec = bench::figure2_spec();
+  struct Row {
+    const char* name;
+    std::shared_ptr<workload::OperationSource> load;
+  };
+  const std::vector<Row> rows = {
+      {"YCSB-A (50% wr)", workload::ycsb_a(spec.preload_objects)},
+      {"YCSB-B ( 5% wr)", workload::ycsb_b(spec.preload_objects)},
+      {"Backup-C(99% wr)", workload::backup_c(spec.preload_objects)},
+  };
+
+  std::printf("%-17s", "workload");
+  for (int w = 1; w <= 5; ++w) std::printf("  R=%d,W=%d", 6 - w, w);
+  std::printf("   best\n");
+
+  for (const Row& row : rows) {
+    spec.workload = row.load;
+    const std::vector<ExperimentResult> results = sweep_quorums(spec);
+    double best = 0;
+    kv::QuorumConfig best_q;
+    for (const ExperimentResult& r : results) {
+      if (r.throughput_ops > best) {
+        best = r.throughput_ops;
+        best_q = r.quorum;
+      }
+    }
+    std::printf("%-17s", row.name);
+    for (const ExperimentResult& r : results) {
+      std::printf("    %5.2f", r.throughput_ops / best);
+    }
+    std::printf("   R=%d,W=%d (%0.0f ops/s)\n", best_q.read_q, best_q.write_q,
+                best);
+  }
+  std::printf("\n");
+  return 0;
+}

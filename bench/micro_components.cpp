@@ -1,0 +1,126 @@
+// Component micro-benchmarks (google-benchmark): per-operation costs of the
+// pieces Q-OPT puts on the data path or in the control loop — Space-Saving
+// updates (every client access), decision-tree inference (per tuned object
+// per round), replica placement, key sampling, and the simulation kernel.
+#include <benchmark/benchmark.h>
+
+#include "kv/placement.hpp"
+#include "ml/decision_tree.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "topk/space_saving.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace {
+
+using namespace qopt;
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ZipfianSample(benchmark::State& state) {
+  workload::ZipfianKeys keys(static_cast<std::uint64_t>(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(keys.sample(rng));
+}
+BENCHMARK(BM_ZipfianSample)->Arg(1000)->Arg(100000);
+
+void BM_SpaceSavingAdd(benchmark::State& state) {
+  topk::SpaceSaving summary(static_cast<std::size_t>(state.range(0)));
+  workload::ZipfianKeys keys(1'000'000);
+  Rng rng(3);
+  for (auto _ : state) summary.add(keys.sample(rng));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SpaceSavingAdd)->Arg(64)->Arg(1024);
+
+void BM_SpaceSavingTop(benchmark::State& state) {
+  topk::SpaceSaving summary(128);
+  workload::ZipfianKeys keys(100'000);
+  Rng rng(4);
+  for (int i = 0; i < 100'000; ++i) summary.add(keys.sample(rng));
+  for (auto _ : state) benchmark::DoNotOptimize(summary.top(16));
+}
+BENCHMARK(BM_SpaceSavingTop);
+
+void BM_TreeTrain(benchmark::State& state) {
+  ml::Dataset data({"write_ratio", "avg_size_kib", "ops_per_sec"});
+  Rng rng(5);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const double ratio = rng.next_double();
+    const double size = rng.uniform(1, 512);
+    const int label = ratio > 0.5 ? 1 : (size > 64 ? 2 : 5);
+    data.add_row({ratio, size, rng.uniform(10, 5000)}, label);
+  }
+  for (auto _ : state) {
+    ml::DecisionTree tree;
+    tree.train(data);
+    benchmark::DoNotOptimize(tree);
+  }
+}
+BENCHMARK(BM_TreeTrain)->Arg(170)->Arg(1000);
+
+void BM_TreePredict(benchmark::State& state) {
+  ml::Dataset data({"write_ratio", "avg_size_kib", "ops_per_sec"});
+  Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    const double ratio = rng.next_double();
+    const double size = rng.uniform(1, 512);
+    data.add_row({ratio, size, rng.uniform(10, 5000)},
+                 ratio > 0.5 ? 1 : (size > 64 ? 2 : 5));
+  }
+  ml::DecisionTree tree;
+  tree.train(data);
+  std::vector<double> row{0.4, 32.0, 900.0};
+  for (auto _ : state) benchmark::DoNotOptimize(tree.predict(row));
+}
+BENCHMARK(BM_TreePredict);
+
+void BM_PlacementReplicas(benchmark::State& state) {
+  kv::Placement placement(static_cast<std::uint32_t>(state.range(0)), 5, 7);
+  std::uint64_t oid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(placement.replicas(++oid));
+  }
+}
+BENCHMARK(BM_PlacementReplicas)->Arg(10)->Arg(100);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  // Cost of schedule + dispatch for a chain of dependent events.
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 1000;
+    std::function<void()> step = [&] {
+      if (--remaining > 0) sim.after(10, step);
+    };
+    sim.after(10, step);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_processed());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1000);
+}
+BENCHMARK(BM_SimulatorEventChain);
+
+void BM_NetworkSendDeliver(benchmark::State& state) {
+  sim::Simulator sim;
+  Rng rng(8);
+  sim::Network<int> net(sim, sim::LatencyModel{}, rng);
+  std::uint64_t received = 0;
+  net.register_node(sim::storage_id(0),
+                    [&](const sim::NodeId&, const int&) { ++received; });
+  for (auto _ : state) {
+    net.send(sim::proxy_id(0), sim::storage_id(0), 1);
+    sim.run();
+  }
+  benchmark::DoNotOptimize(received);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_NetworkSendDeliver);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+// Eval-A (abstract claim) — Q-OPT vs the optimal and worst static
+// configurations: "achieves a throughput that is only slightly lower than
+// when using the optimal configuration".
+//
+// For a representative sample of workloads, run (a) every static quorum to
+// find the optimum, then (b) Q-OPT starting from a mid-range configuration
+// with the decision-tree oracle trained on the measured corpus, and compare
+// converged throughput.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/cluster.hpp"
+
+int main() {
+  using namespace qopt;
+  bench::print_header(
+      "Q-OPT vs static configurations",
+      "Q-OPT throughput only slightly below the optimal static quorum; far "
+      "above the worst (abstract / Section 7)");
+
+  // Train the oracle on the measured corpus (as the deployed system would).
+  const std::vector<CorpusPoint> corpus =
+      load_or_generate_corpus(bench::corpus_cache_path(),
+                              bench::sweep_spec());
+  auto oracle = std::make_shared<oracle::TreeOracle>(5);
+  oracle->train(corpus_to_dataset(corpus));
+
+  struct Sample {
+    double write_ratio;
+    std::uint64_t size;
+  };
+  const std::vector<Sample> samples = {
+      {0.05, 4096}, {0.20, 4096},  {0.50, 4096},  {0.80, 4096},
+      {0.99, 4096}, {0.05, 65536}, {0.50, 65536}, {0.95, 65536},
+  };
+
+  std::printf("%-22s %9s %9s %9s %12s %9s\n", "workload", "worst", "best",
+              "Q-OPT", "Q-OPT/best", "chosen-W");
+  double ratio_sum = 0;
+  for (const Sample& sample : samples) {
+    ExperimentSpec spec = bench::sweep_spec();
+    spec.preload_size = sample.size;
+    spec.workload = workload::sweep_point(sample.write_ratio, sample.size,
+                                          spec.preload_objects);
+    // Static sweep.
+    double best = 0;
+    double worst = 0;
+    for (const ExperimentResult& r : sweep_quorums(spec)) {
+      if (best == 0 || r.throughput_ops > best) best = r.throughput_ops;
+      if (worst == 0 || r.throughput_ops < worst) worst = r.throughput_ops;
+    }
+    // Q-OPT run: start mid-range, let the Autonomic Manager converge, then
+    // measure steady state.
+    ClusterConfig config = spec.cluster;
+    config.initial_quorum = {3, 3};
+    Cluster cluster(config);
+    cluster.preload(spec.preload_objects, sample.size);
+    cluster.set_workload(spec.workload);
+    autonomic::AutonomicOptions tuning;
+    tuning.round_window = seconds(4);
+    tuning.quarantine = seconds(2);
+    cluster.enable_autotuning(tuning, oracle);
+    cluster.run_for(seconds(80));
+    const Time t1 = cluster.now();
+    const double qopt_tput =
+        cluster.metrics().throughput(t1 - seconds(25), t1);
+    const double ratio = best > 0 ? qopt_tput / best : 0;
+    ratio_sum += ratio;
+    std::printf("w%%=%-3.0f size=%-9llu %9.0f %9.0f %9.0f %11.2f %6d\n",
+                sample.write_ratio * 100,
+                static_cast<unsigned long long>(sample.size), worst, best,
+                qopt_tput, ratio,
+                cluster.rm().config().default_q.write_q);
+  }
+  std::printf("\nmean Q-OPT/optimal ratio: %.2f  (paper: \"only slightly "
+              "lower than optimal\")\n\n",
+              ratio_sum / static_cast<double>(samples.size()));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Eval-D — Oracle accuracy (Section 6 methodology): 10-fold cross-validation
+// of the C4.5-style decision tree on the measured 170-workload corpus,
+// against the white-box linear rule the paper's Figure 3 argues against.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "ml/cross_validation.hpp"
+#include "oracle/oracle.hpp"
+
+int main() {
+  using namespace qopt;
+  bench::print_header(
+      "Oracle accuracy: decision tree (C5.0 family) vs linear rule",
+      "black-box decision trees capture the non-linear workload->quorum "
+      "relation that defeats linear models (Section 2.2/6)");
+
+  const std::vector<CorpusPoint> corpus =
+      load_or_generate_corpus(bench::corpus_cache_path(),
+                              bench::sweep_spec());
+  const ml::Dataset data = corpus_to_dataset(corpus);
+
+  // ---- decision tree, 10-fold CV
+  const ml::CvResult tree_cv = ml::cross_validate(data, 10);
+
+  // ---- linear-rule baseline evaluated on the same labels
+  oracle::LinearRuleOracle rule(5);
+  std::size_t rule_exact = 0;
+  std::size_t rule_within_one = 0;
+  for (const CorpusPoint& point : corpus) {
+    const int predicted = rule.predict_write_quorum(point.features);
+    if (predicted == point.optimal_w) ++rule_exact;
+    if (std::abs(predicted - point.optimal_w) <= 1) ++rule_within_one;
+  }
+  const double n = static_cast<double>(corpus.size());
+
+  // ---- throughput cost of mispredictions: if the oracle's pick is off,
+  // how much of the optimal throughput does the system still get? Use the
+  // full-data tree (as deployed) on its own training points for the bound,
+  // and CV accuracy for generalization.
+  oracle::TreeOracle tree(5);
+  tree.train(data);
+
+  std::printf("%-36s %12s %12s\n", "model", "exact", "within-1");
+  std::printf("%-36s %11.1f%% %11.1f%%\n",
+              "decision tree (10-fold CV)", 100 * tree_cv.accuracy(),
+              100 * tree_cv.within_one_accuracy());
+  std::printf("%-36s %11.1f%% %11.1f%%\n", "linear rule (write-ratio only)",
+              100 * rule_exact / n, 100 * rule_within_one / n);
+
+  std::printf("\nconfusion matrix (rows=measured optimal W, cols=predicted, "
+              "10-fold CV):\n      ");
+  for (int w = 1; w <= 5; ++w) std::printf("  W=%d", w);
+  std::printf("\n");
+  for (int actual = 1; actual <= 5; ++actual) {
+    std::printf("  W=%d ", actual);
+    for (int predicted = 1; predicted <= 5; ++predicted) {
+      std::size_t count = 0;
+      const auto& confusion = tree_cv.confusion;
+      if (static_cast<std::size_t>(actual) < confusion.size() &&
+          static_cast<std::size_t>(predicted) < confusion[0].size()) {
+        count = confusion[static_cast<std::size_t>(actual)]
+                         [static_cast<std::size_t>(predicted)];
+      }
+      std::printf(" %4zu", count);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\ntree size: %zu nodes, %zu leaves, depth %d\n",
+              tree.tree().node_count(), tree.tree().leaf_count(),
+              tree.tree().depth());
+  std::printf("\nlearned tree:\n%s\n",
+              tree.tree().to_string(oracle::WorkloadFeatures::names()).c_str());
+  return 0;
+}

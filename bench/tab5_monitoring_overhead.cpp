@@ -1,0 +1,81 @@
+// Eval-G — monitoring overhead of the autonomic loop.
+//
+// Q-OPT's design explicitly avoids "consuming too many resources with
+// system monitoring or meta-data" (Section 3, challenge i). This bench
+// isolates the cost: identical clusters run with (a) no autonomic manager,
+// (b) the full loop but an improvement threshold so high it converges
+// immediately and only ever monitors. The throughput difference is the
+// monitoring tax; we also report the per-round control-message budget.
+#include <cstdio>
+
+#include "bench/bench_common.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using namespace qopt;
+
+double run(bool monitoring, Duration round_window, std::uint64_t* rounds,
+           std::uint64_t* control_msgs) {
+  ClusterConfig config;
+  config.seed = 71;
+  config.initial_quorum = {1, 5};  // already optimal for YCSB-B: no tuning
+  config.check_consistency = false;
+  Cluster cluster(config);
+  constexpr std::uint64_t kObjects = 20'000;
+  cluster.preload(kObjects, 4096);
+  cluster.set_workload(workload::ycsb_b(kObjects));
+  // Count control-plane traffic exactly: every message to or from the
+  // Autonomic Manager / Reconfiguration Manager.
+  std::uint64_t control = 0;
+  cluster.network().set_send_tap(
+      [&control](const sim::NodeId& from, const sim::NodeId& to) {
+        const auto is_control = [](const sim::NodeId& node) {
+          return node.kind == sim::NodeKind::kAutonomicManager ||
+                 node.kind == sim::NodeKind::kReconfigManager;
+        };
+        if (is_control(from) || is_control(to)) ++control;
+      });
+  if (monitoring) {
+    autonomic::AutonomicOptions tuning;
+    tuning.round_window = round_window;
+    tuning.improvement_threshold = 1e9;  // converge instantly, keep watching
+    cluster.enable_autotuning(tuning);
+  }
+  cluster.run_for(seconds(120));
+  if (rounds) {
+    *rounds = cluster.am() ? cluster.am()->stats().rounds : 0;
+  }
+  if (control_msgs) *control_msgs = control;
+  const Time t1 = cluster.now();
+  return cluster.metrics().throughput(seconds(10), t1);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Monitoring overhead of the autonomic loop",
+      "probabilistic top-k monitoring and per-round statistics must not "
+      "impair throughput (Section 3, challenge i)");
+
+  const double baseline = run(false, 0, nullptr, nullptr);
+  std::printf("%-26s %12s %10s %12s %18s\n", "configuration", "ops/s",
+              "overhead", "rounds", "ctrl msgs/round");
+  std::printf("%-26s %12.0f %10s %12s %18s\n", "monitoring off", baseline,
+              "-", "-", "-");
+  for (const double window_s : {2.0, 5.0, 10.0, 30.0}) {
+    std::uint64_t rounds = 0;
+    std::uint64_t msgs = 0;
+    const double tput = run(true, seconds(window_s), &rounds, &msgs);
+    const double per_round =
+        rounds ? static_cast<double>(msgs) / static_cast<double>(rounds) : 0;
+    std::printf("round window %5.0f s      %12.0f %9.2f%% %12llu %18.1f\n",
+                window_s, tput, 100.0 * (1.0 - tput / baseline),
+                static_cast<unsigned long long>(rounds), per_round);
+  }
+  std::printf("\n(per-access cost on the proxy: one Space-Saving update, "
+              "O(log capacity); per round per proxy: NEWROUND + ROUNDSTATS "
+              "+ NEWTOPK)\n\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Multi-tenant SDS scenario: three tenants with opposing access profiles
+// share one store. Q-OPT assigns different quorums to different tenants'
+// hot objects (per-item granularity) while the tail keeps a common
+// configuration — the use case motivating Section 1's "multiple tenants
+// with different profiles".
+//
+// Build & run:   ./build/examples/multi_tenant_store
+#include <cstdio>
+
+#include "core/cluster.hpp"
+#include "workload/workload.hpp"
+
+int main() {
+  using namespace qopt;
+
+  constexpr std::uint64_t kKeysPerTenant = 3'000;
+  ClusterConfig config;
+  config.num_proxies = 3;  // one proxy per tenant
+  config.clients_per_proxy = 10;
+  config.seed = 12;
+
+  Cluster cluster(config);
+  cluster.preload(3 * kKeysPerTenant, 4096);
+
+  // Tenant "photos": 95% reads. Tenant "backup": 99% writes. Tenant
+  // "sessions": 50/50. Each tenant has its own key namespace and zipfian
+  // hot set.
+  cluster.set_workload_for_proxy(0, workload::ycsb_b(kKeysPerTenant, 4096, 0));
+  cluster.set_workload_for_proxy(
+      1, workload::backup_c(kKeysPerTenant, 4096, kKeysPerTenant));
+  cluster.set_workload_for_proxy(
+      2, workload::ycsb_a(kKeysPerTenant, 4096, 2 * kKeysPerTenant));
+
+  autonomic::AutonomicOptions tuning;
+  tuning.round_window = seconds(5);
+  tuning.topk_per_round = 16;
+  cluster.enable_autotuning(tuning);
+  cluster.am()->set_event_callback([](Time t, const std::string& what) {
+    std::printf("[%6.1fs] %s\n", to_seconds(t), what.c_str());
+  });
+
+  cluster.run_for(seconds(120));
+
+  std::printf("\nper-object overrides installed: %zu\n",
+              cluster.rm().config().overrides.size());
+  int per_tenant_counts[3] = {0, 0, 0};
+  int write_optimized = 0;
+  int read_optimized = 0;
+  for (const auto& [oid, quorum] : cluster.rm().config().overrides) {
+    ++per_tenant_counts[oid / kKeysPerTenant];
+    if (quorum.write_q <= 2) ++write_optimized;
+    if (quorum.read_q <= 2) ++read_optimized;
+  }
+  std::printf("  photos tenant (read-heavy):  %d tuned objects\n",
+              per_tenant_counts[0]);
+  std::printf("  backup tenant (write-heavy): %d tuned objects\n",
+              per_tenant_counts[1]);
+  std::printf("  session tenant (mixed):      %d tuned objects\n",
+              per_tenant_counts[2]);
+  std::printf("  read-optimized (R<=2): %d, write-optimized (W<=2): %d\n",
+              read_optimized, write_optimized);
+  const Time end = cluster.now();
+  std::printf("steady throughput: %.0f ops/s, consistency violations: %zu\n",
+              cluster.metrics().throughput(end - seconds(30), end),
+              cluster.checker().violations().size());
+  return cluster.checker().clean() ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Fault-tolerant control plane: the paper notes that the Reconfiguration /
+// Autonomic Managers can be made highly available with state-machine
+// replication (Section 3). This example replicates the configuration state
+// machine over a 3-replica MultiPaxos group, kills the leader mid-stream,
+// and shows the surviving replicas holding an identical configuration
+// history.
+//
+// Build & run:   ./build/examples/replicated_control_plane
+#include <cstdio>
+
+#include "sim/simulator.hpp"
+#include "smr/group.hpp"
+
+int main() {
+  using namespace qopt;
+
+  sim::Simulator sim;
+  smr::GroupOptions options;
+  options.replicas = 3;
+  smr::Group group(sim, options, nullptr);
+
+  auto submit_change = [&](std::uint64_t id, int write_q,
+                           std::uint32_t via) {
+    smr::Command command;
+    command.id = id;
+    command.change.is_global = true;
+    command.change.global = kv::QuorumConfig{5 - write_q + 1, write_q};
+    group.submit(via, command);
+    sim.run(sim.now() + milliseconds(200));
+  };
+
+  std::printf("replicating quorum reconfigurations over %u replicas...\n",
+              group.size());
+  submit_change(1, 1, 0);  // R=5,W=1
+  submit_change(2, 5, 1);  // submitted via a follower: forwarded
+  submit_change(3, 3, 2);
+
+  std::printf("killing the leader (replica %u) mid-stream...\n",
+              group.leader());
+  group.crash_replica(group.leader());
+  sim.run(sim.now() + seconds(1));  // failure detection + takeover
+  std::printf("new leader: replica %u\n", group.leader());
+
+  submit_change(4, 2, 1);
+  submit_change(5, 4, 2);
+  sim.run(sim.now() + seconds(2));
+
+  // Fold each survivor's decided log into its own state machine.
+  for (std::uint32_t i = 0; i < group.size(); ++i) {
+    if (group.replica(i).crashed()) {
+      std::printf("replica %u: crashed\n", i);
+      continue;
+    }
+    smr::ConfigStateMachine machine(kv::QuorumConfig{3, 3}, 5);
+    for (const smr::Command& command : group.replica(i).applied_log()) {
+      machine.apply(command);
+    }
+    std::printf("replica %u: %llu changes applied, cfno=%llu, "
+                "default R=%d W=%d\n",
+                i, static_cast<unsigned long long>(machine.applied()),
+                static_cast<unsigned long long>(machine.config().cfno),
+                machine.config().default_q.read_q,
+                machine.config().default_q.write_q);
+  }
+  std::printf("\nall surviving replicas hold the same configuration history "
+              "despite the leader crash.\n");
+  return 0;
+}

@@ -1,0 +1,228 @@
+#include "core/cluster.hpp"
+
+#include <stdexcept>
+
+namespace qopt {
+
+Cluster::Cluster(const ClusterConfig& config)
+    : config_(config),
+      master_rng_(config.seed),
+      net_(sim_, config.network, master_rng_.fork(0x6E6574)),
+      fd_(sim_, config.fd_detection_delay),
+      placement_(config.num_storage, config.replication,
+                 mix64(config.seed ^ 0x706C6163)),
+      metrics_() {
+  if (!kv::is_strict(config_.initial_quorum, config_.replication)) {
+    throw std::invalid_argument(
+        "Cluster: initial quorum must satisfy R + W > N");
+  }
+  if (config_.num_proxies == 0 || config_.num_storage == 0) {
+    throw std::invalid_argument("Cluster: need at least 1 proxy and storage");
+  }
+
+  // ---- storage nodes
+  storage_.reserve(config_.num_storage);
+  for (std::uint32_t i = 0; i < config_.num_storage; ++i) {
+    const sim::NodeId id = sim::storage_id(i);
+    auto node = std::make_unique<kv::StorageNode>(
+        sim_, net_, id, config_.storage_service, config_.storage_servers,
+        master_rng_.fork(0x5704A6E + i));
+    kv::StorageNode* raw = node.get();
+    net_.register_node(id, [raw](const sim::NodeId& from,
+                                 const kv::Message& msg) {
+      raw->on_message(from, msg);
+    });
+    storage_.push_back(std::move(node));
+  }
+
+  // ---- proxies
+  proxy::ProxyOptions proxy_options = config_.proxy;
+  proxy_options.initial = config_.initial_quorum;
+  proxies_.reserve(config_.num_proxies);
+  for (std::uint32_t i = 0; i < config_.num_proxies; ++i) {
+    const sim::NodeId id = sim::proxy_id(i);
+    auto node = std::make_unique<proxy::Proxy>(sim_, net_, id, placement_,
+                                               proxy_options);
+    proxy::Proxy* raw = node.get();
+    net_.register_node(id, [raw](const sim::NodeId& from,
+                                 const kv::Message& msg) {
+      raw->on_message(from, msg);
+    });
+    proxies_.push_back(std::move(node));
+  }
+
+  // ---- reconfiguration manager
+  std::vector<sim::NodeId> proxy_ids;
+  std::vector<sim::NodeId> storage_ids;
+  for (std::uint32_t i = 0; i < config_.num_proxies; ++i) {
+    proxy_ids.push_back(sim::proxy_id(i));
+  }
+  for (std::uint32_t i = 0; i < config_.num_storage; ++i) {
+    storage_ids.push_back(sim::storage_id(i));
+  }
+  rm_ = std::make_unique<reconfig::ReconfigManager>(
+      sim_, net_, sim::rm_id(), fd_, proxy_ids, storage_ids,
+      config_.initial_quorum, config_.replication);
+  net_.register_node(sim::rm_id(), [this](const sim::NodeId& from,
+                                          const kv::Message& msg) {
+    if (std::holds_alternative<kv::HeartbeatMsg>(msg)) {
+      if (heartbeat_watcher_) heartbeat_watcher_->beat(from);
+      return;
+    }
+    rm_->on_message(from, msg);
+  });
+
+  if (config_.heartbeat_fd) {
+    heartbeat_watcher_ = std::make_unique<sim::HeartbeatWatcher>(
+        sim_, fd_, proxy_ids, config_.heartbeat_timeout,
+        config_.heartbeat_interval);
+    heartbeat_watcher_->start();
+    for (auto& proxy : proxies_) {
+      proxy->enable_heartbeats(sim::rm_id(), config_.heartbeat_interval);
+    }
+  }
+
+  // ---- clients (closed loop, statically bound to proxies)
+  const std::uint32_t total_clients =
+      config_.num_proxies * config_.clients_per_proxy;
+  clients_.reserve(total_clients);
+  for (std::uint32_t i = 0; i < total_clients; ++i) {
+    const sim::NodeId id = sim::client_id(i);
+    const sim::NodeId proxy = sim::proxy_id(i / config_.clients_per_proxy);
+    auto client = std::make_unique<Client>(
+        sim_, net_, id, proxy, master_rng_.fork(0xC11E47 + i), &metrics_,
+        config_.check_consistency ? &checker_ : nullptr,
+        config_.client_think_time, config_.num_proxies,
+        config_.client_retry_timeout);
+    Client* raw = client.get();
+    net_.register_node(id, [raw](const sim::NodeId& from,
+                                 const kv::Message& msg) {
+      raw->on_message(from, msg);
+    });
+    clients_.push_back(std::move(client));
+  }
+}
+
+Cluster::~Cluster() = default;
+
+void Cluster::preload(std::uint64_t count, std::uint64_t size_bytes,
+                      kv::ObjectId first_oid) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const kv::ObjectId oid = first_oid + i;
+    kv::Version version;
+    version.ts = kv::Timestamp{0, 0, 0};
+    version.cfno = 0;
+    version.value = oid;
+    version.size_bytes = size_bytes;
+    for (std::uint32_t replica : placement_.replicas(oid)) {
+      storage_[replica]->preload(oid, version);
+    }
+  }
+}
+
+void Cluster::set_workload(
+    std::shared_ptr<workload::OperationSource> source) {
+  for (auto& client : clients_) client->set_source(source);
+}
+
+void Cluster::set_workload_for_proxy(
+    std::uint32_t proxy_index,
+    std::shared_ptr<workload::OperationSource> source) {
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+    if (i / config_.clients_per_proxy == proxy_index) {
+      clients_[i]->set_source(source);
+    }
+  }
+}
+
+void Cluster::set_workload_for_client(
+    std::uint32_t client_index,
+    std::shared_ptr<workload::OperationSource> source) {
+  clients_.at(client_index)->set_source(source);
+}
+
+void Cluster::run_for(Duration duration) {
+  if (!clients_started_) {
+    clients_started_ = true;
+    for (auto& client : clients_) client->start();
+  }
+  sim_.run(sim_.now() + duration);
+}
+
+Time Cluster::now() const { return sim_.now(); }
+
+void Cluster::stop_clients() {
+  for (auto& client : clients_) client->stop();
+}
+
+void Cluster::reconfigure(kv::QuorumConfig quorum,
+                          std::function<void(bool)> done) {
+  kv::QuorumChange change;
+  change.is_global = true;
+  change.global = quorum;
+  rm_->change_configuration(std::move(change), std::move(done));
+}
+
+void Cluster::reconfigure_objects(
+    std::vector<std::pair<kv::ObjectId, kv::QuorumConfig>> overrides,
+    std::function<void(bool)> done) {
+  kv::QuorumChange change;
+  change.is_global = false;
+  change.overrides = std::move(overrides);
+  rm_->change_configuration(std::move(change), std::move(done));
+}
+
+void Cluster::enable_autotuning(const autonomic::AutonomicOptions& options,
+                                std::shared_ptr<oracle::Oracle> oracle) {
+  if (am_) throw std::logic_error("Cluster: autotuning already enabled");
+  if (!oracle) throw std::invalid_argument("Cluster: null oracle");
+  oracle_ = std::move(oracle);
+  std::vector<sim::NodeId> proxy_ids;
+  for (std::uint32_t i = 0; i < config_.num_proxies; ++i) {
+    proxy_ids.push_back(sim::proxy_id(i));
+  }
+  am_ = std::make_unique<autonomic::AutonomicManager>(
+      sim_, net_, sim::am_id(), fd_, *rm_, *oracle_, proxy_ids,
+      config_.replication, options);
+  net_.register_node(sim::am_id(), [this](const sim::NodeId& from,
+                                          const kv::Message& msg) {
+    am_->on_message(from, msg);
+  });
+  am_->start();
+}
+
+void Cluster::enable_autotuning(const autonomic::AutonomicOptions& options) {
+  enable_autotuning(
+      options, std::make_shared<oracle::LinearRuleOracle>(config_.replication));
+}
+
+void Cluster::enable_anti_entropy(const kv::ReplicatorOptions& options) {
+  if (replicator_) {
+    throw std::logic_error("Cluster: anti-entropy already enabled");
+  }
+  std::vector<kv::StorageNode*> nodes;
+  nodes.reserve(storage_.size());
+  for (auto& node : storage_) nodes.push_back(node.get());
+  replicator_ = std::make_unique<kv::Replicator>(sim_, placement_,
+                                                 std::move(nodes), options);
+  replicator_->start();
+}
+
+void Cluster::crash_proxy(std::uint32_t index) {
+  proxies_.at(index)->crash();
+  // With heartbeat detection the suspicion arises organically from the
+  // stopped beats; the oracle path keeps the configured detection delay.
+  if (!config_.heartbeat_fd) fd_.node_crashed(sim::proxy_id(index));
+}
+
+void Cluster::crash_storage(std::uint32_t index) {
+  storage_.at(index)->crash();
+  fd_.node_crashed(sim::storage_id(index));
+}
+
+void Cluster::inject_false_suspicion(std::uint32_t proxy_index,
+                                     Duration duration) {
+  fd_.inject_false_suspicion(sim::proxy_id(proxy_index), duration);
+}
+
+}  // namespace qopt

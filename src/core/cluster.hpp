@@ -1,0 +1,191 @@
+// qopt::Cluster — the library's main entry point.
+//
+// Builds and wires a complete simulated deployment mirroring the paper's
+// testbed: storage nodes, proxies, closed-loop clients, the Reconfiguration
+// Manager, and (optionally) the Autonomic Manager with an Oracle. Exposes
+// workload assignment, manual and autonomic reconfiguration, failure
+// injection, metrics, and the Dynamic Quorum Consistency checker.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   qopt::ClusterConfig config;           // defaults = the paper's testbed
+//   qopt::Cluster cluster(config);
+//   cluster.preload(100'000, 4096);
+//   cluster.set_workload(qopt::workload::ycsb_b(100'000));
+//   cluster.enable_autotuning({});        // Q-OPT self-tuning on
+//   cluster.run_for(qopt::seconds(120));
+//   double tput = cluster.metrics().throughput(0, cluster.now());
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "autonomic/autonomic_manager.hpp"
+#include "core/client.hpp"
+#include "core/consistency.hpp"
+#include "core/metrics.hpp"
+#include "kv/placement.hpp"
+#include "kv/replicator.hpp"
+#include "kv/service_model.hpp"
+#include "kv/storage_node.hpp"
+#include "kv/types.hpp"
+#include "oracle/oracle.hpp"
+#include "proxy/proxy.hpp"
+#include "reconfig/reconfig_manager.hpp"
+#include "sim/failure_detector.hpp"
+#include "sim/heartbeat.hpp"
+#include "sim/ids.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace qopt {
+
+struct ClusterConfig {
+  // Topology — defaults follow the paper's testbed (Section 2.2): 10
+  // storage VMs (2 cores each), 5 proxies, 10 client threads per proxy,
+  // replication degree 5.
+  std::uint32_t num_storage = 10;
+  std::uint32_t num_proxies = 5;
+  std::uint32_t clients_per_proxy = 10;
+  int replication = 5;
+
+  /// Initial quorum (must be strict: R + W > N).
+  kv::QuorumConfig initial_quorum{3, 3};
+
+  kv::ServiceTimes storage_service;
+  std::size_t storage_servers = 2;  // virtual cores per storage VM
+  sim::LatencyModel network;
+  proxy::ProxyOptions proxy;  // `initial` is overwritten by initial_quorum
+  Duration fd_detection_delay = milliseconds(500);
+  /// When set, suspicion of proxies is derived from heartbeat traffic over
+  /// the simulated network instead of the omniscient oracle: crash_proxy()
+  /// stops the beats and the watcher suspects the proxy organically.
+  bool heartbeat_fd = false;
+  Duration heartbeat_interval = milliseconds(100);
+  Duration heartbeat_timeout = milliseconds(500);
+  Duration client_think_time = 0;
+  /// > 0 enables client proxy failover after this unanswered-for duration.
+  Duration client_retry_timeout = 0;
+  bool check_consistency = true;
+  std::uint64_t seed = 1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // -------------------------------------------------------------- workload
+
+  /// Directly installs `count` objects of `size_bytes` on all replicas
+  /// (bypassing the protocol), so reads have data from t=0 — the YCSB load
+  /// phase. `first_oid` offsets the key range (tenant namespaces).
+  void preload(std::uint64_t count, std::uint64_t size_bytes,
+               kv::ObjectId first_oid = 0);
+
+  /// Assigns the workload source to every client.
+  void set_workload(std::shared_ptr<workload::OperationSource> source);
+  /// Assigns a workload to the clients of one proxy (per-tenant setups).
+  void set_workload_for_proxy(
+      std::uint32_t proxy_index,
+      std::shared_ptr<workload::OperationSource> source);
+  void set_workload_for_client(
+      std::uint32_t client_index,
+      std::shared_ptr<workload::OperationSource> source);
+
+  // ------------------------------------------------------------- execution
+
+  /// Advances virtual time by `duration`, starting clients on first call.
+  void run_for(Duration duration);
+  Time now() const;
+
+  /// Stops all clients (in-flight operations complete).
+  void stop_clients();
+
+  // -------------------------------------------------------- reconfiguration
+
+  /// Manual store-wide reconfiguration via the RM (the paper's "Manual
+  /// Reconfiguration" arrow in Figure 4). Completion is asynchronous.
+  void reconfigure(kv::QuorumConfig quorum,
+                   std::function<void(bool)> done = {});
+  /// Manual per-object reconfiguration.
+  void reconfigure_objects(
+      std::vector<std::pair<kv::ObjectId, kv::QuorumConfig>> overrides,
+      std::function<void(bool)> done = {});
+
+  // ------------------------------------------------------------ autotuning
+
+  /// Installs the Autonomic Manager with the given oracle and starts the
+  /// optimization loop. The oracle must outlive the cluster (shared).
+  void enable_autotuning(const autonomic::AutonomicOptions& options,
+                         std::shared_ptr<oracle::Oracle> oracle);
+  /// Convenience: autotuning with the built-in linear-rule oracle.
+  void enable_autotuning(const autonomic::AutonomicOptions& options = {});
+
+  /// Starts the anti-entropy replicator daemon (background replication of
+  /// fresh versions to stale replicas, as Swift's object replicator does).
+  void enable_anti_entropy(const kv::ReplicatorOptions& options = {});
+  kv::Replicator* replicator() noexcept { return replicator_.get(); }
+
+  // ------------------------------------------------------ failure injection
+
+  void crash_proxy(std::uint32_t index);
+  void crash_storage(std::uint32_t index);
+  void inject_false_suspicion(std::uint32_t proxy_index, Duration duration);
+
+  // -------------------------------------------------------------- accessors
+
+  sim::Simulator& simulator() noexcept { return sim_; }
+  Metrics& metrics() noexcept { return metrics_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+  ConsistencyChecker& checker() noexcept { return checker_; }
+  const ConsistencyChecker& checker() const noexcept { return checker_; }
+  reconfig::ReconfigManager& rm() noexcept { return *rm_; }
+  autonomic::AutonomicManager* am() noexcept { return am_.get(); }
+  proxy::Proxy& proxy(std::uint32_t i) { return *proxies_.at(i); }
+  kv::StorageNode& storage(std::uint32_t i) { return *storage_.at(i); }
+  Client& client(std::uint32_t i) { return *clients_.at(i); }
+  std::uint32_t num_clients() const {
+    return static_cast<std::uint32_t>(clients_.size());
+  }
+  const kv::Placement& placement() const noexcept { return placement_; }
+  sim::FailureDetector& failure_detector() noexcept { return fd_; }
+  sim::HeartbeatWatcher* heartbeat_watcher() noexcept {
+    return heartbeat_watcher_.get();
+  }
+  const ClusterConfig& config() const noexcept { return config_; }
+  const sim::NetworkStats& network_stats() const { return net_.stats(); }
+  sim::Network<kv::Message>& network() noexcept { return net_; }
+
+ private:
+  using Net = sim::Network<kv::Message>;
+
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  Rng master_rng_;
+  Net net_;
+  sim::FailureDetector fd_;
+  kv::Placement placement_;
+  Metrics metrics_;
+  ConsistencyChecker checker_;
+
+  std::vector<std::unique_ptr<kv::StorageNode>> storage_;
+  std::vector<std::unique_ptr<proxy::Proxy>> proxies_;
+  std::vector<std::unique_ptr<Client>> clients_;
+  std::unique_ptr<reconfig::ReconfigManager> rm_;
+  std::unique_ptr<autonomic::AutonomicManager> am_;
+  std::shared_ptr<oracle::Oracle> oracle_;
+  std::unique_ptr<kv::Replicator> replicator_;
+  std::unique_ptr<sim::HeartbeatWatcher> heartbeat_watcher_;
+
+  bool clients_started_ = false;
+};
+
+}  // namespace qopt

@@ -1,0 +1,115 @@
+// Online checker for the Dynamic Quorum Consistency property (Section 5):
+//
+//   "The quorum used by a read operation intersects with the write quorum of
+//    any concurrent write operation, and, if no concurrent write operation
+//    exists, with the quorum used by the last completed write operation."
+//
+// Observable consequence checked here (regular-register semantics): a read
+// must return a version at least as fresh as the freshest write that
+// *completed* (client-visibly) before the read started. The simulator's
+// global clock makes "before" well defined. Property tests run this checker
+// across reconfigurations, crashes and false suspicions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "kv/types.hpp"
+#include "util/time.hpp"
+
+namespace qopt {
+
+class ConsistencyChecker {
+ public:
+  struct Violation {
+    kv::ObjectId oid = 0;
+    Time read_start = 0;
+    Time read_end = 0;
+    bool found = false;
+    kv::Timestamp returned;
+    kv::Timestamp expected_min;
+  };
+
+  /// Records a client-visible write completion.
+  void write_completed(kv::ObjectId oid, const kv::Timestamp& ts) {
+    ++writes_tracked_;
+    auto [it, inserted] = freshest_.try_emplace(oid, ts);
+    if (!inserted && ts > it->second) it->second = ts;
+  }
+
+  /// Snapshot taken when a read is issued: the freshest write known to have
+  /// completed by then. Reads must return at least this version.
+  kv::Timestamp snapshot(kv::ObjectId oid) const {
+    auto it = freshest_.find(oid);
+    return it == freshest_.end() ? kv::Timestamp{} : it->second;
+  }
+
+  /// Validates a completed read against the snapshot captured at its start.
+  void read_completed(kv::ObjectId oid, Time start, Time end, bool found,
+                      const kv::Timestamp& returned,
+                      const kv::Timestamp& expected_min) {
+    ++reads_checked_;
+    const bool had_completed_write = expected_min != kv::Timestamp{};
+    const bool ok =
+        had_completed_write ? (found && returned >= expected_min) : true;
+    if (!ok) {
+      violations_.push_back(
+          Violation{oid, start, end, found, returned, expected_min});
+    }
+  }
+
+  const std::vector<Violation>& violations() const noexcept {
+    return violations_;
+  }
+  std::uint64_t reads_checked() const noexcept { return reads_checked_; }
+  std::uint64_t writes_tracked() const noexcept { return writes_tracked_; }
+  bool clean() const noexcept { return violations_.empty(); }
+
+  // ---- session observation (measurement, not a violation) -------------
+  //
+  // Regular-register semantics permit "new-old inversion": a read
+  // overlapping a write may return the new version while a later read
+  // still returns the old one. Dynamic Quorum Consistency does not forbid
+  // this, so it is *counted*, never flagged. The counter quantifies how
+  // often clients actually observe time going backwards per object.
+
+  /// Records what `client` observed for `oid`; returns true if this
+  /// observation is older than one the same client saw before (an
+  /// inversion).
+  bool observe(std::uint32_t client, kv::ObjectId oid,
+               const kv::Timestamp& ts) {
+    auto [it, inserted] = last_observed_.try_emplace({client, oid}, ts);
+    if (inserted) return false;
+    if (ts < it->second) {
+      ++inversions_;
+      return true;
+    }
+    it->second = ts;
+    return false;
+  }
+
+  std::uint64_t new_old_inversions() const noexcept { return inversions_; }
+
+ private:
+  struct ClientObjectHash {
+    std::size_t operator()(
+        const std::pair<std::uint32_t, kv::ObjectId>& key) const noexcept {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(key.first) << 48) ^ key.second);
+    }
+  };
+
+  std::unordered_map<kv::ObjectId, kv::Timestamp> freshest_;
+  std::unordered_map<std::pair<std::uint32_t, kv::ObjectId>, kv::Timestamp,
+                     ClientObjectHash>
+      last_observed_;
+  std::vector<Violation> violations_;
+  std::uint64_t reads_checked_ = 0;
+  std::uint64_t writes_tracked_ = 0;
+  std::uint64_t inversions_ = 0;
+};
+
+}  // namespace qopt

@@ -1,0 +1,188 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qopt {
+
+ExperimentResult run_static(const ExperimentSpec& spec,
+                            kv::QuorumConfig quorum) {
+  if (!spec.workload) {
+    throw std::invalid_argument("run_static: spec has no workload");
+  }
+  ClusterConfig config = spec.cluster;
+  config.initial_quorum = quorum;
+  Cluster cluster(config);
+  cluster.preload(spec.preload_objects, spec.preload_size);
+  cluster.set_workload(spec.workload);
+
+  cluster.run_for(spec.warmup);
+  const Time t0 = cluster.now();
+  cluster.run_for(spec.measure);
+  const Time t1 = cluster.now();
+
+  ExperimentResult result;
+  result.quorum = quorum;
+  result.throughput_ops = cluster.metrics().throughput(t0, t1);
+  result.ops = cluster.metrics().ops_between(t0, t1);
+  const auto& read_lat = cluster.metrics().read_latency();
+  const auto& write_lat = cluster.metrics().write_latency();
+  result.read_p50_ms = read_lat.percentile(50) / 1e6;
+  result.read_p99_ms = read_lat.percentile(99) / 1e6;
+  result.write_p50_ms = write_lat.percentile(50) / 1e6;
+  result.write_p99_ms = write_lat.percentile(99) / 1e6;
+  result.consistent = cluster.checker().clean();
+  return result;
+}
+
+std::vector<ExperimentResult> sweep_quorums(const ExperimentSpec& spec) {
+  const int n = spec.cluster.replication;
+  std::vector<ExperimentResult> results;
+  results.reserve(static_cast<std::size_t>(n));
+  for (int w = 1; w <= n; ++w) {
+    results.push_back(
+        run_static(spec, oracle::config_from_write_quorum(w, n)));
+  }
+  return results;
+}
+
+int optimal_write_quorum(const ExperimentSpec& spec) {
+  const std::vector<ExperimentResult> results = sweep_quorums(spec);
+  const auto best = std::max_element(
+      results.begin(), results.end(),
+      [](const ExperimentResult& a, const ExperimentResult& b) {
+        return a.throughput_ops < b.throughput_ops;
+      });
+  return best->quorum.write_q;
+}
+
+CorpusPoint measure_corpus_point(const ExperimentSpec& base,
+                                 double write_ratio,
+                                 std::uint64_t object_bytes) {
+  ExperimentSpec spec = base;
+  spec.preload_size = object_bytes;
+  spec.workload = workload::sweep_point(write_ratio, object_bytes,
+                                        spec.preload_objects);
+  const std::vector<ExperimentResult> results = sweep_quorums(spec);
+
+  CorpusPoint point;
+  point.write_ratio = write_ratio;
+  point.object_bytes = object_bytes;
+  point.best_throughput = 0;
+  point.worst_throughput = results.front().throughput_ops;
+  double total_ops = 0;
+  double measure_s = to_seconds(spec.measure);
+  for (const ExperimentResult& result : results) {
+    if (result.throughput_ops > point.best_throughput) {
+      point.best_throughput = result.throughput_ops;
+      point.optimal_w = result.quorum.write_q;
+    }
+    point.worst_throughput =
+        std::min(point.worst_throughput, result.throughput_ops);
+    total_ops += static_cast<double>(result.ops);
+  }
+  // Features as the Oracle would observe them at runtime: the realized
+  // write ratio equals the generator parameter in expectation; the observed
+  // rate is the average over the sweep.
+  point.features.write_ratio = write_ratio;
+  point.features.avg_size_kib =
+      static_cast<double>(object_bytes) / 1024.0;
+  point.features.ops_per_sec =
+      measure_s > 0 ? total_ops / (static_cast<double>(results.size()) *
+                                   measure_s)
+                    : 0;
+  return point;
+}
+
+ml::Dataset corpus_to_dataset(const std::vector<CorpusPoint>& corpus) {
+  ml::Dataset data(oracle::WorkloadFeatures::names());
+  for (const CorpusPoint& point : corpus) {
+    const std::vector<double> row = point.features.to_vector();
+    data.add_row(row, point.optimal_w);
+  }
+  return data;
+}
+
+std::vector<CorpusPoint> generate_corpus(
+    const ExperimentSpec& base, const std::vector<double>& write_ratios,
+    const std::vector<std::uint64_t>& object_sizes) {
+  std::vector<CorpusPoint> corpus;
+  corpus.reserve(write_ratios.size() * object_sizes.size());
+  for (const double ratio : write_ratios) {
+    for (const std::uint64_t size : object_sizes) {
+      corpus.push_back(measure_corpus_point(base, ratio, size));
+    }
+  }
+  return corpus;
+}
+
+const std::vector<double>& paper_write_ratios() {
+  static const std::vector<double> kRatios = {
+      0.01, 0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40,
+      0.45, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95, 0.99};
+  return kRatios;
+}
+
+const std::vector<std::uint64_t>& paper_object_sizes() {
+  static const std::vector<std::uint64_t> kSizes = {
+      1 << 10, 2 << 10, 4 << 10,  8 << 10,  16 << 10,
+      32 << 10, 64 << 10, 128 << 10, 256 << 10, 512 << 10};
+  return kSizes;
+}
+
+void save_corpus(const std::string& path,
+                 const std::vector<CorpusPoint>& corpus) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_corpus: cannot open " + path);
+  out << "write_ratio,object_bytes,optimal_w,best_tput,worst_tput,"
+         "f_write_ratio,f_avg_size_kib,f_ops_per_sec\n";
+  for (const CorpusPoint& point : corpus) {
+    out << point.write_ratio << ',' << point.object_bytes << ','
+        << point.optimal_w << ',' << point.best_throughput << ','
+        << point.worst_throughput << ',' << point.features.write_ratio << ','
+        << point.features.avg_size_kib << ',' << point.features.ops_per_sec
+        << '\n';
+  }
+}
+
+std::vector<CorpusPoint> load_corpus(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::vector<CorpusPoint> corpus;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    CorpusPoint point;
+    char comma;
+    row >> point.write_ratio >> comma >> point.object_bytes >> comma >>
+        point.optimal_w >> comma >> point.best_throughput >> comma >>
+        point.worst_throughput >> comma >> point.features.write_ratio >>
+        comma >> point.features.avg_size_kib >> comma >>
+        point.features.ops_per_sec;
+    if (row.fail()) return {};  // corrupt cache: force regeneration
+    corpus.push_back(point);
+  }
+  return corpus;
+}
+
+std::vector<CorpusPoint> load_or_generate_corpus(
+    const std::string& cache_path, const ExperimentSpec& base) {
+  std::vector<CorpusPoint> corpus = load_corpus(cache_path);
+  const std::size_t expected =
+      paper_write_ratios().size() * paper_object_sizes().size();
+  if (corpus.size() == expected) return corpus;
+  std::fprintf(stderr,
+               "[corpus] measuring %zu workloads x 5 quorum configs "
+               "(cached at %s for later runs)...\n",
+               expected, cache_path.c_str());
+  corpus = generate_corpus(base, paper_write_ratios(), paper_object_sizes());
+  save_corpus(cache_path, corpus);
+  return corpus;
+}
+
+}  // namespace qopt

@@ -1,0 +1,91 @@
+// Experiment runner helpers shared by the benchmark harnesses, the Oracle
+// trainer, and the integration tests: run a workload on a fresh cluster
+// under a given static quorum, sweep all strict quorum configurations, find
+// the measured-optimal configuration, and build the labelled corpus the
+// decision-tree Oracle trains on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "ml/dataset.hpp"
+#include "oracle/oracle.hpp"
+#include "workload/workload.hpp"
+
+namespace qopt {
+
+struct ExperimentSpec {
+  ClusterConfig cluster;
+  std::shared_ptr<workload::OperationSource> workload;
+  std::uint64_t preload_objects = 10'000;
+  std::uint64_t preload_size = 4096;
+  Duration warmup = seconds(2);
+  Duration measure = seconds(10);
+};
+
+struct ExperimentResult {
+  kv::QuorumConfig quorum;
+  double throughput_ops = 0;     // ops/s over the measurement window
+  double read_p50_ms = 0;
+  double read_p99_ms = 0;
+  double write_p50_ms = 0;
+  double write_p99_ms = 0;
+  std::uint64_t ops = 0;
+  bool consistent = true;
+};
+
+/// Runs the workload on a fresh cluster pinned to the given static quorum.
+ExperimentResult run_static(const ExperimentSpec& spec,
+                            kv::QuorumConfig quorum);
+
+/// Runs every strict configuration with R = N - W + 1, W in [1, N].
+std::vector<ExperimentResult> sweep_quorums(const ExperimentSpec& spec);
+
+/// The write-quorum size maximizing measured throughput for this spec.
+int optimal_write_quorum(const ExperimentSpec& spec);
+
+/// One labelled point of the Oracle's training corpus.
+struct CorpusPoint {
+  oracle::WorkloadFeatures features;
+  int optimal_w = 0;
+  double best_throughput = 0;
+  double worst_throughput = 0;
+  double write_ratio = 0;       // generator parameter (ground truth)
+  std::uint64_t object_bytes = 0;
+};
+
+/// Measures one (write ratio, object size) workload: sweeps all quorums,
+/// labels the point with the measured-optimal W, and extracts the observed
+/// features the Oracle would see at runtime.
+CorpusPoint measure_corpus_point(const ExperimentSpec& base,
+                                 double write_ratio,
+                                 std::uint64_t object_bytes);
+
+/// Builds the decision-tree training set from measured corpus points.
+/// Labels are write-quorum sizes (class = W).
+ml::Dataset corpus_to_dataset(const std::vector<CorpusPoint>& corpus);
+
+/// Generates the full sweep used by Figure 3 / the Oracle corpus:
+/// `write_ratios` x `object_sizes` measured points.
+std::vector<CorpusPoint> generate_corpus(
+    const ExperimentSpec& base, const std::vector<double>& write_ratios,
+    const std::vector<std::uint64_t>& object_sizes);
+
+/// The write-ratio x object-size grid of the paper's ~170-workload study
+/// (17 ratios x 10 sizes = 170 points).
+const std::vector<double>& paper_write_ratios();
+const std::vector<std::uint64_t>& paper_object_sizes();
+
+/// CSV persistence so the (expensive) corpus is measured once and shared by
+/// the Figure-3, tuning-impact and oracle-accuracy benches.
+void save_corpus(const std::string& path,
+                 const std::vector<CorpusPoint>& corpus);
+std::vector<CorpusPoint> load_corpus(const std::string& path);  // {} if absent
+
+/// Loads the corpus from `cache_path` or measures and caches it.
+std::vector<CorpusPoint> load_or_generate_corpus(
+    const std::string& cache_path, const ExperimentSpec& base);
+
+}  // namespace qopt

@@ -1,0 +1,58 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+namespace qopt {
+
+Metrics::Metrics(Duration bucket_width)
+    : bucket_width_(bucket_width > 0 ? bucket_width : milliseconds(100)),
+      read_lat_(/*min_value=*/1000.0),   // 1us floor, values in ns
+      write_lat_(/*min_value=*/1000.0) {}
+
+void Metrics::record(const proxy::OpRecord& record) {
+  ++total_ops_;
+  const auto latency_ns = static_cast<double>(record.end - record.start);
+  if (record.is_write) {
+    ++total_writes_;
+    write_lat_.record(latency_ns);
+  } else {
+    ++total_reads_;
+    read_lat_.record(latency_ns);
+  }
+  const auto index = static_cast<std::size_t>(record.end / bucket_width_);
+  if (index >= buckets_.size()) buckets_.resize(index + 1);
+  Bucket& bucket = buckets_[index];
+  ++bucket.ops;
+  if (record.is_write) {
+    ++bucket.writes;
+  } else {
+    ++bucket.reads;
+  }
+}
+
+void Metrics::reset() {
+  buckets_.clear();
+  total_ops_ = total_reads_ = total_writes_ = 0;
+  read_lat_.reset();
+  write_lat_.reset();
+}
+
+std::uint64_t Metrics::ops_between(Time t0, Time t1) const {
+  if (t1 <= t0 || buckets_.empty()) return 0;
+  const auto first = static_cast<std::size_t>(std::max<Time>(t0, 0) /
+                                              bucket_width_);
+  const auto last = static_cast<std::size_t>(std::max<Time>(t1 - 1, 0) /
+                                             bucket_width_);
+  std::uint64_t total = 0;
+  for (std::size_t i = first; i <= last && i < buckets_.size(); ++i) {
+    total += buckets_[i].ops;
+  }
+  return total;
+}
+
+double Metrics::throughput(Time t0, Time t1) const {
+  const double span = to_seconds(t1 - t0);
+  return span > 0 ? static_cast<double>(ops_between(t0, t1)) / span : 0.0;
+}
+
+}  // namespace qopt

@@ -1,0 +1,56 @@
+// Experiment metrics: end-to-end operation latencies and a bucketed
+// throughput timeline (used for adaptation traces and all benchmark
+// harnesses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proxy/proxy.hpp"
+#include "util/histogram.hpp"
+#include "util/time.hpp"
+
+namespace qopt {
+
+class Metrics {
+ public:
+  struct Bucket {
+    std::uint64_t ops = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+  };
+
+  explicit Metrics(Duration bucket_width = milliseconds(100));
+
+  void record(const proxy::OpRecord& record);
+  void reset();
+
+  std::uint64_t total_ops() const noexcept { return total_ops_; }
+  std::uint64_t total_reads() const noexcept { return total_reads_; }
+  std::uint64_t total_writes() const noexcept { return total_writes_; }
+
+  const LatencyHistogram& read_latency() const noexcept { return read_lat_; }
+  const LatencyHistogram& write_latency() const noexcept {
+    return write_lat_;
+  }
+
+  /// Completed operations in [t0, t1), resolved to bucket granularity.
+  std::uint64_t ops_between(Time t0, Time t1) const;
+
+  /// Throughput (ops/s) over [t0, t1).
+  double throughput(Time t0, Time t1) const;
+
+  Duration bucket_width() const noexcept { return bucket_width_; }
+  const std::vector<Bucket>& buckets() const noexcept { return buckets_; }
+
+ private:
+  Duration bucket_width_;
+  std::vector<Bucket> buckets_;
+  std::uint64_t total_ops_ = 0;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t total_writes_ = 0;
+  LatencyHistogram read_lat_;
+  LatencyHistogram write_lat_;
+};
+
+}  // namespace qopt

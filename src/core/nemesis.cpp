@@ -1,0 +1,173 @@
+#include "core/nemesis.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace qopt {
+
+Nemesis::Nemesis(Cluster& cluster, const NemesisOptions& options)
+    : cluster_(cluster), options_(options), rng_(options.seed ^ 0xBADC0DE) {}
+
+void Nemesis::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void Nemesis::schedule_next() {
+  const auto delay = static_cast<Duration>(
+      rng_.exponential(static_cast<double>(options_.mean_interval)));
+  cluster_.simulator().after(std::max<Duration>(delay, microseconds(1)),
+                             [this] {
+                               if (!running_) return;
+                               fire();
+                               schedule_next();
+                             });
+}
+
+int Nemesis::pick_write_quorum() {
+  // Liveness discipline: when storage crashes are enabled, every quorum the
+  // nemesis installs (now or later) stays servable even after the allowed
+  // number of crashes — W and R = N - W + 1 both <= N - max_storage_crashes.
+  const int n = cluster_.config().replication;
+  const int margin = options_.crash_storage > 0
+                         ? static_cast<int>(options_.max_storage_crashes)
+                         : 0;
+  const int lo = std::min(n, 1 + margin);
+  const int hi = std::max(lo, n - margin);
+  return lo + static_cast<int>(rng_.next_below(
+                  static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+namespace {
+int max_quorum_dimension(const kv::FullConfig& state) {
+  int m = std::max(state.default_q.read_q, state.default_q.write_q);
+  for (const auto& [oid, q] : state.overrides) {
+    m = std::max({m, q.read_q, q.write_q});
+  }
+  return m;
+}
+}  // namespace
+
+void Nemesis::fire() {
+  struct Choice {
+    double weight;
+    int kind;
+  };
+  const bool can_crash_proxy =
+      proxies_crashed_ < options_.max_proxy_crashes &&
+      proxies_crashed_ + 1 < cluster_.config().num_proxies;
+  // A storage crash is only safe when every installed quorum (default and
+  // overrides, which bounds the transition quorums of any in-flight
+  // reconfiguration too) remains servable by each object's survivors.
+  const bool can_crash_storage =
+      storage_crashed_ < options_.max_storage_crashes &&
+      max_quorum_dimension(cluster_.rm().config()) <=
+          cluster_.config().replication -
+              static_cast<int>(storage_crashed_) - 1;
+  const std::array<Choice, 6> choices = {{
+      {options_.reconfigure, 0},
+      {options_.per_object_reconfigure, 1},
+      {options_.false_suspicion, 2},
+      {cluster_.config().heartbeat_fd ? options_.pause_heartbeats : 0.0, 3},
+      {can_crash_proxy ? options_.crash_proxy : 0.0, 4},
+      {can_crash_storage ? options_.crash_storage : 0.0, 5},
+  }};
+  double total = 0;
+  for (const Choice& choice : choices) total += choice.weight;
+  if (total <= 0) return;
+  double pick = rng_.next_double() * total;
+  int kind = 0;
+  for (const Choice& choice : choices) {
+    pick -= choice.weight;
+    if (pick <= 0) {
+      kind = choice.kind;
+      break;
+    }
+  }
+
+  const int n = cluster_.config().replication;
+  switch (kind) {
+    case 0: {
+      ++stats_.reconfigurations;
+      const int w = pick_write_quorum();
+      cluster_.reconfigure({n - w + 1, w});
+      break;
+    }
+    case 1: {
+      ++stats_.per_object_reconfigurations;
+      std::vector<std::pair<kv::ObjectId, kv::QuorumConfig>> overrides;
+      const std::uint64_t count = 1 + rng_.next_below(4);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const int w = pick_write_quorum();
+        overrides.emplace_back(rng_.next_below(1000),
+                               kv::QuorumConfig{n - w + 1, w});
+      }
+      cluster_.reconfigure_objects(std::move(overrides));
+      break;
+    }
+    case 2: {
+      ++stats_.false_suspicions;
+      const auto victim = static_cast<std::uint32_t>(
+          rng_.next_below(cluster_.config().num_proxies));
+      if (!cluster_.proxy(victim).crashed()) {
+        cluster_.inject_false_suspicion(
+            victim, 1 + static_cast<Duration>(rng_.next_below(
+                        static_cast<std::uint64_t>(options_.max_suspicion))));
+      }
+      break;
+    }
+    case 3: {
+      ++stats_.heartbeat_pauses;
+      const auto victim = static_cast<std::uint32_t>(
+          rng_.next_below(cluster_.config().num_proxies));
+      if (!cluster_.proxy(victim).crashed()) {
+        cluster_.proxy(victim).set_heartbeats_paused(true);
+        const auto pause = 1 + static_cast<Duration>(rng_.next_below(
+                               static_cast<std::uint64_t>(
+                                   options_.max_suspicion)));
+        cluster_.simulator().after(pause, [this, victim] {
+          if (!cluster_.proxy(victim).crashed()) {
+            cluster_.proxy(victim).set_heartbeats_paused(false);
+          }
+        });
+      }
+      break;
+    }
+    case 4: {
+      // Crash a not-yet-crashed proxy (linear probe from a random start).
+      const std::uint32_t proxies = cluster_.config().num_proxies;
+      auto victim =
+          static_cast<std::uint32_t>(rng_.next_below(proxies));
+      for (std::uint32_t i = 0; i < proxies; ++i) {
+        const std::uint32_t candidate = (victim + i) % proxies;
+        if (!cluster_.proxy(candidate).crashed()) {
+          ++stats_.proxy_crashes;
+          ++proxies_crashed_;
+          cluster_.crash_proxy(candidate);
+          break;
+        }
+      }
+      break;
+    }
+    case 5: {
+      const std::uint32_t storage = cluster_.config().num_storage;
+      auto victim =
+          static_cast<std::uint32_t>(rng_.next_below(storage));
+      for (std::uint32_t i = 0; i < storage; ++i) {
+        const std::uint32_t candidate = (victim + i) % storage;
+        if (!cluster_.storage(candidate).crashed()) {
+          ++stats_.storage_crashes;
+          ++storage_crashed_;
+          cluster_.crash_storage(candidate);
+          break;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace qopt

@@ -1,0 +1,71 @@
+// Nemesis — a seeded chaos schedule for a running cluster.
+//
+// Repeatedly injects randomized events (reconfigurations, false suspicions,
+// heartbeat pauses, proxy/storage crashes) at exponentially distributed
+// intervals, within bounds that preserve the protocol's liveness
+// assumptions (enough correct storage replicas for every quorum it
+// installs). Property tests drive dense schedules through it and assert the
+// consistency checker stays clean; the CLI exposes it via --nemesis.
+#pragma once
+
+#include <cstdint>
+
+#include "core/cluster.hpp"
+#include "util/rng.hpp"
+
+namespace qopt {
+
+struct NemesisOptions {
+  Duration mean_interval = milliseconds(500);
+  // Relative event weights (0 disables the event kind).
+  double reconfigure = 4.0;
+  double per_object_reconfigure = 2.0;
+  double false_suspicion = 2.0;
+  double pause_heartbeats = 1.0;  // effective only in heartbeat-FD mode
+  double crash_proxy = 0.5;
+  double crash_storage = 0.5;
+  // Bounds preserving liveness: crashed storage shrinks the quorum range
+  // the nemesis installs (W and R both kept <= N - crashed_storage).
+  std::uint32_t max_proxy_crashes = 1;
+  std::uint32_t max_storage_crashes = 1;
+  Duration max_suspicion = seconds(2);
+  std::uint64_t seed = 1;
+};
+
+struct NemesisStats {
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t per_object_reconfigurations = 0;
+  std::uint64_t false_suspicions = 0;
+  std::uint64_t heartbeat_pauses = 0;
+  std::uint64_t proxy_crashes = 0;
+  std::uint64_t storage_crashes = 0;
+  std::uint64_t total() const {
+    return reconfigurations + per_object_reconfigurations +
+           false_suspicions + heartbeat_pauses + proxy_crashes +
+           storage_crashes;
+  }
+};
+
+class Nemesis {
+ public:
+  Nemesis(Cluster& cluster, const NemesisOptions& options);
+
+  void start();
+  void stop() noexcept { running_ = false; }
+  const NemesisStats& stats() const noexcept { return stats_; }
+
+ private:
+  void schedule_next();
+  void fire();
+  int pick_write_quorum();
+
+  Cluster& cluster_;
+  NemesisOptions options_;
+  Rng rng_;
+  NemesisStats stats_;
+  bool running_ = false;
+  std::uint32_t proxies_crashed_ = 0;
+  std::uint32_t storage_crashed_ = 0;
+};
+
+}  // namespace qopt

@@ -1,0 +1,58 @@
+#include "kv/naming.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace qopt::kv {
+
+namespace {
+std::string canonical(std::string_view account, std::string_view container,
+                      std::string_view object) {
+  std::string path;
+  path.reserve(account.size() + container.size() + object.size() + 2);
+  path.append(account);
+  path.push_back('/');
+  path.append(container);
+  path.push_back('/');
+  path.append(object);
+  return path;
+}
+
+std::uint64_t fnv1a(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+}  // namespace
+
+ObjectId object_id_for(std::string_view account, std::string_view container,
+                       std::string_view object) {
+  // Finalize the FNV state through one splitmix round for better high-bit
+  // diffusion (placement hashes the id again).
+  return mix64(fnv1a(canonical(account, container, object)));
+}
+
+ObjectId ObjectNamer::resolve(std::string_view account,
+                              std::string_view container,
+                              std::string_view object) {
+  const std::string path = canonical(account, container, object);
+  const ObjectId oid = mix64(fnv1a(path));
+  auto [it, inserted] = directory_.emplace(oid, path);
+  if (!inserted && it->second != path) {
+    throw std::runtime_error("ObjectNamer: hash collision between '" +
+                             it->second + "' and '" + path + "'");
+  }
+  return oid;
+}
+
+std::optional<std::string> ObjectNamer::name_of(ObjectId oid) const {
+  auto it = directory_.find(oid);
+  if (it == directory_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace qopt::kv

@@ -1,0 +1,41 @@
+// Object naming: Swift's external interface is account/container/object
+// paths; the replicated store works on 64-bit object ids. The namer maps
+// paths to ids with a stable hash (every proxy derives the same id without
+// coordination) and keeps a client-side directory to detect the
+// astronomically unlikely hash collision and to reverse-map ids for
+// diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "kv/types.hpp"
+
+namespace qopt::kv {
+
+/// Stable 64-bit id for an object path (FNV-1a over the canonical
+/// "account/container/object" string, then finalized). Free function: ids
+/// agree across processes with no shared state.
+ObjectId object_id_for(std::string_view account, std::string_view container,
+                       std::string_view object);
+
+class ObjectNamer {
+ public:
+  /// Registers (or re-resolves) a path; throws std::runtime_error on a hash
+  /// collision between distinct paths.
+  ObjectId resolve(std::string_view account, std::string_view container,
+                   std::string_view object);
+
+  /// Reverse lookup for ids previously resolved through this namer.
+  std::optional<std::string> name_of(ObjectId oid) const;
+
+  std::size_t size() const noexcept { return directory_.size(); }
+
+ private:
+  std::unordered_map<ObjectId, std::string> directory_;
+};
+
+}  // namespace qopt::kv

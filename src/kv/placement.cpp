@@ -1,0 +1,47 @@
+#include "kv/placement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace qopt::kv {
+
+Placement::Placement(std::uint32_t num_storage_nodes, int replication_degree,
+                     std::uint64_t seed)
+    : num_nodes_(num_storage_nodes),
+      replication_(replication_degree),
+      seed_(seed) {
+  if (replication_degree <= 0 ||
+      static_cast<std::uint32_t>(replication_degree) > num_storage_nodes) {
+    throw std::invalid_argument(
+        "Placement: replication degree must be in [1, num_storage_nodes]");
+  }
+}
+
+std::vector<std::uint32_t> Placement::replicas(ObjectId oid) const {
+  struct Weighted {
+    std::uint64_t weight;
+    std::uint32_t node;
+  };
+  std::vector<Weighted> weights;
+  weights.reserve(num_nodes_);
+  for (std::uint32_t node = 0; node < num_nodes_; ++node) {
+    const std::uint64_t w =
+        mix64(oid ^ (static_cast<std::uint64_t>(node) * 0x9E3779B97F4A7C15ULL) ^
+              seed_);
+    weights.push_back(Weighted{w, node});
+  }
+  const auto k = static_cast<std::size_t>(replication_);
+  std::partial_sort(weights.begin(), weights.begin() + static_cast<long>(k),
+                    weights.end(), [](const Weighted& a, const Weighted& b) {
+                      if (a.weight != b.weight) return a.weight > b.weight;
+                      return a.node < b.node;
+                    });
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(weights[i].node);
+  return out;
+}
+
+}  // namespace qopt::kv

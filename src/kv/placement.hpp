@@ -1,0 +1,36 @@
+// Replica placement: maps each object to its fixed set of N distinct storage
+// nodes. Mirrors Swift's default distribution policy as used in the paper:
+// "scatters object replicas randomly across the storage nodes (while
+// enforcing that replicas of the same object are placed on different
+// nodes)".
+//
+// Implemented with rendezvous (highest-random-weight) hashing, which is
+// deterministic, uniform, and needs no stored ring state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "kv/types.hpp"
+
+namespace qopt::kv {
+
+class Placement {
+ public:
+  Placement(std::uint32_t num_storage_nodes, int replication_degree,
+            std::uint64_t seed = 0);
+
+  /// Storage node indices holding replicas of `oid`, in a deterministic
+  /// order (descending rendezvous weight). Size == replication degree.
+  std::vector<std::uint32_t> replicas(ObjectId oid) const;
+
+  std::uint32_t num_storage_nodes() const noexcept { return num_nodes_; }
+  int replication_degree() const noexcept { return replication_; }
+
+ private:
+  std::uint32_t num_nodes_;
+  int replication_;
+  std::uint64_t seed_;
+};
+
+}  // namespace qopt::kv

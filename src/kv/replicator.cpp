@@ -1,0 +1,64 @@
+#include "kv/replicator.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace qopt::kv {
+
+Replicator::Replicator(sim::Simulator& sim, const Placement& placement,
+                       std::vector<StorageNode*> nodes,
+                       const ReplicatorOptions& options)
+    : sim_(sim), placement_(placement), nodes_(std::move(nodes)),
+      options_(options) {
+  if (nodes_.empty()) throw std::invalid_argument("Replicator: no nodes");
+}
+
+void Replicator::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.after(options_.interval, [this] { sweep(); });
+}
+
+void Replicator::sweep() {
+  if (!running_) return;
+  ++stats_.sweeps;
+
+  // Build the freshest-version map across all live replicas (the daemon's
+  // hash comparison pass).
+  std::unordered_map<ObjectId, Version> freshest;
+  for (const StorageNode* node : nodes_) {
+    if (node->crashed()) continue;
+    for (const auto& [oid, version] : node->contents()) {
+      auto [it, inserted] = freshest.try_emplace(oid, version);
+      if (!inserted && (version.ts > it->second.ts ||
+                        (version.ts == it->second.ts &&
+                         version.cfno > it->second.cfno))) {
+        it->second = version;
+      }
+    }
+  }
+
+  // Push the freshest version to stale or missing replicas, throttled.
+  std::size_t repairs = 0;
+  for (const auto& [oid, version] : freshest) {
+    ++stats_.objects_checked;
+    if (repairs >= options_.max_repairs_per_sweep) break;
+    for (std::uint32_t replica : placement_.replicas(oid)) {
+      StorageNode* node = nodes_[replica];
+      if (node->crashed()) continue;
+      const Version* held = node->peek(oid);
+      const bool stale =
+          !held || held->ts < version.ts ||
+          (held->ts == version.ts && held->cfno < version.cfno);
+      if (stale) {
+        node->replicate_in(oid, version);
+        ++repairs;
+        ++stats_.repairs_pushed;
+      }
+    }
+  }
+
+  sim_.after(options_.interval, [this] { sweep(); });
+}
+
+}  // namespace qopt::kv

@@ -1,0 +1,134 @@
+#include "kv/storage_node.hpp"
+
+namespace qopt::kv {
+
+StorageNode::StorageNode(sim::Simulator& sim, Net& net, sim::NodeId self,
+                         const ServiceTimes& service, std::size_t servers,
+                         Rng rng)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      service_(service),
+      pool_(servers),
+      rng_(rng) {}
+
+void StorageNode::on_message(const sim::NodeId& from, const Message& msg) {
+  if (crashed_) return;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, StorageReadReq>) {
+          handle_read(from, m);
+        } else if constexpr (std::is_same_v<T, StorageWriteReq>) {
+          handle_write(from, m);
+        } else if constexpr (std::is_same_v<T, NewEpochMsg>) {
+          handle_new_epoch(from, m);
+        }
+        // Other message kinds are not addressed to storage nodes.
+      },
+      msg);
+}
+
+void StorageNode::crash() {
+  crashed_ = true;
+  net_.set_crashed(self_);
+}
+
+const Version* StorageNode::peek(ObjectId oid) const {
+  auto it = store_.find(oid);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+void StorageNode::send_nack(const sim::NodeId& to, std::uint64_t op_id) {
+  ++stats_.nacks_sent;
+  net_.send(self_, to, EpochNack{op_id, config_});
+}
+
+void StorageNode::handle_read(const sim::NodeId& from,
+                              const StorageReadReq& req) {
+  if (req.epno < config_.epno) {
+    // Operation from a stale epoch: reject without serving (Alg. 6 line 13).
+    send_nack(from, req.op_id);
+    return;
+  }
+  const auto it = store_.find(req.oid);
+  const std::uint64_t size = it != store_.end() ? it->second.size_bytes : 0;
+  const Time done = pool_.submit(sim_.now(), service_.read_time(size, rng_));
+  const ObjectId oid = req.oid;
+  const std::uint64_t op_id = req.op_id;
+  sim_.at(done, [this, from, oid, op_id] {
+    if (crashed_) return;
+    ++stats_.reads_served;
+    StorageReadResp resp;
+    resp.op_id = op_id;
+    if (auto sit = store_.find(oid); sit != store_.end()) {
+      resp.found = true;
+      resp.version = sit->second;  // cfno piggybacked inside the version
+    }
+    net_.send(self_, from, resp);
+  });
+}
+
+void StorageNode::handle_write(const sim::NodeId& from,
+                               const StorageWriteReq& req) {
+  if (req.epno < config_.epno) {
+    send_nack(from, req.op_id);
+    return;
+  }
+  const Time done = pool_.submit(
+      sim_.now(), service_.write_time(req.version.size_bytes, rng_));
+  sim_.at(done, [this, from, req] {
+    if (crashed_) return;
+    // Apply-or-discard at service completion: newer timestamps win; an older
+    // write is discarded but still acknowledged (Section 2.1).
+    auto [it, inserted] = store_.try_emplace(req.oid, req.version);
+    if (!inserted) {
+      if (req.version.ts > it->second.ts) {
+        it->second = req.version;
+        ++stats_.writes_applied;
+      } else if (req.version.ts == it->second.ts &&
+                 req.version.cfno > it->second.cfno) {
+        // Same write re-propagated under a newer configuration (the
+        // read-repair write-back of Algorithm 4): refresh the cfno tag so
+        // future reads need not repeat the historical-quorum read.
+        it->second.cfno = req.version.cfno;
+        ++stats_.writes_applied;
+      } else {
+        ++stats_.writes_discarded;
+      }
+    } else {
+      ++stats_.writes_applied;
+    }
+    net_.send(self_, from, StorageWriteResp{req.op_id});
+  });
+}
+
+void StorageNode::replicate_in(ObjectId oid, const Version& version) {
+  if (crashed_) return;
+  const Time done =
+      pool_.submit(sim_.now(), service_.write_time(version.size_bytes, rng_));
+  sim_.at(done, [this, oid, version] {
+    if (crashed_) return;
+    auto [it, inserted] = store_.try_emplace(oid, version);
+    if (!inserted) {
+      if (version.ts > it->second.ts) {
+        it->second = version;
+      } else if (version.ts == it->second.ts &&
+                 version.cfno > it->second.cfno) {
+        it->second.cfno = version.cfno;
+      }
+    }
+  });
+}
+
+void StorageNode::handle_new_epoch(const sim::NodeId& from,
+                                   const NewEpochMsg& msg) {
+  // Alg. 6 lines 5-10: adopt any epoch at least as recent as ours and ack.
+  if (msg.config.epno >= config_.epno) {
+    if (msg.config.epno > config_.epno) ++stats_.epoch_changes;
+    config_ = msg.config;
+  }
+  net_.send(self_, from, AckNewEpochMsg{msg.config.epno});
+}
+
+}  // namespace qopt::kv

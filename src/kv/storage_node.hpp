@@ -1,0 +1,93 @@
+// Storage node process — Algorithm 6 of the paper.
+//
+// Responsibilities:
+//  * serve quorum reads/writes from proxies, applying the classic
+//    discard-older-writes rule (Section 2.1);
+//  * tag versions with the configuration number under which they were
+//    written and piggyback it on read replies (read-repair support);
+//  * maintain the epoch number installed by the Reconfiguration Manager and
+//    NACK any operation issued in an older epoch, returning the full current
+//    configuration (Algorithm 6, lines 11-13);
+//  * model service times: operations queue on a finite server pool with
+//    disk-bound writes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "kv/service_model.hpp"
+#include "kv/types.hpp"
+#include "kv/wire.hpp"
+#include "sim/ids.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace qopt::kv {
+
+struct StorageNodeStats {
+  std::uint64_t reads_served = 0;
+  std::uint64_t writes_applied = 0;
+  std::uint64_t writes_discarded = 0;  // older than the stored version
+  std::uint64_t nacks_sent = 0;
+  std::uint64_t epoch_changes = 0;
+};
+
+class StorageNode {
+ public:
+  using Net = sim::Network<Message>;
+
+  StorageNode(sim::Simulator& sim, Net& net, sim::NodeId self,
+              const ServiceTimes& service, std::size_t servers, Rng rng);
+
+  /// Network message entry point (registered with the network by the
+  /// cluster wiring).
+  void on_message(const sim::NodeId& from, const Message& msg);
+
+  void crash();
+  bool crashed() const noexcept { return crashed_; }
+
+  std::uint64_t epoch() const noexcept { return config_.epno; }
+  const FullConfig& config() const noexcept { return config_; }
+  const StorageNodeStats& stats() const noexcept { return stats_; }
+  const ServicePool& service_pool() const noexcept { return pool_; }
+
+  /// Number of distinct objects stored (tests/diagnostics).
+  std::size_t object_count() const noexcept { return store_.size(); }
+
+  /// Direct store inspection for tests; returns nullptr when absent.
+  const Version* peek(ObjectId oid) const;
+
+  /// Installs a version directly, bypassing the protocol (bulk load phase).
+  void preload(ObjectId oid, const Version& version) {
+    store_[oid] = version;
+  }
+
+  /// Full store contents (anti-entropy sweep / diagnostics).
+  const std::unordered_map<ObjectId, Version>& contents() const noexcept {
+    return store_;
+  }
+
+  /// Anti-entropy push from the replicator daemon: pays write service time
+  /// and applies under the normal freshest-wins rule (no epoch check — the
+  /// daemon is internal and only ever moves existing versions).
+  void replicate_in(ObjectId oid, const Version& version);
+
+ private:
+  void handle_read(const sim::NodeId& from, const StorageReadReq& req);
+  void handle_write(const sim::NodeId& from, const StorageWriteReq& req);
+  void handle_new_epoch(const sim::NodeId& from, const NewEpochMsg& msg);
+  void send_nack(const sim::NodeId& to, std::uint64_t op_id);
+
+  sim::Simulator& sim_;
+  Net& net_;
+  sim::NodeId self_;
+  ServiceTimes service_;
+  ServicePool pool_;
+  Rng rng_;
+  std::unordered_map<ObjectId, Version> store_;
+  FullConfig config_;  // epno/cfno/current quorum state, from NEWEP messages
+  StorageNodeStats stats_;
+  bool crashed_ = false;
+};
+
+}  // namespace qopt::kv

@@ -1,0 +1,91 @@
+#include "kv/version_vector.hpp"
+
+#include <algorithm>
+
+namespace qopt::kv {
+
+std::uint64_t VersionVector::increment(std::uint32_t proxy) {
+  return ++counters_[proxy];
+}
+
+std::uint64_t VersionVector::counter(std::uint32_t proxy) const {
+  auto it = counters_.find(proxy);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+CausalOrder VersionVector::compare(const VersionVector& other) const {
+  bool some_less = false;   // some component of *this < other
+  bool some_greater = false;
+  auto mine = counters_.begin();
+  auto theirs = other.counters_.begin();
+  while (mine != counters_.end() || theirs != other.counters_.end()) {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    if (theirs == other.counters_.end() ||
+        (mine != counters_.end() && mine->first < theirs->first)) {
+      a = mine->second;
+      ++mine;
+    } else if (mine == counters_.end() || theirs->first < mine->first) {
+      b = theirs->second;
+      ++theirs;
+    } else {
+      a = mine->second;
+      b = theirs->second;
+      ++mine;
+      ++theirs;
+    }
+    some_less |= a < b;
+    some_greater |= a > b;
+  }
+  if (some_less && some_greater) return CausalOrder::kConcurrent;
+  if (some_less) return CausalOrder::kBefore;
+  if (some_greater) return CausalOrder::kAfter;
+  return CausalOrder::kEqual;
+}
+
+VersionVector VersionVector::merged(const VersionVector& other) const {
+  VersionVector out = *this;
+  for (const auto& [proxy, counter] : other.counters_) {
+    auto [it, inserted] = out.counters_.emplace(proxy, counter);
+    if (!inserted) it->second = std::max(it->second, counter);
+  }
+  return out;
+}
+
+bool VersionVector::totally_before(const VersionVector& other,
+                                   std::uint32_t my_proxy,
+                                   std::uint32_t other_proxy) const {
+  switch (compare(other)) {
+    case CausalOrder::kBefore:
+      return true;
+    case CausalOrder::kAfter:
+      return false;
+    case CausalOrder::kEqual:
+      return my_proxy < other_proxy;
+    case CausalOrder::kConcurrent:
+      break;
+  }
+  // Concurrent: any deterministic rule works as long as every node applies
+  // the same one. Use total event count, then the writer proxy id.
+  std::uint64_t my_sum = 0;
+  for (const auto& [proxy, counter] : counters_) my_sum += counter;
+  std::uint64_t other_sum = 0;
+  for (const auto& [proxy, counter] : other.counters_) {
+    other_sum += counter;
+  }
+  if (my_sum != other_sum) return my_sum < other_sum;
+  return my_proxy < other_proxy;
+}
+
+std::string VersionVector::to_string() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [proxy, counter] : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "p" + std::to_string(proxy) + ":" + std::to_string(counter);
+  }
+  return out + "}";
+}
+
+}  // namespace qopt::kv

@@ -1,0 +1,67 @@
+// Version vectors — the causal-ordering metadata the paper cites as the
+// alternative to globally synchronized clocks for totally ordering writes
+// (Section 2.1: "using a combination of causal ordering and proxy
+// identifiers (to order concurrent requests), e.g., based on vector clocks
+// [25] with commutative merge functions [11]").
+//
+// The simulator's data path uses the synchronized-clock scheme (a global
+// virtual clock exists anyway); this module provides the full vector-clock
+// substrate — comparison, increment, and the commutative merge — plus the
+// deterministic concurrent-write tie-break by proxy identifier, so a
+// deployment without synchronized clocks can swap its ordering layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace qopt::kv {
+
+enum class CausalOrder {
+  kEqual,
+  kBefore,      // this happens-before other
+  kAfter,       // other happens-before this
+  kConcurrent,  // neither dominates
+};
+
+class VersionVector {
+ public:
+  VersionVector() = default;
+
+  /// Records one more event at `proxy` (returns the new counter value).
+  std::uint64_t increment(std::uint32_t proxy);
+
+  std::uint64_t counter(std::uint32_t proxy) const;
+
+  CausalOrder compare(const VersionVector& other) const;
+  bool dominates(const VersionVector& other) const {
+    const CausalOrder order = compare(other);
+    return order == CausalOrder::kAfter || order == CausalOrder::kEqual;
+  }
+  bool concurrent_with(const VersionVector& other) const {
+    return compare(other) == CausalOrder::kConcurrent;
+  }
+
+  /// Commutative, associative, idempotent join: component-wise max. The
+  /// merge of two concurrent versions dominates both.
+  VersionVector merged(const VersionVector& other) const;
+
+  /// Deterministic total order refining causality: causal order where it
+  /// exists; concurrent versions are ordered by (sum of counters, then
+  /// lowest differing proxy's counter, then proxy id) — the "proxy
+  /// identifiers to order concurrent requests" rule.
+  bool totally_before(const VersionVector& other, std::uint32_t my_proxy,
+                      std::uint32_t other_proxy) const;
+
+  bool empty() const noexcept { return counters_.empty(); }
+  std::size_t size() const noexcept { return counters_.size(); }
+  std::string to_string() const;
+
+  friend bool operator==(const VersionVector&, const VersionVector&) =
+      default;
+
+ private:
+  std::map<std::uint32_t, std::uint64_t> counters_;
+};
+
+}  // namespace qopt::kv

@@ -1,0 +1,174 @@
+// Wire protocol: every message exchanged between clients, proxies, storage
+// nodes, the Reconfiguration Manager, and the Autonomic Manager.
+//
+// Message names follow the paper's pseudo-code (NEWQ, ACKNEWQ, CONFIRM,
+// ACKCONFIRM, NEWEP, ACKNEWEP, NACK, NEWROUND, ROUNDSTATS, NEWTOPK).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "kv/types.hpp"
+#include "util/time.hpp"
+
+namespace qopt::kv {
+
+// ---------------------------------------------------------------- clients
+
+struct ClientReadReq {
+  ObjectId oid = 0;
+  std::uint64_t req_id = 0;
+};
+
+struct ClientReadResp {
+  std::uint64_t req_id = 0;
+  bool found = false;
+  Version version;  // valid when found
+};
+
+struct ClientWriteReq {
+  ObjectId oid = 0;
+  std::uint64_t req_id = 0;
+  std::uint64_t value = 0;
+  std::uint64_t size_bytes = 0;
+};
+
+struct ClientWriteResp {
+  std::uint64_t req_id = 0;
+  Timestamp ts;  // version timestamp assigned by the proxy (etag-style)
+};
+
+// ------------------------------------------------------- proxy <-> storage
+
+struct StorageReadReq {
+  ObjectId oid = 0;
+  std::uint64_t op_id = 0;
+  std::uint64_t epno = 0;
+};
+
+struct StorageReadResp {
+  std::uint64_t op_id = 0;
+  bool found = false;
+  Version version;  // piggybacks the version's cfno (Algorithm 6, line 19)
+};
+
+struct StorageWriteReq {
+  ObjectId oid = 0;
+  std::uint64_t op_id = 0;
+  std::uint64_t epno = 0;
+  Version version;  // carries ts and the proxy's cfno tag
+};
+
+struct StorageWriteResp {
+  std::uint64_t op_id = 0;
+};
+
+/// Rejection of an operation issued in a stale epoch (Algorithm 6, line 13).
+/// Carries the full current configuration so the proxy resynchronizes in one
+/// step.
+struct EpochNack {
+  std::uint64_t op_id = 0;
+  FullConfig config;
+};
+
+// --------------------------------------------------------- RM <-> proxies
+
+struct NewQuorumMsg {  // NEWQ
+  std::uint64_t epno = 0;
+  std::uint64_t cfno = 0;
+  QuorumChange change;
+};
+
+struct AckNewQuorumMsg {  // ACKNEWQ
+  std::uint64_t epno = 0;
+  std::uint64_t cfno = 0;
+};
+
+struct ConfirmMsg {  // CONFIRM
+  std::uint64_t epno = 0;
+  std::uint64_t cfno = 0;
+};
+
+struct AckConfirmMsg {  // ACKCONFIRM
+  std::uint64_t epno = 0;
+  std::uint64_t cfno = 0;
+};
+
+// --------------------------------------------------------- RM <-> storage
+
+struct NewEpochMsg {  // NEWEP
+  FullConfig config;
+};
+
+struct AckNewEpochMsg {  // ACKNEWEP
+  std::uint64_t epno = 0;
+};
+
+// ------------------------------------------------------------- heartbeats
+
+/// Periodic liveness beacon from proxies to the control plane; feeds the
+/// heartbeat-based failure detector (suspicions then arise organically from
+/// the simulated network rather than from an omniscient oracle).
+struct HeartbeatMsg {
+  std::uint64_t seq = 0;
+};
+
+// --------------------------------------------------------- AM <-> proxies
+
+struct NewRoundMsg {  // NEWROUND
+  std::uint64_t round = 0;
+  Duration window = 0;  // proxy reports stats after this much virtual time
+};
+
+/// Per-object access profile reported for the monitored (top-k) set.
+struct ObjectStats {
+  ObjectId oid = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double avg_size_bytes = 0;
+};
+
+/// Aggregate profile of the non-individually-optimized tail.
+struct TailStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double avg_size_bytes = 0;
+
+  double write_ratio() const {
+    const double total = static_cast<double>(reads + writes);
+    return total > 0 ? static_cast<double>(writes) / total : 0.0;
+  }
+};
+
+struct TopKReport {
+  ObjectId oid = 0;
+  std::uint64_t count = 0;  // Space-Saving count upper bound
+  std::uint64_t error = 0;
+};
+
+struct RoundStatsMsg {  // ROUNDSTATS
+  std::uint64_t round = 0;
+  std::vector<TopKReport> topk;           // candidate hotspots this round
+  std::vector<ObjectStats> stats_topk;    // profiles of monitored objects
+  TailStats stats_tail;                   // aggregate tail profile
+  double throughput_ops = 0;              // ops/s during the window
+  double avg_latency_ms = 0;              // mean client-op latency
+};
+
+struct NewTopKMsg {  // NEWTOPK
+  std::uint64_t round = 0;
+  std::vector<ObjectId> monitored;  // objects to profile next round
+};
+
+// ------------------------------------------------------------------ union
+
+using Message =
+    std::variant<ClientReadReq, ClientReadResp, ClientWriteReq,
+                 ClientWriteResp, StorageReadReq, StorageReadResp,
+                 StorageWriteReq, StorageWriteResp, EpochNack, NewQuorumMsg,
+                 AckNewQuorumMsg, ConfirmMsg, AckConfirmMsg, NewEpochMsg,
+                 AckNewEpochMsg, NewRoundMsg, RoundStatsMsg, NewTopKMsg,
+                 HeartbeatMsg>;
+
+}  // namespace qopt::kv

@@ -1,0 +1,107 @@
+#include "ml/boosting.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace qopt::ml {
+
+namespace {
+
+/// Draws `n` indices with replacement, probability proportional to
+/// `weights` (inverse-CDF sampling over the cumulative weight vector).
+std::vector<std::size_t> weighted_bootstrap(const std::vector<double>& weights,
+                                            std::size_t n, Rng& rng) {
+  std::vector<double> cumulative(weights.size());
+  std::partial_sum(weights.begin(), weights.end(), cumulative.begin());
+  const double total = cumulative.back();
+  std::vector<std::size_t> sample;
+  sample.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = rng.next_double() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), u);
+    sample.push_back(
+        static_cast<std::size_t>(std::distance(cumulative.begin(), it)));
+  }
+  return sample;
+}
+
+}  // namespace
+
+void BoostedTrees::train(const Dataset& data, const BoostParams& params) {
+  if (data.empty()) throw std::invalid_argument("BoostedTrees: empty dataset");
+  trees_.clear();
+  alphas_.clear();
+  num_classes_ = data.num_classes();
+
+  const std::size_t n = data.size();
+  std::vector<double> weights(n, 1.0 / static_cast<double>(n));
+  Rng rng(params.seed);
+
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    DecisionTree tree;
+    if (round == 0) {
+      // The first round sees the untouched dataset (uniform weights).
+      tree.train(data, params.tree);
+    } else {
+      const std::vector<std::size_t> sample =
+          weighted_bootstrap(weights, n, rng);
+      tree.train(data.subset(sample), params.tree);
+    }
+
+    // Weighted training error on the full dataset.
+    double err = 0;
+    std::vector<bool> wrong(n, false);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (tree.predict(data.row(i)) != data.label(i)) {
+        wrong[i] = true;
+        err += weights[i];
+      }
+    }
+    if (err >= 0.5) {
+      // AdaBoost.M1 stopping rule: the weak learner is no better than
+      // chance on the reweighted distribution.
+      if (trees_.empty()) {
+        trees_.push_back(std::move(tree));
+        alphas_.push_back(1.0);
+      }
+      break;
+    }
+    const double bounded_err = std::max(err, 1e-9);
+    const double beta = bounded_err / (1.0 - bounded_err);
+    trees_.push_back(std::move(tree));
+    alphas_.push_back(std::log(1.0 / beta));
+    if (err <= 1e-12) break;  // perfect classifier: nothing left to boost
+
+    // Down-weight correctly classified examples, renormalize.
+    double total = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!wrong[i]) weights[i] *= beta;
+      total += weights[i];
+    }
+    for (double& w : weights) w /= total;
+  }
+}
+
+std::vector<double> BoostedTrees::predict_votes(
+    std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("BoostedTrees: untrained");
+  std::vector<double> votes(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t t = 0; t < trees_.size(); ++t) {
+    const int predicted = trees_[t].predict(features);
+    votes[static_cast<std::size_t>(predicted)] += alphas_[t];
+  }
+  return votes;
+}
+
+int BoostedTrees::predict(std::span<const double> features) const {
+  const std::vector<double> votes = predict_votes(features);
+  return static_cast<int>(std::distance(
+      votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+}  // namespace qopt::ml

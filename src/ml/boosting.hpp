@@ -1,0 +1,41 @@
+// AdaBoost.M1 over decision trees — the boosting that distinguishes C5.0
+// from its ancestor C4.5. Implemented with weighted resampling (each round
+// trains a tree on a bootstrap sample drawn proportionally to the current
+// example weights), which leaves the base learner unchanged.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace qopt::ml {
+
+struct BoostParams {
+  std::size_t rounds = 10;
+  TreeParams tree;
+  std::uint64_t seed = 7;  // resampling determinism
+};
+
+class BoostedTrees {
+ public:
+  void train(const Dataset& data, const BoostParams& params = {});
+
+  /// Weighted-vote prediction across the ensemble.
+  int predict(std::span<const double> features) const;
+
+  /// Per-class cumulative vote weights (unnormalized).
+  std::vector<double> predict_votes(std::span<const double> features) const;
+
+  bool trained() const noexcept { return !trees_.empty(); }
+  std::size_t rounds_used() const noexcept { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+  std::vector<double> alphas_;
+  int num_classes_ = 0;
+};
+
+}  // namespace qopt::ml

@@ -1,0 +1,62 @@
+#include "ml/cross_validation.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace qopt::ml {
+
+namespace detail {
+std::vector<std::size_t> shuffled_indices(std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_below(i)]);
+  }
+  return order;
+}
+}  // namespace detail
+
+CvResult cross_validate(const Dataset& data, std::size_t folds,
+                        const TreeParams& params, std::uint64_t seed) {
+  if (folds < 2) throw std::invalid_argument("cross_validate: folds < 2");
+  if (data.size() < folds) {
+    throw std::invalid_argument("cross_validate: fewer rows than folds");
+  }
+
+  const std::vector<std::size_t> order =
+      detail::shuffled_indices(data.size(), seed);
+
+  CvResult result;
+  const auto classes = static_cast<std::size_t>(data.num_classes());
+  result.confusion.assign(classes, std::vector<std::size_t>(classes, 0));
+
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      (i % folds == fold ? test_rows : train_rows).push_back(order[i]);
+    }
+    DecisionTree tree;
+    tree.train(data.subset(train_rows), params);
+    for (std::size_t r : test_rows) {
+      const int predicted = tree.predict(data.row(r));
+      const int actual = data.label(r);
+      ++result.total;
+      if (predicted == actual) ++result.correct;
+      if (std::abs(predicted - actual) <= 1) ++result.within_one;
+      if (static_cast<std::size_t>(actual) < classes &&
+          static_cast<std::size_t>(predicted) < classes) {
+        ++result.confusion[static_cast<std::size_t>(actual)]
+                          [static_cast<std::size_t>(predicted)];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace qopt::ml

@@ -1,0 +1,79 @@
+// k-fold cross-validation for the Oracle's classifier, used both by tests
+// and by the oracle-accuracy benchmark (Eval-D in DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace qopt::ml {
+
+struct CvResult {
+  std::size_t total = 0;
+  std::size_t correct = 0;            // exact class match
+  std::size_t within_one = 0;         // |predicted - actual| <= 1
+  std::vector<std::vector<std::size_t>> confusion;  // [actual][predicted]
+
+  double accuracy() const {
+    return total ? static_cast<double>(correct) / static_cast<double>(total)
+                 : 0.0;
+  }
+  double within_one_accuracy() const {
+    return total
+               ? static_cast<double>(within_one) / static_cast<double>(total)
+               : 0.0;
+  }
+};
+
+/// Runs k-fold cross-validation with a deterministic shuffle.
+CvResult cross_validate(const Dataset& data, std::size_t folds,
+                        const TreeParams& params = {},
+                        std::uint64_t seed = 42);
+
+namespace detail {
+/// Deterministic shuffled index order shared by all CV variants.
+std::vector<std::size_t> shuffled_indices(std::size_t n, std::uint64_t seed);
+}  // namespace detail
+
+/// Generic k-fold cross-validation over any model with
+/// `train(Dataset, Params)` and `int predict(span<const double>)`
+/// (DecisionTree, BoostedTrees, ...).
+template <typename Model, typename Params>
+CvResult cross_validate_model(const Dataset& data, std::size_t folds,
+                              const Params& params, std::uint64_t seed = 42) {
+  if (folds < 2 || data.size() < folds) {
+    throw std::invalid_argument("cross_validate_model: bad folds/rows");
+  }
+  const std::vector<std::size_t> order =
+      detail::shuffled_indices(data.size(), seed);
+  CvResult result;
+  const auto classes = static_cast<std::size_t>(data.num_classes());
+  result.confusion.assign(classes, std::vector<std::size_t>(classes, 0));
+  for (std::size_t fold = 0; fold < folds; ++fold) {
+    std::vector<std::size_t> train_rows;
+    std::vector<std::size_t> test_rows;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      (i % folds == fold ? test_rows : train_rows).push_back(order[i]);
+    }
+    Model model;
+    model.train(data.subset(train_rows), params);
+    for (std::size_t r : test_rows) {
+      const int predicted = model.predict(data.row(r));
+      const int actual = data.label(r);
+      ++result.total;
+      if (predicted == actual) ++result.correct;
+      if (predicted - actual <= 1 && actual - predicted <= 1) {
+        ++result.within_one;
+      }
+      ++result.confusion[static_cast<std::size_t>(actual)]
+                        [static_cast<std::size_t>(predicted)];
+    }
+  }
+  return result;
+}
+
+}  // namespace qopt::ml

@@ -1,0 +1,37 @@
+#include "ml/dataset.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace qopt::ml {
+
+Dataset::Dataset(std::vector<std::string> feature_names)
+    : feature_names_(std::move(feature_names)) {}
+
+void Dataset::add_row(std::span<const double> features, int label) {
+  if (features.size() != num_features()) {
+    throw std::invalid_argument("Dataset::add_row: feature arity mismatch");
+  }
+  if (label < 0) {
+    throw std::invalid_argument("Dataset::add_row: negative label");
+  }
+  values_.insert(values_.end(), features.begin(), features.end());
+  labels_.push_back(label);
+  if (label + 1 > num_classes_) num_classes_ = label + 1;
+}
+
+void Dataset::add_row(std::initializer_list<double> features, int label) {
+  add_row(std::span<const double>(features.begin(), features.size()), label);
+}
+
+std::span<const double> Dataset::row(std::size_t i) const {
+  return {values_.data() + i * num_features(), num_features()};
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(feature_names_);
+  for (std::size_t i : indices) out.add_row(row(i), label(i));
+  return out;
+}
+
+}  // namespace qopt::ml

@@ -1,0 +1,46 @@
+// Tabular dataset for the Oracle's decision-tree learner: numeric features,
+// integer class labels (for Q-OPT, the label is the optimal write-quorum
+// size of a workload).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace qopt::ml {
+
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(std::vector<std::string> feature_names);
+
+  void add_row(std::span<const double> features, int label);
+  void add_row(std::initializer_list<double> features, int label);
+
+  std::size_t size() const noexcept { return labels_.size(); }
+  bool empty() const noexcept { return labels_.empty(); }
+  std::size_t num_features() const noexcept { return feature_names_.size(); }
+  int num_classes() const noexcept { return num_classes_; }
+
+  std::span<const double> row(std::size_t i) const;
+  int label(std::size_t i) const { return labels_[i]; }
+  double feature(std::size_t row, std::size_t col) const {
+    return values_[row * num_features() + col];
+  }
+
+  const std::vector<std::string>& feature_names() const noexcept {
+    return feature_names_;
+  }
+
+  /// Sub-dataset containing the given row indices (used for CV folds).
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+ private:
+  std::vector<std::string> feature_names_;
+  std::vector<double> values_;  // row-major
+  std::vector<int> labels_;
+  int num_classes_ = 0;
+};
+
+}  // namespace qopt::ml

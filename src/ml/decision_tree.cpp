@@ -1,0 +1,371 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace qopt::ml {
+
+namespace {
+
+double entropy(std::span<const double> counts, double total) {
+  if (total <= 0) return 0.0;
+  double h = 0.0;
+  for (double c : counts) {
+    if (c > 0) {
+      const double p = c / total;
+      h -= p * std::log2(p);
+    }
+  }
+  return h;
+}
+
+/// C4.5 pessimistic upper bound on the error rate of a leaf that misclassifies
+/// e of n examples, at normal deviate z (Witten & Frank's formulation of
+/// Quinlan's estimate).
+double pessimistic_error_rate(double e, double n, double z) {
+  if (n <= 0) return 0.0;
+  const double f = e / n;
+  const double z2 = z * z;
+  const double numerator =
+      f + z2 / (2 * n) + z * std::sqrt(f / n - f * f / n + z2 / (4 * n * n));
+  return std::min(1.0, numerator / (1 + z2 / n));
+}
+
+/// Inverse standard-normal CDF upper-tail deviate for confidence `cf`
+/// (Acklam-style rational approximation is overkill; the CF range used in
+/// practice is narrow, so use Beasley-Springer-Moro).
+double normal_deviate(double cf) {
+  // We need z such that P(Z > z) = cf, i.e. quantile(1 - cf).
+  const double p = 1.0 - std::clamp(cf, 1e-6, 0.5);
+  // Beasley-Springer-Moro approximation of the normal quantile.
+  static const double a[] = {2.50662823884, -18.61500062529, 41.39119773534,
+                             -25.44106049637};
+  static const double b[] = {-8.47351093090, 23.08336743743, -21.06224101826,
+                             3.13082909833};
+  static const double c[] = {0.3374754822726147, 0.9761690190917186,
+                             0.1607979714918209, 0.0276438810333863,
+                             0.0038405729373609, 0.0003951896511919,
+                             0.0000321767881768, 0.0000002888167364,
+                             0.0000003960315187};
+  const double y = p - 0.5;
+  if (std::abs(y) < 0.42) {
+    const double r = y * y;
+    return y * (((a[3] * r + a[2]) * r + a[1]) * r + a[0]) /
+           ((((b[3] * r + b[2]) * r + b[1]) * r + b[0]) * r + 1.0);
+  }
+  double r = p > 0.5 ? 1.0 - p : p;
+  r = std::log(-std::log(r));
+  double x = c[0];
+  double rp = 1.0;
+  for (int i = 1; i < 9; ++i) {
+    rp *= r;
+    x += c[i] * rp;
+  }
+  return p > 0.5 ? x : -x;
+}
+
+}  // namespace
+
+void DecisionTree::train(const Dataset& data, const TreeParams& params) {
+  if (data.empty()) throw std::invalid_argument("DecisionTree: empty dataset");
+  nodes_.clear();
+  num_classes_ = data.num_classes();
+  std::vector<std::size_t> rows(data.size());
+  std::iota(rows.begin(), rows.end(), 0);
+  root_ = build(data, rows, 0, params);
+  if (params.prune) {
+    const double z = normal_deviate(params.pruning_confidence);
+    prune_subtree(root_, z);
+  }
+}
+
+int DecisionTree::make_leaf(const Dataset& data,
+                            std::span<const std::size_t> rows) {
+  Node node;
+  node.class_counts.assign(static_cast<std::size_t>(num_classes_), 0.0);
+  for (std::size_t r : rows) {
+    node.class_counts[static_cast<std::size_t>(data.label(r))] += 1.0;
+  }
+  node.label = static_cast<int>(std::distance(
+      node.class_counts.begin(),
+      std::max_element(node.class_counts.begin(), node.class_counts.end())));
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+DecisionTree::SplitChoice DecisionTree::choose_split(
+    const Dataset& data, std::span<const std::size_t> rows,
+    const TreeParams& params) const {
+  const double total = static_cast<double>(rows.size());
+  std::vector<double> parent_counts(static_cast<std::size_t>(num_classes_),
+                                    0.0);
+  for (std::size_t r : rows) {
+    parent_counts[static_cast<std::size_t>(data.label(r))] += 1.0;
+  }
+  const double parent_entropy = entropy(parent_counts, total);
+  if (parent_entropy <= 0) return {};
+
+  struct Candidate {
+    int feature;
+    double threshold;
+    double gain;
+    double gain_ratio;
+  };
+  std::vector<Candidate> candidates;
+
+  std::vector<std::size_t> order(rows.begin(), rows.end());
+  std::vector<double> left_counts(static_cast<std::size_t>(num_classes_));
+
+  for (std::size_t f = 0; f < data.num_features(); ++f) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return data.feature(a, f) < data.feature(b, f);
+    });
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    Candidate best{-1, 0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+      left_counts[static_cast<std::size_t>(data.label(order[i]))] += 1.0;
+      const double v = data.feature(order[i], f);
+      const double v_next = data.feature(order[i + 1], f);
+      if (v == v_next) continue;  // no boundary between equal values
+      const auto n_left = static_cast<double>(i + 1);
+      const double n_right = total - n_left;
+      if (n_left < static_cast<double>(params.min_leaf) ||
+          n_right < static_cast<double>(params.min_leaf)) {
+        continue;
+      }
+      double h_left = entropy(left_counts, n_left);
+      double h_right;
+      {
+        // right counts = parent - left
+        double hr = 0.0;
+        for (std::size_t c = 0; c < left_counts.size(); ++c) {
+          const double rc = parent_counts[c] - left_counts[c];
+          if (rc > 0) {
+            const double p = rc / n_right;
+            hr -= p * std::log2(p);
+          }
+        }
+        h_right = hr;
+      }
+      const double gain = parent_entropy - (n_left / total) * h_left -
+                          (n_right / total) * h_right;
+      if (gain <= 1e-12) continue;
+      const double pl = n_left / total;
+      const double pr = n_right / total;
+      const double split_info = -pl * std::log2(pl) - pr * std::log2(pr);
+      const double ratio = split_info > 1e-12 ? gain / split_info : 0.0;
+      if (ratio > best.gain_ratio) {
+        best = Candidate{static_cast<int>(f), (v + v_next) / 2.0, gain,
+                         ratio};
+      }
+    }
+    if (best.feature >= 0) candidates.push_back(best);
+  }
+
+  if (candidates.empty()) return {};
+  // C4.5 heuristic: restrict to candidates with at least average gain, then
+  // maximize gain ratio (prevents the ratio favouring near-trivial splits).
+  double mean_gain = 0.0;
+  for (const Candidate& c : candidates) mean_gain += c.gain;
+  mean_gain /= static_cast<double>(candidates.size());
+
+  const Candidate* chosen = nullptr;
+  for (const Candidate& c : candidates) {
+    if (c.gain + 1e-12 >= mean_gain &&
+        (!chosen || c.gain_ratio > chosen->gain_ratio)) {
+      chosen = &c;
+    }
+  }
+  if (!chosen) return {};
+  return SplitChoice{chosen->feature, chosen->threshold, chosen->gain_ratio};
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& rows,
+                        int depth, const TreeParams& params) {
+  const bool pure = std::all_of(rows.begin(), rows.end(), [&](std::size_t r) {
+    return data.label(r) == data.label(rows.front());
+  });
+  if (pure || rows.size() < params.min_split || depth >= params.max_depth) {
+    return make_leaf(data, rows);
+  }
+  const SplitChoice split = choose_split(data, rows, params);
+  if (!split.valid()) return make_leaf(data, rows);
+
+  std::vector<std::size_t> left_rows;
+  std::vector<std::size_t> right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (std::size_t r : rows) {
+    const auto col = static_cast<std::size_t>(split.feature);
+    (data.feature(r, col) <= split.threshold ? left_rows : right_rows)
+        .push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return make_leaf(data, rows);
+
+  // Materialize this node's class counts before recursing (leaf helper
+  // computes them for children).
+  const int node_index = make_leaf(data, rows);
+  const int left = build(data, left_rows, depth + 1, params);
+  const int right = build(data, right_rows, depth + 1, params);
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  node.feature = split.feature;
+  node.threshold = split.threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+double DecisionTree::prune_subtree(int node_index, double z) {
+  Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  const double n = std::accumulate(node.class_counts.begin(),
+                                   node.class_counts.end(), 0.0);
+  const double errors_as_leaf =
+      n - node.class_counts[static_cast<std::size_t>(node.label)];
+  const double leaf_estimate = n * pessimistic_error_rate(errors_as_leaf, n, z);
+  if (node.feature < 0) return leaf_estimate;
+
+  const double subtree_estimate =
+      prune_subtree(node.left, z) + prune_subtree(node.right, z);
+  if (leaf_estimate <= subtree_estimate + 0.1) {
+    // Collapse: the subtree's children become unreachable (kept in the pool;
+    // acceptable for an in-memory model built once per training run).
+    node.feature = -1;
+    node.left = node.right = -1;
+    return leaf_estimate;
+  }
+  return subtree_estimate;
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("DecisionTree::predict: untrained");
+  int idx = root_;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.feature < 0) return node.label;
+    const auto f = static_cast<std::size_t>(node.feature);
+    idx = features[f] <= node.threshold ? node.left : node.right;
+  }
+}
+
+std::vector<double> DecisionTree::predict_distribution(
+    std::span<const double> features) const {
+  if (!trained()) throw std::logic_error("DecisionTree: untrained");
+  int idx = root_;
+  for (;;) {
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.feature < 0) return node.class_counts;
+    const auto f = static_cast<std::size_t>(node.feature);
+    idx = features[f] <= node.threshold ? node.left : node.right;
+  }
+}
+
+std::size_t DecisionTree::leaf_count() const {
+  // Count leaves reachable from the root (pruning can orphan nodes).
+  std::size_t leaves = 0;
+  std::vector<int> stack{root_};
+  while (!stack.empty()) {
+    const int idx = stack.back();
+    stack.pop_back();
+    if (idx < 0) continue;
+    const Node& node = nodes_[static_cast<std::size_t>(idx)];
+    if (node.feature < 0) {
+      ++leaves;
+    } else {
+      stack.push_back(node.left);
+      stack.push_back(node.right);
+    }
+  }
+  return leaves;
+}
+
+int DecisionTree::depth_of(int node_index) const {
+  if (node_index < 0) return 0;
+  const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  if (node.feature < 0) return 1;
+  return 1 + std::max(depth_of(node.left), depth_of(node.right));
+}
+
+int DecisionTree::depth() const { return trained() ? depth_of(root_) : 0; }
+
+void DecisionTree::print_node(int node_index, int indent,
+                              const std::vector<std::string>& names,
+                              std::string& out) const {
+  const Node& node = nodes_[static_cast<std::size_t>(node_index)];
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (node.feature < 0) {
+    out += pad + "=> class " + std::to_string(node.label) + "\n";
+    return;
+  }
+  const auto f = static_cast<std::size_t>(node.feature);
+  const std::string name =
+      f < names.size() ? names[f] : "f" + std::to_string(f);
+  std::ostringstream thr;
+  thr << node.threshold;
+  out += pad + name + " <= " + thr.str() + ":\n";
+  print_node(node.left, indent + 1, names, out);
+  out += pad + name + " > " + thr.str() + ":\n";
+  print_node(node.right, indent + 1, names, out);
+}
+
+std::string DecisionTree::to_string(
+    const std::vector<std::string>& feature_names) const {
+  if (!trained()) return "<untrained>";
+  std::string out;
+  print_node(root_, 0, feature_names, out);
+  return out;
+}
+
+std::string DecisionTree::serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "qopt-dtree 1 " << num_classes_ << ' ' << root_ << ' '
+      << nodes_.size() << '\n';
+  for (const Node& node : nodes_) {
+    out << node.feature << ' ' << node.threshold << ' ' << node.left << ' '
+        << node.right << ' ' << node.label << ' ' << node.class_counts.size();
+    for (double c : node.class_counts) out << ' ' << c;
+    out << '\n';
+  }
+  return out.str();
+}
+
+DecisionTree DecisionTree::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string magic;
+  int version = 0;
+  DecisionTree tree;
+  std::size_t node_count = 0;
+  in >> magic >> version >> tree.num_classes_ >> tree.root_ >> node_count;
+  if (magic != "qopt-dtree" || version != 1 || !in) {
+    throw std::invalid_argument("DecisionTree::deserialize: bad header");
+  }
+  tree.nodes_.resize(node_count);
+  for (Node& node : tree.nodes_) {
+    std::size_t counts = 0;
+    in >> node.feature >> node.threshold >> node.left >> node.right >>
+        node.label >> counts;
+    node.class_counts.resize(counts);
+    for (double& c : node.class_counts) in >> c;
+  }
+  if (!in) {
+    throw std::invalid_argument("DecisionTree::deserialize: truncated");
+  }
+  // Structural validation: child indices in range, root valid.
+  const auto in_range = [&](int idx) {
+    return idx >= 0 && static_cast<std::size_t>(idx) < node_count;
+  };
+  if (node_count == 0 || !in_range(tree.root_)) {
+    throw std::invalid_argument("DecisionTree::deserialize: bad root");
+  }
+  for (const Node& node : tree.nodes_) {
+    if (node.feature >= 0 && (!in_range(node.left) || !in_range(node.right))) {
+      throw std::invalid_argument("DecisionTree::deserialize: bad child");
+    }
+  }
+  return tree;
+}
+
+}  // namespace qopt::ml

@@ -1,0 +1,91 @@
+// Decision-tree classifier in the C4.5/C5.0 family.
+//
+// Q-OPT's Oracle uses "a decision-tree classifier based on the C5.0
+// algorithm [34]" as a black-box predictor of the optimal write-quorum size.
+// C5.0 itself is proprietary; this is its direct ancestor C4.5 for numeric
+// attributes: binary threshold splits chosen by gain ratio (among splits
+// whose information gain is at least the average positive gain, as in
+// Quinlan's formulation), with pessimistic error-based pruning at the C4.5
+// default confidence factor.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace qopt::ml {
+
+struct TreeParams {
+  std::size_t min_leaf = 2;     // minimum examples on each side of a split
+  std::size_t min_split = 4;    // minimum examples to attempt a split
+  int max_depth = 32;
+  bool prune = true;
+  double pruning_confidence = 0.25;  // C4.5's default CF
+};
+
+class DecisionTree {
+ public:
+  /// Fits the tree; replaces any previous model.
+  void train(const Dataset& data, const TreeParams& params = {});
+
+  /// Predicts a class label; must be trained first.
+  int predict(std::span<const double> features) const;
+
+  /// Per-class vote distribution at the reached leaf (sums to the number of
+  /// training examples at that leaf). Used to expose prediction confidence.
+  std::vector<double> predict_distribution(
+      std::span<const double> features) const;
+
+  bool trained() const noexcept { return !nodes_.empty(); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t leaf_count() const;
+  int depth() const;
+
+  /// Pretty-prints the tree using the dataset's feature names.
+  std::string to_string(const std::vector<std::string>& feature_names) const;
+
+  /// Compact line-oriented model persistence (train once, deploy the model
+  /// file with the Oracle). Round-trips exactly.
+  std::string serialize() const;
+  static DecisionTree deserialize(const std::string& text);
+
+ private:
+  struct Node {
+    // feature < 0 => leaf.
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;   // feature value <= threshold
+    int right = -1;  // feature value >  threshold
+    int label = 0;   // majority class (valid for every node)
+    std::vector<double> class_counts;
+  };
+
+  struct SplitChoice {
+    int feature = -1;
+    double threshold = 0.0;
+    double gain_ratio = 0.0;
+    bool valid() const noexcept { return feature >= 0; }
+  };
+
+  int build(const Dataset& data, std::vector<std::size_t>& rows, int depth,
+            const TreeParams& params);
+  SplitChoice choose_split(const Dataset& data,
+                           std::span<const std::size_t> rows,
+                           const TreeParams& params) const;
+  int make_leaf(const Dataset& data, std::span<const std::size_t> rows);
+  /// Error-based pruning; returns the subtree's estimated error count.
+  double prune_subtree(int node_index, double z);
+  int depth_of(int node_index) const;
+  void print_node(int node_index, int indent,
+                  const std::vector<std::string>& names,
+                  std::string& out) const;
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+  int num_classes_ = 0;
+};
+
+}  // namespace qopt::ml

@@ -1,0 +1,66 @@
+#include "oracle/oracle.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace qopt::oracle {
+
+const std::vector<std::string>& WorkloadFeatures::names() {
+  static const std::vector<std::string> kNames = {
+      "write_ratio", "avg_size_kib", "ops_per_sec"};
+  return kNames;
+}
+
+int clamp_write_quorum(int w, const QuorumConstraints& constraints,
+                       int replication) {
+  const int max_write =
+      constraints.max_write > 0 ? constraints.max_write : replication;
+  const int max_read =
+      constraints.max_read > 0 ? constraints.max_read : replication;
+  // Read-side constraints translate to write-side bounds through
+  // R = N - W + 1:  min_read <= N - W + 1 <= max_read.
+  int lo = std::max(constraints.min_write, replication + 1 - max_read);
+  int hi = std::min(max_write, replication + 1 - constraints.min_read);
+  lo = std::clamp(lo, 1, replication);
+  hi = std::clamp(hi, 1, replication);
+  if (lo > hi) {
+    throw std::invalid_argument(
+        "clamp_write_quorum: constraints admit no feasible quorum");
+  }
+  return std::clamp(w, lo, hi);
+}
+
+int LinearRuleOracle::predict_write_quorum(const WorkloadFeatures& features) {
+  // Write-heavy -> small W; read-heavy -> large W. Linear in write ratio.
+  const double fraction = 1.0 - std::clamp(features.write_ratio, 0.0, 1.0);
+  const int w =
+      1 + static_cast<int>(std::lround(fraction * (replication_ - 1)));
+  return std::clamp(w, 1, replication_);
+}
+
+void TreeOracle::train(const ml::Dataset& data, const ml::TreeParams& params) {
+  tree_.train(data, params);
+}
+
+int TreeOracle::predict_write_quorum(const WorkloadFeatures& features) {
+  if (!tree_.trained()) {
+    throw std::logic_error("TreeOracle: predict before train");
+  }
+  const std::vector<double> row = features.to_vector();
+  return std::clamp(tree_.predict(row), 1, replication_);
+}
+
+void BoostedOracle::train(const ml::Dataset& data,
+                          const ml::BoostParams& params) {
+  ensemble_.train(data, params);
+}
+
+int BoostedOracle::predict_write_quorum(const WorkloadFeatures& features) {
+  if (!ensemble_.trained()) {
+    throw std::logic_error("BoostedOracle: predict before train");
+  }
+  const std::vector<double> row = features.to_vector();
+  return std::clamp(ensemble_.predict(row), 1, replication_);
+}
+
+}  // namespace qopt::oracle

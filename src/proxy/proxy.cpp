@@ -1,0 +1,548 @@
+#include "proxy/proxy.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace qopt::proxy {
+
+using kv::Message;
+using kv::ObjectId;
+using kv::QuorumConfig;
+using kv::Version;
+
+Proxy::Proxy(sim::Simulator& sim, Net& net, sim::NodeId self,
+             const kv::Placement& placement, const ProxyOptions& options)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      placement_(placement),
+      options_(options),
+      pool_(options.servers),
+      default_q_(options.initial),
+      summary_(options.topk_capacity) {
+  read_q_history_[0] = default_q_.read_q;
+}
+
+void Proxy::crash() {
+  crashed_ = true;
+  net_.set_crashed(self_);
+  ops_.clear();
+}
+
+void Proxy::enable_heartbeats(sim::NodeId target, Duration interval) {
+  if (!crashed_ && !heartbeats_paused_) {
+    net_.send(self_, target, kv::HeartbeatMsg{++heartbeat_seq_});
+  }
+  sim_.after(interval, [this, target, interval] {
+    if (crashed_) return;
+    enable_heartbeats(target, interval);
+  });
+}
+
+// ---------------------------------------------------------------- quorums
+
+QuorumConfig Proxy::base_quorum(ObjectId oid) const {
+  auto it = overrides_.find(oid);
+  return it != overrides_.end() ? it->second : default_q_;
+}
+
+QuorumConfig Proxy::pending_quorum(ObjectId oid) const {
+  // The quorum `oid` will have once the pending change commits.
+  if (pending_change_.is_global) {
+    auto it = overrides_.find(oid);
+    return it != overrides_.end() ? it->second : pending_change_.global;
+  }
+  for (const auto& [changed_oid, q] : pending_change_.overrides) {
+    if (changed_oid == oid) return q;
+  }
+  return base_quorum(oid);
+}
+
+QuorumConfig Proxy::effective_quorum(ObjectId oid) const {
+  const QuorumConfig base = base_quorum(oid);
+  if (!in_transition_) return base;
+  return kv::transition(base, pending_quorum(oid));
+}
+
+int Proxy::current_max_read_q() const {
+  int max_r = default_q_.read_q;
+  for (const auto& [oid, q] : overrides_) max_r = std::max(max_r, q.read_q);
+  return max_r;
+}
+
+void Proxy::record_history(std::uint64_t cfno, int max_read_q) {
+  auto [it, inserted] = read_q_history_.emplace(cfno, max_read_q);
+  if (!inserted) it->second = std::max(it->second, max_read_q);
+}
+
+int Proxy::max_read_q_since(std::uint64_t cfno) const {
+  // max over configurations in [cfno, lcfno_]; the map holds every installed
+  // configuration this proxy knows about (gaps are filled by FullConfig
+  // resynchronization).
+  int max_r = 1;
+  for (auto it = read_q_history_.lower_bound(cfno);
+       it != read_q_history_.end(); ++it) {
+    max_r = std::max(max_r, it->second);
+  }
+  return max_r;
+}
+
+// ------------------------------------------------------------- dispatcher
+
+void Proxy::on_message(const sim::NodeId& from, const Message& msg) {
+  if (crashed_) return;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, kv::ClientReadReq>) {
+          handle_client_read(from, m);
+        } else if constexpr (std::is_same_v<T, kv::ClientWriteReq>) {
+          handle_client_write(from, m);
+        } else if constexpr (std::is_same_v<T, kv::StorageReadResp>) {
+          handle_read_reply(m);
+        } else if constexpr (std::is_same_v<T, kv::StorageWriteResp>) {
+          handle_write_reply(m);
+        } else if constexpr (std::is_same_v<T, kv::EpochNack>) {
+          handle_nack(m);
+        } else if constexpr (std::is_same_v<T, kv::NewQuorumMsg>) {
+          handle_new_quorum(from, m);
+        } else if constexpr (std::is_same_v<T, kv::ConfirmMsg>) {
+          handle_confirm(from, m);
+        } else if constexpr (std::is_same_v<T, kv::NewRoundMsg>) {
+          handle_new_round(from, m);
+        } else if constexpr (std::is_same_v<T, kv::NewTopKMsg>) {
+          handle_new_topk(m);
+        }
+      },
+      msg);
+}
+
+// --------------------------------------------------------- client entries
+
+void Proxy::handle_client_read(const sim::NodeId& from,
+                               const kv::ClientReadReq& req) {
+  ++stats_.client_reads;
+  const Time arrival = sim_.now();
+  const Time ready = pool_.submit(arrival, options_.op_cost);
+  sim_.at(ready, [this, from, req, arrival] {
+    if (crashed_) return;
+    start_read(req.oid, from, req.req_id, arrival);
+  });
+}
+
+void Proxy::handle_client_write(const sim::NodeId& from,
+                                const kv::ClientWriteReq& req) {
+  ++stats_.client_writes;
+  const Time arrival = sim_.now();
+  const Time ready = pool_.submit(arrival, options_.op_cost);
+  sim_.at(ready, [this, from, req, arrival] {
+    if (crashed_) return;
+    Version version;
+    version.ts = kv::Timestamp{sim_.now(), self_.index, ++write_seq_};
+    version.cfno = lcfno_;
+    version.value = req.value;
+    version.size_bytes = req.size_bytes;
+    start_write(req.oid, version, from, req.req_id, arrival,
+                PendingOp::Kind::kWrite);
+  });
+}
+
+void Proxy::start_read(ObjectId oid, sim::NodeId client,
+                       std::uint64_t client_req, Time start_time) {
+  const std::uint64_t op_id = next_op_id_++;
+  PendingOp op;
+  op.kind = PendingOp::Kind::kRead;
+  op.oid = oid;
+  op.client = client;
+  op.client_req = client_req;
+  op.start_time = start_time;
+  ops_.emplace(op_id, std::move(op));
+  launch_op(op_id);
+}
+
+void Proxy::start_write(ObjectId oid, Version version, sim::NodeId client,
+                        std::uint64_t client_req, Time start_time,
+                        PendingOp::Kind kind) {
+  const std::uint64_t op_id = next_op_id_++;
+  PendingOp op;
+  op.kind = kind;
+  op.oid = oid;
+  op.client = client;
+  op.client_req = client_req;
+  op.write_version = version;
+  op.start_time = start_time;
+  ops_.emplace(op_id, std::move(op));
+  launch_op(op_id);
+}
+
+void Proxy::launch_op(std::uint64_t op_id) {
+  PendingOp& op = ops_.at(op_id);
+  op.epno_used = lepno_;
+  op.received = 0;
+  op.contacted = 0;
+  op.any_found = false;
+  op.repair = false;
+  op.replica_order = placement_.replicas(op.oid);
+  // Load balancing: rotate the replica list by a hash of the proxy
+  // identifier (Section 2.1) so different proxies spread load over
+  // different quorum subsets.
+  const std::size_t n = op.replica_order.size();
+  std::rotate(op.replica_order.begin(),
+              op.replica_order.begin() +
+                  static_cast<long>(mix64(self_.index) % n),
+              op.replica_order.end());
+  const QuorumConfig q = effective_quorum(op.oid);
+  op.needed = op.kind == PendingOp::Kind::kRead ? q.read_q : q.write_q;
+  contact_replicas(op_id, op, op.needed);
+  arm_fallback(op_id);
+}
+
+void Proxy::contact_replicas(std::uint64_t op_id, PendingOp& op, int upto) {
+  const int limit =
+      std::min(upto, static_cast<int>(op.replica_order.size()));
+  for (; op.contacted < limit; ++op.contacted) {
+    const sim::NodeId target =
+        sim::storage_id(op.replica_order[static_cast<std::size_t>(
+            op.contacted)]);
+    if (op.kind == PendingOp::Kind::kRead) {
+      net_.send(self_, target,
+                kv::StorageReadReq{op.oid, op_id, op.epno_used});
+    } else {
+      net_.send(self_, target,
+                kv::StorageWriteReq{op.oid, op_id, op.epno_used,
+                                    op.write_version});
+    }
+  }
+}
+
+void Proxy::arm_fallback(std::uint64_t op_id) {
+  // "If, after a timeout period, some replies are missing, the request is
+  //  sent to the remaining replicas until the desired quorum is ensured"
+  // (Section 2.1). Rare path, taken mainly under storage failures.
+  sim_.after(options_.fallback_timeout, [this, op_id] {
+    if (crashed_) return;
+    auto it = ops_.find(op_id);
+    if (it == ops_.end()) return;
+    PendingOp& op = it->second;
+    if (op.received >= op.needed) return;
+    if (op.contacted >= static_cast<int>(op.replica_order.size())) return;
+    ++stats_.fallbacks;
+    contact_replicas(op_id, op, static_cast<int>(op.replica_order.size()));
+  });
+}
+
+// --------------------------------------------------------- storage replies
+
+void Proxy::handle_read_reply(const kv::StorageReadResp& resp) {
+  auto it = ops_.find(resp.op_id);
+  if (it == ops_.end()) return;  // stale attempt or already completed
+  PendingOp& op = it->second;
+  ++op.received;
+  if (resp.found &&
+      (!op.any_found || resp.version.ts > op.best.ts ||
+       (resp.version.ts == op.best.ts && resp.version.cfno > op.best.cfno))) {
+    op.best = resp.version;
+    op.any_found = true;
+  }
+  maybe_complete_read(resp.op_id);
+}
+
+void Proxy::maybe_complete_read(std::uint64_t op_id) {
+  PendingOp& op = ops_.at(op_id);
+  if (op.received < op.needed) return;
+
+  if (!op.repair && op.any_found && op.best.cfno < lcfno_) {
+    // Algorithm 4 lines 10-17: the freshest version was created under an
+    // older configuration; if any configuration installed since used a
+    // larger read quorum, re-read with that quorum to guarantee
+    // intersection with the writing quorum.
+    const int old_r = max_read_q_since(op.best.cfno);
+    if (old_r > op.needed) {
+      op.repair = true;
+      op.needed = old_r;
+      ++stats_.repair_reads;
+      if (op.received < op.needed) {
+        contact_replicas(op_id, op, op.needed);
+        arm_fallback(op_id);
+        return;
+      }
+      // Fallback already contacted enough replicas; complete below.
+    }
+  }
+  finish_op(op_id, op);
+}
+
+void Proxy::handle_write_reply(const kv::StorageWriteResp& resp) {
+  auto it = ops_.find(resp.op_id);
+  if (it == ops_.end()) return;
+  PendingOp& op = it->second;
+  ++op.received;
+  if (op.received >= op.needed) finish_op(resp.op_id, op);
+}
+
+void Proxy::handle_nack(const kv::EpochNack& nack) {
+  ++stats_.nacks_received;
+  if (nack.config.epno > lepno_) adopt_full_config(nack.config);
+  auto it = ops_.find(nack.op_id);
+  if (it == ops_.end()) return;
+  retry_op(nack.op_id);
+}
+
+void Proxy::retry_op(std::uint64_t op_id) {
+  // Re-execute the operation in the (newly learned) epoch. A fresh op-id
+  // fences replies belonging to the aborted attempt.
+  ++stats_.op_retries;
+  auto node = ops_.extract(op_id);
+  PendingOp op = std::move(node.mapped());
+  if (op.kind != PendingOp::Kind::kRead) {
+    // Re-tag the version with the configuration it is (re)written under.
+    op.write_version.cfno = lcfno_;
+  }
+  const std::uint64_t new_id = next_op_id_++;
+  ops_.emplace(new_id, std::move(op));
+  launch_op(new_id);
+}
+
+void Proxy::finish_op(std::uint64_t op_id, PendingOp& op_ref) {
+  PendingOp op = std::move(op_ref);
+  ops_.erase(op_id);
+
+  const bool is_read = op.kind == PendingOp::Kind::kRead;
+  if (is_read) {
+    kv::ClientReadResp resp;
+    resp.req_id = op.client_req;
+    resp.found = op.any_found;
+    if (op.any_found) resp.version = op.best;
+    if (!op.any_found) ++stats_.not_found_reads;
+    net_.send(self_, op.client, resp);
+  } else if (op.kind == PendingOp::Kind::kWrite) {
+    net_.send(self_, op.client,
+              kv::ClientWriteResp{op.client_req, op.write_version.ts});
+  } else {
+    ++stats_.writebacks;
+  }
+
+  if (op.kind != PendingOp::Kind::kWriteBack) {
+    const std::uint64_t size =
+        is_read ? (op.any_found ? op.best.size_bytes : 0)
+                : op.write_version.size_bytes;
+    note_access(op.oid, !is_read, size);
+    round_latency_sum_ms_ += to_millis(sim_.now() - op.start_time);
+    if (on_complete_) {
+      on_complete_(OpRecord{op.oid, !is_read, op.start_time, sim_.now(),
+                            self_.index});
+    }
+  }
+
+  // Repaired reads are written back under the current quorum so future
+  // reads need not repeat the historical-quorum read (Algorithm 4 line 27;
+  // the write-back is asynchronous w.r.t. the client reply).
+  if (is_read && op.repair && op.any_found) {
+    Version wb = op.best;
+    wb.cfno = lcfno_;
+    start_write(op.oid, wb, sim::NodeId{}, 0, sim_.now(),
+                PendingOp::Kind::kWriteBack);
+  }
+
+  op_completed_for_drain();
+}
+
+// ----------------------------------------------------- reconfiguration path
+
+void Proxy::handle_new_quorum(const sim::NodeId& from,
+                              const kv::NewQuorumMsg& msg) {
+  if (msg.cfno <= lcfno_) {
+    // Already known (learned via a NACK resync or a retransmission); the
+    // acknowledgement is still required so the RM can make progress.
+    net_.send(self_, from, kv::AckNewQuorumMsg{msg.epno, msg.cfno});
+    return;
+  }
+  if (in_transition_) {
+    // The previous reconfiguration was finalized via an epoch change we did
+    // not observe directly; its transition quorum dominated both old and new
+    // quorums, so committing it before adopting the next change is safe.
+    commit_pending_change();
+  }
+  ++stats_.reconfigurations;
+  pending_change_ = msg.change;
+  pending_cfno_ = msg.cfno;
+  in_transition_ = true;
+  lcfno_ = msg.cfno;
+  lepno_ = std::max(lepno_, msg.epno);
+
+  // Record the read quorum of the configuration being installed (set Q of
+  // Algorithm 3/4). For per-object changes we conservatively record the max
+  // read quorum across the post-change state.
+  int new_max_r;
+  if (pending_change_.is_global) {
+    new_max_r = pending_change_.global.read_q;
+    for (const auto& [oid, q] : overrides_) {
+      new_max_r = std::max(new_max_r, q.read_q);
+    }
+  } else {
+    new_max_r = default_q_.read_q;
+    for (const auto& [oid, q] : overrides_) {
+      new_max_r = std::max(new_max_r, q.read_q);
+    }
+    for (const auto& [oid, q] : pending_change_.overrides) {
+      new_max_r = std::max(new_max_r, q.read_q);
+    }
+  }
+  record_history(msg.cfno, new_max_r);
+
+  // Drain: acknowledge only when every operation issued under the old
+  // quorum has completed (Algorithm 3 line 14). New operations proceed
+  // immediately using the transition quorum — the protocol is non-blocking.
+  drain_waiting_ = true;
+  drain_epno_ = msg.epno;
+  drain_cfno_ = msg.cfno;
+  drain_reply_to_ = from;
+  drain_remaining_ = 0;
+  for (auto& [id, op] : ops_) {
+    op.drains = true;
+    ++drain_remaining_;
+  }
+  if (drain_remaining_ == 0) {
+    drain_waiting_ = false;
+    net_.send(self_, from, kv::AckNewQuorumMsg{msg.epno, msg.cfno});
+  }
+}
+
+void Proxy::op_completed_for_drain() {
+  if (!drain_waiting_) return;
+  // finish_op only calls us once per op; ops launched after NEWQ have
+  // drains=false and were not counted.
+  if (--drain_remaining_ <= 0) {
+    drain_waiting_ = false;
+    net_.send(self_, drain_reply_to_,
+              kv::AckNewQuorumMsg{drain_epno_, drain_cfno_});
+  }
+}
+
+void Proxy::handle_confirm(const sim::NodeId& from, const kv::ConfirmMsg& msg) {
+  if (in_transition_ && msg.cfno == pending_cfno_) {
+    commit_pending_change();
+    lepno_ = std::max(lepno_, msg.epno);
+  }
+  net_.send(self_, from, kv::AckConfirmMsg{msg.epno, msg.cfno});
+}
+
+void Proxy::commit_pending_change() {
+  if (pending_change_.is_global) {
+    default_q_ = pending_change_.global;
+  } else {
+    for (const auto& [oid, q] : pending_change_.overrides) {
+      overrides_[oid] = q;
+    }
+  }
+  in_transition_ = false;
+}
+
+void Proxy::adopt_full_config(const kv::FullConfig& config) {
+  lepno_ = config.epno;
+  if (config.cfno >= lcfno_) {
+    lcfno_ = config.cfno;
+    default_q_ = config.default_q;
+    overrides_.clear();
+    for (const auto& [oid, q] : config.overrides) overrides_.emplace(oid, q);
+    if (config.transitional) {
+      // Phase-1 epoch-change payload: we now run with the transition
+      // quorums; commit the pending change when the CONFIRM arrives (or
+      // when a later NEWQ supersedes it).
+      in_transition_ = true;
+      pending_change_ = config.pending;
+      pending_cfno_ = config.cfno;
+    } else {
+      in_transition_ = false;
+    }
+  }
+  for (const auto& [cfno, max_r] : config.read_q_history) {
+    record_history(cfno, max_r);
+  }
+}
+
+// ------------------------------------------------------------- monitoring
+
+void Proxy::note_access(ObjectId oid, bool is_write, std::uint64_t size) {
+  ++round_ops_completed_;
+  summary_.add(oid);
+  auto update = [&](ObjCounters& counters) {
+    if (is_write) {
+      ++counters.writes;
+    } else {
+      ++counters.reads;
+    }
+    if (size > 0) {
+      counters.size_sum += static_cast<double>(size);
+      ++counters.size_count;
+    }
+  };
+  if (monitored_.contains(oid)) update(monitored_stats_[oid]);
+  if (!overrides_.contains(oid)) update(tail_);
+}
+
+void Proxy::handle_new_round(const sim::NodeId& from,
+                             const kv::NewRoundMsg& msg) {
+  current_round_ = msg.round;
+  round_started_ = sim_.now();
+  round_ops_completed_ = 0;
+  round_latency_sum_ms_ = 0;
+  summary_.clear();
+  tail_ = ObjCounters{};
+  for (auto& [oid, counters] : monitored_stats_) counters = ObjCounters{};
+  const std::uint64_t round = msg.round;
+  sim_.after(msg.window, [this, from, round] {
+    if (crashed_ || current_round_ != round) return;
+    send_round_stats(from, round);
+  });
+}
+
+void Proxy::send_round_stats(const sim::NodeId& am, std::uint64_t round) {
+  kv::RoundStatsMsg msg;
+  msg.round = round;
+  // Candidate hotspots: heaviest keys that are not already individually
+  // optimized or under monitoring (they go to the AM for the *next* round).
+  for (const topk::TopKEntry& entry : summary_.top(summary_.capacity())) {
+    if (overrides_.contains(entry.key) || monitored_.contains(entry.key)) {
+      continue;
+    }
+    msg.topk.push_back(kv::TopKReport{entry.key, entry.count, entry.error});
+  }
+  for (const auto& [oid, counters] : monitored_stats_) {
+    kv::ObjectStats object_stats;
+    object_stats.oid = oid;
+    object_stats.reads = counters.reads;
+    object_stats.writes = counters.writes;
+    object_stats.avg_size_bytes =
+        counters.size_count
+            ? counters.size_sum / static_cast<double>(counters.size_count)
+            : 0.0;
+    msg.stats_topk.push_back(object_stats);
+  }
+  msg.stats_tail.reads = tail_.reads;
+  msg.stats_tail.writes = tail_.writes;
+  msg.stats_tail.avg_size_bytes =
+      tail_.size_count
+          ? tail_.size_sum / static_cast<double>(tail_.size_count)
+          : 0.0;
+  const double window_s = to_seconds(sim_.now() - round_started_);
+  msg.throughput_ops =
+      window_s > 0 ? static_cast<double>(round_ops_completed_) / window_s
+                   : 0.0;
+  msg.avg_latency_ms =
+      round_ops_completed_
+          ? round_latency_sum_ms_ / static_cast<double>(round_ops_completed_)
+          : 0.0;
+  net_.send(self_, am, msg);
+}
+
+void Proxy::handle_new_topk(const kv::NewTopKMsg& msg) {
+  monitored_.clear();
+  monitored_stats_.clear();
+  for (ObjectId oid : msg.monitored) {
+    monitored_.insert(oid);
+    monitored_stats_.emplace(oid, ObjCounters{});
+  }
+}
+
+}  // namespace qopt::proxy

@@ -1,0 +1,219 @@
+// Proxy process — Algorithms 3 (reconfiguration), 4 (read logic) and
+// 5 (write logic) of the paper, extended with the per-object quorum table of
+// Section 5.4 and the workload monitoring that feeds the Autonomic Manager
+// (Section 4).
+//
+// Key behaviours:
+//  * quorum reads/writes: operations are forwarded to a quorum-sized subset
+//    of the object's replicas (rotated by a hash of the proxy identifier for
+//    load balancing, Section 2.1) with a timeout fallback to the remaining
+//    replicas;
+//  * reads select the freshest returned version; if that version was written
+//    under an older quorum configuration, the read is repeated with the
+//    largest read quorum installed since (Algorithm 4), and the value is
+//    written back under the current configuration;
+//  * during a reconfiguration the proxy switches to the transition quorum
+//    (component-wise max of old and new) and acknowledges the NEWQ message
+//    only after draining operations issued under the old quorum;
+//  * storage NACKs (stale epoch) resynchronize the proxy's full quorum state
+//    and re-execute the operation in the new epoch;
+//  * every client operation feeds a Space-Saving top-k summary, per-object
+//    profiles for the currently monitored hotspot set, and the aggregate
+//    tail profile reported to the Autonomic Manager each round.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kv/placement.hpp"
+#include "kv/service_model.hpp"
+#include "kv/types.hpp"
+#include "kv/wire.hpp"
+#include "sim/ids.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "topk/space_saving.hpp"
+
+namespace qopt::proxy {
+
+struct ProxyOptions {
+  kv::QuorumConfig initial{1, 1};  // overwritten by cluster wiring
+  Duration fallback_timeout = milliseconds(150);
+  std::size_t servers = 8;                 // proxy CPU cores
+  Duration op_cost = microseconds(60);     // per-op proxy CPU time
+  std::size_t topk_capacity = 128;         // Space-Saving summary size
+};
+
+struct ProxyStats {
+  std::uint64_t client_reads = 0;
+  std::uint64_t client_writes = 0;
+  std::uint64_t not_found_reads = 0;
+  std::uint64_t repair_reads = 0;   // Algorithm 4 second-phase reads
+  std::uint64_t writebacks = 0;     // repaired values rewritten
+  std::uint64_t nacks_received = 0;
+  std::uint64_t op_retries = 0;     // re-executions after a NACK
+  std::uint64_t fallbacks = 0;      // timeout fan-outs to remaining replicas
+  std::uint64_t reconfigurations = 0;
+};
+
+/// Completion record surfaced to the metrics layer.
+struct OpRecord {
+  kv::ObjectId oid = 0;
+  bool is_write = false;
+  Time start = 0;
+  Time end = 0;
+  std::uint32_t proxy = 0;
+};
+
+class Proxy {
+ public:
+  using Net = sim::Network<kv::Message>;
+  using OpCallback = std::function<void(const OpRecord&)>;
+
+  Proxy(sim::Simulator& sim, Net& net, sim::NodeId self,
+        const kv::Placement& placement, const ProxyOptions& options);
+
+  void on_message(const sim::NodeId& from, const kv::Message& msg);
+
+  void crash();
+  bool crashed() const noexcept { return crashed_; }
+
+  /// Invoked on every completed client operation (metrics wiring).
+  void set_op_callback(OpCallback cb) { on_complete_ = std::move(cb); }
+
+  /// Starts emitting periodic liveness beacons to `target` (the heartbeat
+  /// failure-detector mode). Crashing stops the beats, as does pausing
+  /// (tests use pausing to provoke organic false suspicions).
+  void enable_heartbeats(sim::NodeId target, Duration interval);
+  void set_heartbeats_paused(bool paused) { heartbeats_paused_ = paused; }
+
+  // ------------------------------------------------------------ inspection
+  std::uint64_t epoch() const noexcept { return lepno_; }
+  std::uint64_t cfno() const noexcept { return lcfno_; }
+  bool in_transition() const noexcept { return in_transition_; }
+  kv::QuorumConfig default_quorum() const noexcept { return default_q_; }
+  /// Effective quorum used for `oid` right now (includes transition logic).
+  kv::QuorumConfig effective_quorum(kv::ObjectId oid) const;
+  const ProxyStats& stats() const noexcept { return stats_; }
+  std::size_t pending_ops() const noexcept { return ops_.size(); }
+  std::size_t override_count() const noexcept { return overrides_.size(); }
+
+ private:
+  struct PendingOp {
+    enum class Kind { kRead, kWrite, kWriteBack };
+    Kind kind = Kind::kRead;
+    kv::ObjectId oid = 0;
+    sim::NodeId client;            // kRead/kWrite only
+    std::uint64_t client_req = 0;  // kRead/kWrite only
+    std::uint64_t epno_used = 0;
+    int needed = 0;    // replies required in the current phase
+    int received = 0;  // replies gathered in the current phase
+    bool repair = false;
+    bool any_found = false;
+    kv::Version best;           // freshest version seen (reads)
+    kv::Version write_version;  // payload (writes / write-backs)
+    std::vector<std::uint32_t> replica_order;
+    int contacted = 0;  // prefix of replica_order already contacted
+    Time start_time = 0;
+    bool drains = false;  // counts toward the current NEWQ drain
+  };
+
+  // ----------------------------------------------------------- client ops
+  void handle_client_read(const sim::NodeId& from, const kv::ClientReadReq&);
+  void handle_client_write(const sim::NodeId& from,
+                           const kv::ClientWriteReq&);
+  void start_read(kv::ObjectId oid, sim::NodeId client,
+                  std::uint64_t client_req, Time start_time);
+  void start_write(kv::ObjectId oid, kv::Version version, sim::NodeId client,
+                   std::uint64_t client_req, Time start_time,
+                   PendingOp::Kind kind);
+  void launch_op(std::uint64_t op_id);
+  void contact_replicas(std::uint64_t op_id, PendingOp& op, int upto);
+  void arm_fallback(std::uint64_t op_id);
+  void finish_op(std::uint64_t op_id, PendingOp& op);
+
+  // ------------------------------------------------------ storage replies
+  void handle_read_reply(const kv::StorageReadResp&);
+  void handle_write_reply(const kv::StorageWriteResp&);
+  void handle_nack(const kv::EpochNack&);
+  void maybe_complete_read(std::uint64_t op_id);
+  void retry_op(std::uint64_t op_id);
+
+  // -------------------------------------------------- reconfiguration path
+  void handle_new_quorum(const sim::NodeId& from, const kv::NewQuorumMsg&);
+  void handle_confirm(const sim::NodeId& from, const kv::ConfirmMsg&);
+  void commit_pending_change();
+  void adopt_full_config(const kv::FullConfig& config);
+  void record_history(std::uint64_t cfno, int max_read_q);
+  int max_read_q_since(std::uint64_t cfno) const;
+  int current_max_read_q() const;
+  void op_completed_for_drain();
+
+  // ------------------------------------------------------------ monitoring
+  void handle_new_round(const sim::NodeId& from, const kv::NewRoundMsg&);
+  void handle_new_topk(const kv::NewTopKMsg&);
+  void send_round_stats(const sim::NodeId& am, std::uint64_t round);
+  void note_access(kv::ObjectId oid, bool is_write, std::uint64_t size);
+
+  kv::QuorumConfig base_quorum(kv::ObjectId oid) const;
+  kv::QuorumConfig pending_quorum(kv::ObjectId oid) const;
+
+  sim::Simulator& sim_;
+  Net& net_;
+  sim::NodeId self_;
+  const kv::Placement& placement_;
+  ProxyOptions options_;
+  kv::ServicePool pool_;
+  bool crashed_ = false;
+
+  // Quorum state (Algorithm 3 variables).
+  std::uint64_t lepno_ = 0;
+  std::uint64_t lcfno_ = 0;
+  kv::QuorumConfig default_q_;
+  std::unordered_map<kv::ObjectId, kv::QuorumConfig> overrides_;
+  bool in_transition_ = false;
+  kv::QuorumChange pending_change_;
+  std::uint64_t pending_cfno_ = 0;
+  std::map<std::uint64_t, int> read_q_history_;  // cfno -> max read quorum
+
+  // Drain state for the NEWQ handshake.
+  bool drain_waiting_ = false;
+  int drain_remaining_ = 0;
+  std::uint64_t drain_epno_ = 0;
+  std::uint64_t drain_cfno_ = 0;
+  sim::NodeId drain_reply_to_;
+
+  // In-flight operations.
+  std::unordered_map<std::uint64_t, PendingOp> ops_;
+  std::uint64_t next_op_id_ = 1;
+  std::uint64_t write_seq_ = 0;
+
+  // Monitoring state (Section 4).
+  topk::SpaceSaving summary_;
+  std::unordered_set<kv::ObjectId> monitored_;
+  struct ObjCounters {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    double size_sum = 0;
+    std::uint64_t size_count = 0;
+  };
+  std::unordered_map<kv::ObjectId, ObjCounters> monitored_stats_;
+  ObjCounters tail_;
+  std::uint64_t round_ops_completed_ = 0;
+  double round_latency_sum_ms_ = 0;
+  Time round_started_ = 0;
+  std::uint64_t current_round_ = 0;
+
+  // Heartbeat emission.
+  bool heartbeats_paused_ = false;
+  std::uint64_t heartbeat_seq_ = 0;
+
+  ProxyStats stats_;
+  OpCallback on_complete_;
+};
+
+}  // namespace qopt::proxy

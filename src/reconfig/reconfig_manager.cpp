@@ -1,0 +1,271 @@
+#include "reconfig/reconfig_manager.hpp"
+
+#include <algorithm>
+
+namespace qopt::reconfig {
+
+using kv::FullConfig;
+using kv::Message;
+using kv::QuorumChange;
+using kv::QuorumConfig;
+
+ReconfigManager::ReconfigManager(sim::Simulator& sim, Net& net,
+                                 sim::NodeId self, sim::FailureDetector& fd,
+                                 std::vector<sim::NodeId> proxies,
+                                 std::vector<sim::NodeId> storages,
+                                 QuorumConfig initial, int replication)
+    : sim_(sim),
+      net_(net),
+      self_(self),
+      fd_(fd),
+      proxies_(std::move(proxies)),
+      storages_(std::move(storages)),
+      replication_(replication) {
+  canonical_.epno = 0;
+  canonical_.cfno = 0;
+  canonical_.default_q = initial;
+  canonical_.read_q_history.emplace_back(0, initial.read_q);
+  fd_.subscribe([this](const sim::NodeId& node, bool suspected) {
+    on_suspicion_change(node, suspected);
+  });
+}
+
+QuorumConfig ReconfigManager::quorum_for(kv::ObjectId oid) const {
+  for (const auto& [object, q] : canonical_.overrides) {
+    if (object == oid) return q;
+  }
+  return canonical_.default_q;
+}
+
+bool ReconfigManager::validate(const QuorumChange& change) const {
+  if (change.is_global) return kv::is_strict(change.global, replication_);
+  if (change.overrides.empty()) return false;
+  return std::all_of(change.overrides.begin(), change.overrides.end(),
+                     [&](const auto& entry) {
+                       return kv::is_strict(entry.second, replication_);
+                     });
+}
+
+void ReconfigManager::change_configuration(QuorumChange change,
+                                           DoneCallback done) {
+  if (!validate(change)) {
+    ++stats_.rejected_invalid;
+    if (done) done(false);
+    return;
+  }
+  queue_.push_back(Request{std::move(change), std::move(done)});
+  if (phase_ == Phase::kIdle) start_next();
+}
+
+void ReconfigManager::start_next() {
+  if (queue_.empty() || phase_ != Phase::kIdle) return;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  current_cfno_ = canonical_.cfno + 1;
+  started_at_ = sim_.now();
+  acked_proxies_.clear();
+  phase_ = Phase::kNewQuorum;
+  const kv::NewQuorumMsg msg{canonical_.epno, current_cfno_, current_.change};
+  for (const sim::NodeId& proxy : proxies_) net_.send(self_, proxy, msg);
+  // A suspicion may already cover every proxy we would wait for.
+  evaluate_phase1();
+}
+
+// ------------------------------------------------------------- state views
+
+FullConfig ReconfigManager::post_change_state() const {
+  FullConfig state = canonical_;
+  if (current_.change.is_global) {
+    state.default_q = current_.change.global;
+  } else {
+    for (const auto& [oid, q] : current_.change.overrides) {
+      bool replaced = false;
+      for (auto& [existing_oid, existing_q] : state.overrides) {
+        if (existing_oid == oid) {
+          existing_q = q;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) state.overrides.emplace_back(oid, q);
+    }
+  }
+  state.cfno = current_cfno_;
+  state.read_q_history.emplace_back(current_cfno_, max_read_q(state));
+  return state;
+}
+
+FullConfig ReconfigManager::transition_state() const {
+  // Component-wise max of old and new quorums, per object: the transition
+  // quorum intersects the read and write quorums of both configurations.
+  FullConfig next = post_change_state();
+  FullConfig state = next;
+  state.default_q = kv::transition(canonical_.default_q, next.default_q);
+  for (auto& [oid, q] : state.overrides) {
+    // Old effective quorum for this object.
+    QuorumConfig old_q = canonical_.default_q;
+    for (const auto& [old_oid, candidate] : canonical_.overrides) {
+      if (old_oid == oid) {
+        old_q = candidate;
+        break;
+      }
+    }
+    q = kv::transition(old_q, q);
+  }
+  return state;
+}
+
+int ReconfigManager::max_quorum_dimension(const FullConfig& state) {
+  int m = std::max(state.default_q.read_q, state.default_q.write_q);
+  for (const auto& [oid, q] : state.overrides) {
+    m = std::max({m, q.read_q, q.write_q});
+  }
+  return m;
+}
+
+int ReconfigManager::max_read_q(const FullConfig& state) {
+  int m = state.default_q.read_q;
+  for (const auto& [oid, q] : state.overrides) m = std::max(m, q.read_q);
+  return m;
+}
+
+// ------------------------------------------------------------- message i/o
+
+void ReconfigManager::on_message(const sim::NodeId& from, const Message& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, kv::AckNewQuorumMsg>) {
+          if (phase_ == Phase::kNewQuorum && m.cfno == current_cfno_) {
+            acked_proxies_.insert(from.index);
+            evaluate_phase1();
+          }
+        } else if constexpr (std::is_same_v<T, kv::AckConfirmMsg>) {
+          if (phase_ == Phase::kConfirm && m.cfno == current_cfno_) {
+            acked_proxies_.insert(from.index);
+            evaluate_phase2();
+          }
+        } else if constexpr (std::is_same_v<T, kv::AckNewEpochMsg>) {
+          handle_epoch_ack(from, m);
+        }
+      },
+      msg);
+}
+
+void ReconfigManager::on_suspicion_change(const sim::NodeId& node,
+                                          bool suspected) {
+  if (node.kind != sim::NodeKind::kProxy || !suspected) return;
+  if (phase_ == Phase::kNewQuorum) evaluate_phase1();
+  if (phase_ == Phase::kConfirm) evaluate_phase2();
+}
+
+void ReconfigManager::evaluate_phase1() {
+  if (phase_ != Phase::kNewQuorum) return;
+  // Algorithm 2 lines 10-12: wait until every proxy has ACKed or is
+  // suspected; then trigger an epoch change if *any* proxy is suspected
+  // (conservative: a suspected proxy may be alive with a stale view).
+  bool any_suspected = false;
+  for (const sim::NodeId& proxy : proxies_) {
+    const bool suspected = fd_.suspects(proxy);
+    any_suspected |= suspected;
+    if (!acked_proxies_.contains(proxy.index) && !suspected) {
+      return;  // still waiting on a non-suspected proxy
+    }
+  }
+  if (any_suspected) {
+    // Algorithm 2 lines 12-14: invalidate operations that may still run
+    // under the old quorum before confirming; storage nodes will NACK any
+    // proxy left behind in the previous epoch.
+    begin_epoch_change(/*after_phase1=*/true);
+  } else {
+    begin_confirm();
+  }
+}
+
+void ReconfigManager::begin_confirm() {
+  phase_ = Phase::kConfirm;
+  acked_proxies_.clear();
+  const kv::ConfirmMsg msg{canonical_.epno, current_cfno_};
+  for (const sim::NodeId& proxy : proxies_) net_.send(self_, proxy, msg);
+  evaluate_phase2();
+}
+
+void ReconfigManager::evaluate_phase2() {
+  if (phase_ != Phase::kConfirm) return;
+  bool any_suspected = false;
+  for (const sim::NodeId& proxy : proxies_) {
+    const bool suspected = fd_.suspects(proxy);
+    any_suspected |= suspected;
+    if (!acked_proxies_.contains(proxy.index) && !suspected) {
+      return;
+    }
+  }
+  if (any_suspected) {
+    begin_epoch_change(/*after_phase1=*/false);
+  } else {
+    commit();
+  }
+}
+
+void ReconfigManager::begin_epoch_change(bool after_phase1) {
+  ++stats_.epoch_changes;
+  epoch_change_after_phase1_ = after_phase1;
+  phase_ = after_phase1 ? Phase::kEpochChange1 : Phase::kEpochChange2;
+  acked_storage_.clear();
+
+  // Epoch-change quorum sizing (Section 5.3): after phase 1 the lagging
+  // proxies may be using the old or transition quorum, so a quorum of
+  // max(oldR, oldW) storage acknowledgements guarantees their operations
+  // meet a NACK. After phase 2 they may be using the transition or new
+  // quorum, so size by the new configuration.
+  FullConfig payload;
+  if (after_phase1) {
+    // Lagging proxies must run with the transition quorums until CONFIRM;
+    // ship the pending change so they can commit it when it arrives.
+    payload = transition_state();
+    payload.transitional = true;
+    payload.pending = current_.change;
+  } else {
+    payload = post_change_state();
+  }
+  epoch_quorum_needed_ =
+      max_quorum_dimension(after_phase1 ? canonical_ : payload);
+
+  canonical_.epno += 1;  // epochs are totally ordered RM-local counters
+  FullConfig msg_config = payload;
+  msg_config.epno = canonical_.epno;
+  for (const sim::NodeId& storage : storages_) {
+    net_.send(self_, storage, kv::NewEpochMsg{msg_config});
+  }
+}
+
+void ReconfigManager::handle_epoch_ack(const sim::NodeId& from,
+                                       const kv::AckNewEpochMsg& ack) {
+  if (phase_ != Phase::kEpochChange1 && phase_ != Phase::kEpochChange2) return;
+  if (ack.epno != canonical_.epno) return;
+  acked_storage_.insert(from.index);
+  if (static_cast<int>(acked_storage_.size()) < epoch_quorum_needed_) return;
+  if (epoch_change_after_phase1_) {
+    begin_confirm();
+  } else {
+    commit();
+  }
+}
+
+void ReconfigManager::commit() {
+  FullConfig next = post_change_state();
+  next.epno = canonical_.epno;
+  canonical_ = std::move(next);
+  ++stats_.reconfigurations_completed;
+  stats_.total_reconfig_time += sim_.now() - started_at_;
+  phase_ = Phase::kIdle;
+  // Detach the finished request *before* invoking its callback: the callback
+  // may synchronously enqueue (and start) the next reconfiguration, which
+  // repopulates current_.
+  Request finished = std::move(current_);
+  current_ = Request{};
+  if (finished.done) finished.done(true);
+  start_next();
+}
+
+}  // namespace qopt::reconfig

@@ -1,0 +1,129 @@
+// Reconfiguration Manager (RM) — Algorithm 2 of the paper.
+//
+// Coordinates the two-phase, non-blocking quorum reconfiguration protocol:
+//
+//   Phase 1: broadcast NEWQ to all proxies, which switch to the transition
+//            quorum and ACK once operations issued under the old quorum have
+//            drained. If any proxy is suspected instead of ACKing, trigger
+//            an epoch change sized max(oldR, oldW) carrying the transition
+//            configuration.
+//   Phase 2: broadcast CONFIRM; proxies switch to the new quorum. If any
+//            proxy is suspected, trigger an epoch change sized
+//            max(newR, newW) carrying the new configuration.
+//
+// Reconfigurations are executed strictly serially; requests queue. The
+// protocol is indulgent: false suspicions can force operations to
+// re-execute but never violate Dynamic Quorum Consistency nor block the
+// reconfiguration (Section 5.3).
+//
+// Supports both global (default/tail) changes and per-object batches
+// (Section 5.4).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kv/types.hpp"
+#include "kv/wire.hpp"
+#include "sim/failure_detector.hpp"
+#include "sim/ids.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace qopt::reconfig {
+
+struct ReconfigStats {
+  std::uint64_t reconfigurations_completed = 0;
+  std::uint64_t epoch_changes = 0;
+  std::uint64_t rejected_invalid = 0;
+  Duration total_reconfig_time = 0;  // summed wall (virtual) time
+};
+
+class ReconfigManager {
+ public:
+  using Net = sim::Network<kv::Message>;
+  using DoneCallback = std::function<void(bool ok)>;
+
+  ReconfigManager(sim::Simulator& sim, Net& net, sim::NodeId self,
+                  sim::FailureDetector& fd,
+                  std::vector<sim::NodeId> proxies,
+                  std::vector<sim::NodeId> storages,
+                  kv::QuorumConfig initial, int replication);
+
+  /// Queues a reconfiguration (the changeConfiguration entry point; callable
+  /// by the Autonomic Manager or a human administrator). Validates strict
+  /// quorum intersection (R + W > N) for every quorum in the change; invalid
+  /// requests complete immediately with ok=false.
+  void change_configuration(kv::QuorumChange change, DoneCallback done = {});
+
+  void on_message(const sim::NodeId& from, const kv::Message& msg);
+
+  /// Canonical committed configuration (source of truth for NEWEP payloads
+  /// and for the Autonomic Manager's view of installed quorums).
+  const kv::FullConfig& config() const noexcept { return canonical_; }
+  kv::QuorumConfig quorum_for(kv::ObjectId oid) const;
+  bool busy() const noexcept { return phase_ != Phase::kIdle; }
+  std::size_t queued() const noexcept { return queue_.size(); }
+  const ReconfigStats& stats() const noexcept { return stats_; }
+
+ private:
+  enum class Phase {
+    kIdle,
+    kNewQuorum,      // waiting for ACKNEWQ / suspicions
+    kEpochChange1,   // waiting for ACKNEWEP after phase 1
+    kConfirm,        // waiting for ACKCONFIRM / suspicions
+    kEpochChange2,   // waiting for ACKNEWEP after phase 2
+  };
+
+  void start_next();
+  void evaluate_phase1();
+  void evaluate_phase2();
+  void begin_confirm();
+  void begin_epoch_change(bool after_phase1);
+  void handle_epoch_ack(const sim::NodeId& from, const kv::AckNewEpochMsg&);
+  void commit();
+  void on_suspicion_change(const sim::NodeId& node, bool suspected);
+
+  /// Post-change state the current pending change would install.
+  kv::FullConfig post_change_state() const;
+  /// Transition state: component-wise max of current and post-change.
+  kv::FullConfig transition_state() const;
+  /// Largest read or write quorum across default and overrides of a state.
+  static int max_quorum_dimension(const kv::FullConfig& state);
+  static int max_read_q(const kv::FullConfig& state);
+  bool validate(const kv::QuorumChange& change) const;
+
+  sim::Simulator& sim_;
+  Net& net_;
+  sim::NodeId self_;
+  sim::FailureDetector& fd_;
+  std::vector<sim::NodeId> proxies_;
+  std::vector<sim::NodeId> storages_;
+  int replication_;
+
+  kv::FullConfig canonical_;
+
+  struct Request {
+    kv::QuorumChange change;
+    DoneCallback done;
+  };
+  std::deque<Request> queue_;
+
+  // In-flight reconfiguration state.
+  Phase phase_ = Phase::kIdle;
+  Request current_;
+  std::uint64_t current_cfno_ = 0;
+  Time started_at_ = 0;
+  std::unordered_set<std::uint32_t> acked_proxies_;
+  std::unordered_set<std::uint32_t> acked_storage_;
+  int epoch_quorum_needed_ = 0;
+  bool epoch_change_after_phase1_ = false;
+
+  ReconfigStats stats_;
+};
+
+}  // namespace qopt::reconfig

@@ -1,0 +1,50 @@
+#include "sim/failure_detector.hpp"
+
+namespace qopt::sim {
+
+FailureDetector::FailureDetector(Simulator& sim, Duration detection_delay)
+    : sim_(sim), detection_delay_(detection_delay) {}
+
+void FailureDetector::node_crashed(const NodeId& id) {
+  auto& st = states_[id];
+  st.crashed = true;
+  ++st.generation;
+  sim_.after(detection_delay_, [this, id] {
+    if (states_[id].crashed) set_suspected(id, true);
+  });
+}
+
+void FailureDetector::inject_false_suspicion(const NodeId& id,
+                                             Duration duration) {
+  auto& st = states_[id];
+  if (st.crashed) return;  // already (going to be) a true suspicion
+  const std::uint64_t gen = ++st.generation;
+  set_suspected(id, true);
+  if (duration > 0) {
+    sim_.after(duration, [this, id, gen] {
+      auto& cur = states_[id];
+      if (!cur.crashed && cur.generation == gen) set_suspected(id, false);
+    });
+  }
+}
+
+void FailureDetector::clear_suspicion(const NodeId& id) {
+  auto& st = states_[id];
+  if (st.crashed) return;
+  ++st.generation;
+  set_suspected(id, false);
+}
+
+bool FailureDetector::suspects(const NodeId& id) const {
+  auto it = states_.find(id);
+  return it != states_.end() && it->second.suspected;
+}
+
+void FailureDetector::set_suspected(const NodeId& id, bool suspected) {
+  auto& st = states_[id];
+  if (st.suspected == suspected) return;
+  st.suspected = suspected;
+  for (auto& listener : listeners_) listener(id, suspected);
+}
+
+}  // namespace qopt::sim

@@ -1,0 +1,63 @@
+// Eventually-perfect failure detector (◇P) used by the Reconfiguration
+// Manager, per Section 5.1 of the paper.
+//
+// Guarantees modelled:
+//  - strong completeness: a crashed node is suspected `detection_delay`
+//    after its crash;
+//  - eventual strong accuracy: false suspicions (injectable for testing the
+//    protocol's indulgence) are cleared after their configured duration.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace qopt::sim {
+
+class FailureDetector {
+ public:
+  /// Called with (node, now_suspected) whenever a node's suspicion status
+  /// flips.
+  using Listener = std::function<void(const NodeId&, bool)>;
+
+  FailureDetector(Simulator& sim, Duration detection_delay);
+
+  /// Reports a real crash; the node becomes (permanently) suspected after
+  /// the detection delay.
+  void node_crashed(const NodeId& id);
+
+  /// Injects a false suspicion lasting `duration` (0 = until cleared by a
+  /// later crash/clear). Exercises the indulgent path of the protocol.
+  void inject_false_suspicion(const NodeId& id, Duration duration);
+
+  /// Clears a false suspicion immediately (no-op for real crashes).
+  void clear_suspicion(const NodeId& id);
+
+  /// The `suspect(p)` primitive from the paper's pseudo-code.
+  bool suspects(const NodeId& id) const;
+
+  void subscribe(Listener listener) {
+    listeners_.push_back(std::move(listener));
+  }
+
+ private:
+  struct State {
+    bool suspected = false;
+    bool crashed = false;
+    std::uint64_t generation = 0;  // invalidates stale un-suspect timers
+  };
+
+  void set_suspected(const NodeId& id, bool suspected);
+
+  Simulator& sim_;
+  Duration detection_delay_;
+  std::unordered_map<NodeId, State, NodeIdHash> states_;
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace qopt::sim

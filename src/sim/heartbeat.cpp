@@ -1,0 +1,43 @@
+#include "sim/heartbeat.hpp"
+
+namespace qopt::sim {
+
+HeartbeatWatcher::HeartbeatWatcher(Simulator& sim, FailureDetector& fd,
+                                   std::vector<NodeId> monitored,
+                                   Duration timeout, Duration check_interval)
+    : sim_(sim),
+      fd_(fd),
+      monitored_(std::move(monitored)),
+      timeout_(timeout),
+      check_interval_(check_interval) {}
+
+void HeartbeatWatcher::start() {
+  if (running_) return;
+  running_ = true;
+  // Nodes get a full timeout of grace from the start of monitoring.
+  for (const NodeId& node : monitored_) last_beat_[node] = sim_.now();
+  sim_.after(check_interval_, [this] { sweep(); });
+}
+
+void HeartbeatWatcher::beat(const NodeId& from) {
+  last_beat_[from] = sim_.now();
+  if (running_ && fd_.suspects(from)) {
+    ++cleared_;
+    fd_.clear_suspicion(from);
+  }
+}
+
+void HeartbeatWatcher::sweep() {
+  if (!running_) return;
+  for (const NodeId& node : monitored_) {
+    const Time last = last_beat_[node];
+    if (sim_.now() - last > timeout_ && !fd_.suspects(node)) {
+      ++raised_;
+      // Indefinite suspicion; cleared by the next beat (eventual accuracy).
+      fd_.inject_false_suspicion(node, 0);
+    }
+  }
+  sim_.after(check_interval_, [this] { sweep(); });
+}
+
+}  // namespace qopt::sim

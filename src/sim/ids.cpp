@@ -1,0 +1,25 @@
+#include "sim/ids.hpp"
+
+namespace qopt::sim {
+
+const char* to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::kClient:
+      return "client";
+    case NodeKind::kProxy:
+      return "proxy";
+    case NodeKind::kStorage:
+      return "storage";
+    case NodeKind::kReconfigManager:
+      return "rm";
+    case NodeKind::kAutonomicManager:
+      return "am";
+  }
+  return "?";
+}
+
+std::string to_string(const NodeId& id) {
+  return std::string(to_string(id.kind)) + "-" + std::to_string(id.index);
+}
+
+}  // namespace qopt::sim

@@ -1,0 +1,128 @@
+// Simulated message-passing network.
+//
+// Models the paper's system assumptions (Section 3): reliable channels
+// (messages are delivered unless sender or receiver crashes) with FIFO
+// ordering per sender/receiver pair, on an asynchronous system whose
+// synchrony lives entirely in the failure detector.
+//
+// The class is a template over the message type so that the kernel stays
+// independent of the Q-OPT wire protocol.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace qopt::sim {
+
+/// One-way link latency: base + uniform jitter in [0, jitter).
+struct LatencyModel {
+  Duration base = microseconds(300);   // LAN one-way incl. kernel/HTTP stack
+  Duration jitter = microseconds(500);
+
+  Duration sample(Rng& rng) const {
+    const Duration j =
+        jitter > 0 ? static_cast<Duration>(rng.next_below(
+                         static_cast<std::uint64_t>(jitter)))
+                   : 0;
+    return base + j;
+  }
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;  // sender or receiver crashed
+};
+
+template <typename M>
+class Network {
+ public:
+  using Handler = std::function<void(const NodeId& from, const M& msg)>;
+
+  Network(Simulator& sim, LatencyModel latency, Rng rng)
+      : sim_(sim), latency_(latency), rng_(rng) {}
+
+  void register_node(const NodeId& id, Handler handler) {
+    nodes_[id] = NodeState{std::move(handler), /*crashed=*/false};
+  }
+
+  /// A crashed node neither sends nor receives; messages already in flight
+  /// to it are dropped at delivery time (fail-stop, no recovery).
+  void set_crashed(const NodeId& id, bool crashed = true) {
+    if (auto it = nodes_.find(id); it != nodes_.end()) {
+      it->second.crashed = crashed;
+    }
+  }
+
+  bool is_crashed(const NodeId& id) const {
+    auto it = nodes_.find(id);
+    return it != nodes_.end() && it->second.crashed;
+  }
+
+  /// Optional observer invoked for every send (message accounting in
+  /// benches/tests; not part of the simulated system).
+  using SendTap = std::function<void(const NodeId& from, const NodeId& to)>;
+  void set_send_tap(SendTap tap) { tap_ = std::move(tap); }
+
+  void send(const NodeId& from, const NodeId& to, M msg) {
+    ++stats_.messages_sent;
+    if (tap_) tap_(from, to);
+    auto from_it = nodes_.find(from);
+    if (from_it != nodes_.end() && from_it->second.crashed) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    const Duration lat = latency_.sample(rng_);
+    // FIFO per ordered pair: clamp the delivery instant to strictly after
+    // the previous delivery on this link.
+    Time deliver_at = sim_.now() + lat;
+    auto& last = last_delivery_[{from, to}];
+    if (deliver_at <= last) deliver_at = last + 1;
+    last = deliver_at;
+    sim_.at(deliver_at, [this, from, to, m = std::move(msg)]() {
+      deliver(from, to, m);
+    });
+  }
+
+  template <typename Range>
+  void broadcast(const NodeId& from, const Range& targets, const M& msg) {
+    for (const NodeId& to : targets) send(from, to, msg);
+  }
+
+  const NetworkStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct NodeState {
+    Handler handler;
+    bool crashed = false;
+  };
+
+  void deliver(const NodeId& from, const NodeId& to, const M& msg) {
+    auto it = nodes_.find(to);
+    if (it == nodes_.end() || it->second.crashed || !it->second.handler) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    it->second.handler(from, msg);
+  }
+
+  Simulator& sim_;
+  LatencyModel latency_;
+  Rng rng_;
+  std::unordered_map<NodeId, NodeState, NodeIdHash> nodes_;
+  std::map<std::pair<NodeId, NodeId>, Time> last_delivery_;
+  NetworkStats stats_;
+  SendTap tap_;
+};
+
+}  // namespace qopt::sim

@@ -1,0 +1,42 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace qopt::sim {
+
+void Simulator::at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulator::after(Duration d, std::function<void()> fn) {
+  at(now_ + (d > 0 ? d : 0), std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; moving the closure out requires a
+  // copy-free extraction, so we take a copy of the handle then pop.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++processed_;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t Simulator::run(Time until) {
+  stopped_ = false;
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= until) {
+    step();
+    ++n;
+  }
+  if (queue_.empty() || queue_.top().time > until) {
+    // Advance the clock to the horizon so repeated bounded runs compose.
+    if (until != kForever && until > now_) now_ = until;
+  }
+  return n;
+}
+
+}  // namespace qopt::sim

@@ -1,0 +1,93 @@
+#include "smr/group.hpp"
+
+#include <algorithm>
+
+namespace qopt::smr {
+
+namespace {
+sim::NodeId replica_node(std::uint32_t index) {
+  return sim::NodeId{sim::NodeKind::kStorage, index};
+}
+}  // namespace
+
+Group::Group(sim::Simulator& sim, const GroupOptions& options,
+             Replica::ApplyFn apply)
+    : sim_(sim),
+      rng_(options.seed),
+      net_(sim, options.network, rng_.fork(1)),
+      fd_(sim, options.fd_detection_delay) {
+  for (std::uint32_t i = 0; i < options.replicas; ++i) {
+    replicas_.push_back(
+        std::make_unique<Replica>(sim_, net_, fd_, i, options.replicas,
+                                  apply));
+    Replica* raw = replicas_.back().get();
+    net_.register_node(replica_node(i),
+                       [raw](const sim::NodeId& from, const Message& msg) {
+                         raw->on_message(from, msg);
+                       });
+  }
+  fd_.subscribe([this](const sim::NodeId&, bool) {
+    for (auto& replica : replicas_) replica->reevaluate_leadership();
+  });
+}
+
+void Group::submit(std::uint32_t via_replica, Command command) {
+  replicas_.at(via_replica)->submit(std::move(command));
+}
+
+void Group::crash_replica(std::uint32_t index) {
+  replicas_.at(index)->crash();
+  fd_.node_crashed(replica_node(index));
+}
+
+std::uint32_t Group::leader() const {
+  for (std::uint32_t i = 0; i < replicas_.size(); ++i) {
+    if (!fd_.suspects(replica_node(i))) return i;
+  }
+  return 0;
+}
+
+// --------------------------------------------------- ConfigStateMachine
+
+ConfigStateMachine::ConfigStateMachine(kv::QuorumConfig initial,
+                                       int replication)
+    : replication_(replication) {
+  config_.default_q = initial;
+  config_.read_q_history.emplace_back(0, initial.read_q);
+}
+
+void ConfigStateMachine::apply(const Command& command) {
+  const kv::QuorumChange& change = command.change;
+  // Reject non-strict quorums deterministically (every replica agrees).
+  auto strict = [&](const kv::QuorumConfig& q) {
+    return kv::is_strict(q, replication_);
+  };
+  if (change.is_global) {
+    if (!strict(change.global)) return;
+    config_.default_q = change.global;
+  } else {
+    for (const auto& [oid, q] : change.overrides) {
+      if (!strict(q)) return;
+    }
+    for (const auto& [oid, q] : change.overrides) {
+      bool replaced = false;
+      for (auto& [existing, existing_q] : config_.overrides) {
+        if (existing == oid) {
+          existing_q = q;
+          replaced = true;
+          break;
+        }
+      }
+      if (!replaced) config_.overrides.emplace_back(oid, q);
+    }
+  }
+  config_.cfno += 1;
+  int max_r = config_.default_q.read_q;
+  for (const auto& [oid, q] : config_.overrides) {
+    max_r = std::max(max_r, q.read_q);
+  }
+  config_.read_q_history.emplace_back(config_.cfno, max_r);
+  ++applied_;
+}
+
+}  // namespace qopt::smr

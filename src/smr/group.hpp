@@ -1,0 +1,76 @@
+// Convenience wiring for a state-machine-replication group, plus the
+// replicated configuration store: the Reconfiguration Manager's canonical
+// quorum state (FullConfig) expressed as a deterministic state machine over
+// the replicated log of QuorumChange commands. With this, the component the
+// paper treats as logically centralized survives minority replica crashes
+// with an identical configuration history on every surviving replica.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "kv/types.hpp"
+#include "sim/failure_detector.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "smr/replica.hpp"
+
+namespace qopt::smr {
+
+struct GroupOptions {
+  std::uint32_t replicas = 3;
+  sim::LatencyModel network{microseconds(200), microseconds(200)};
+  Duration fd_detection_delay = milliseconds(300);
+  std::uint64_t seed = 0x5312;
+};
+
+/// A self-contained MultiPaxos group over its own simulated network.
+class Group {
+ public:
+  /// `apply` is invoked on every replica for every decided command (tests
+  /// typically capture the replica-local state machines separately through
+  /// each Replica's applied_log()).
+  Group(sim::Simulator& sim, const GroupOptions& options,
+        Replica::ApplyFn apply);
+
+  /// Submits through a given replica (tests exercise both leader and
+  /// follower submission paths).
+  void submit(std::uint32_t via_replica, Command command);
+
+  void crash_replica(std::uint32_t index);
+  Replica& replica(std::uint32_t index) { return *replicas_.at(index); }
+  std::uint32_t size() const {
+    return static_cast<std::uint32_t>(replicas_.size());
+  }
+  /// Index of the current (failure-detector-designated) leader.
+  std::uint32_t leader() const;
+  sim::FailureDetector& failure_detector() noexcept { return fd_; }
+
+ private:
+  sim::Simulator& sim_;
+  Rng rng_;
+  sim::Network<Message> net_;
+  sim::FailureDetector fd_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+};
+
+/// Deterministic state machine folding QuorumChange commands into a
+/// FullConfig — the replicated equivalent of ReconfigManager::commit's
+/// canonical-state update.
+class ConfigStateMachine {
+ public:
+  explicit ConfigStateMachine(kv::QuorumConfig initial, int replication);
+
+  void apply(const Command& command);
+
+  const kv::FullConfig& config() const noexcept { return config_; }
+  std::uint64_t applied() const noexcept { return applied_; }
+
+ private:
+  kv::FullConfig config_;
+  int replication_;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace qopt::smr

@@ -1,0 +1,68 @@
+// Wire protocol for the state-machine-replication substrate (src/smr).
+//
+// The SMR group runs on its own Network<smr::Message> instance: the control
+// plane's replication traffic is independent of the data-plane protocol.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "kv/types.hpp"
+
+namespace qopt::smr {
+
+/// A replicated command. Q-OPT's control plane replicates quorum
+/// reconfiguration decisions; `id` provides exactly-once application across
+/// leader re-proposals.
+struct Command {
+  std::uint64_t id = 0;
+  kv::QuorumChange change;
+};
+
+/// Phase-1a: a candidate leader claims `ballot` for all slots >= low_slot.
+struct Prepare {
+  std::uint64_t ballot = 0;
+  std::uint64_t low_slot = 0;
+};
+
+/// Phase-1b: acceptor's promise, carrying every accepted-but-possibly-
+/// unchosen entry at or above the prepare's low slot.
+struct Promise {
+  std::uint64_t ballot = 0;
+  struct AcceptedEntry {
+    std::uint64_t slot = 0;
+    std::uint64_t ballot = 0;
+    Command command;
+  };
+  std::vector<AcceptedEntry> accepted;
+};
+
+/// Phase-2a: proposal for one slot.
+struct Accept {
+  std::uint64_t ballot = 0;
+  std::uint64_t slot = 0;
+  Command command;
+};
+
+/// Phase-2b: acceptance.
+struct Accepted {
+  std::uint64_t ballot = 0;
+  std::uint64_t slot = 0;
+};
+
+/// Learn/commit notification (sent once a slot is chosen).
+struct Learn {
+  std::uint64_t slot = 0;
+  Command command;
+};
+
+/// Follower-to-leader command forwarding.
+struct Forward {
+  Command command;
+};
+
+using Message =
+    std::variant<Prepare, Promise, Accept, Accepted, Learn, Forward>;
+
+}  // namespace qopt::smr

@@ -1,0 +1,231 @@
+#include "smr/replica.hpp"
+
+#include <algorithm>
+
+namespace qopt::smr {
+
+namespace {
+sim::NodeId replica_node(std::uint32_t index) {
+  // SMR runs on its own network instance; reuse the storage kind as the
+  // node namespace there (kinds are only meaningful per network).
+  return sim::NodeId{sim::NodeKind::kStorage, index};
+}
+}  // namespace
+
+Replica::Replica(sim::Simulator& sim, Net& net, sim::FailureDetector& fd,
+                 std::uint32_t index, std::uint32_t group_size, ApplyFn apply)
+    : sim_(sim),
+      net_(net),
+      fd_(fd),
+      index_(index),
+      group_size_(group_size),
+      apply_(std::move(apply)) {}
+
+void Replica::crash() {
+  crashed_ = true;
+  net_.set_crashed(replica_node(index_));
+}
+
+std::uint32_t Replica::leader_index() const {
+  for (std::uint32_t i = 0; i < group_size_; ++i) {
+    if (!fd_.suspects(replica_node(i))) return i;
+  }
+  return index_;  // all suspected: claim it ourselves (safety unaffected)
+}
+
+bool Replica::is_leader() const {
+  return !crashed_ && leading_ && leader_index() == index_;
+}
+
+void Replica::reevaluate_leadership() {
+  if (crashed_) return;
+  const std::uint32_t leader = leader_index();
+  if (leader == index_ && !leading_ && !preparing_) {
+    start_leadership();
+  } else if (leader != index_) {
+    leading_ = false;
+    preparing_ = false;
+    // Any buffered commands chase the new leader.
+    while (!pending_.empty()) {
+      net_.send(replica_node(index_), replica_node(leader),
+                Forward{pending_.front()});
+      pending_.pop_front();
+    }
+  }
+}
+
+void Replica::start_leadership() {
+  ++term_;
+  ++stats_.leadership_changes;
+  my_ballot_ = term_ * group_size_ + index_ + 1;  // ballots start at 1
+  preparing_ = true;
+  leading_ = false;
+  promises_from_.clear();
+  promised_entries_.clear();
+  broadcast(Prepare{my_ballot_, next_to_apply_});
+}
+
+void Replica::broadcast(const Message& msg) {
+  for (std::uint32_t i = 0; i < group_size_; ++i) {
+    net_.send(replica_node(index_), replica_node(i), msg);
+  }
+}
+
+void Replica::on_message(const sim::NodeId& from, const Message& msg) {
+  if (crashed_) return;
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, Prepare>) {
+          handle_prepare(from, m);
+        } else if constexpr (std::is_same_v<T, Promise>) {
+          handle_promise(from, m);
+        } else if constexpr (std::is_same_v<T, Accept>) {
+          handle_accept(from, m);
+        } else if constexpr (std::is_same_v<T, Accepted>) {
+          handle_accepted(from, m);
+        } else if constexpr (std::is_same_v<T, Learn>) {
+          handle_learn(m);
+        } else if constexpr (std::is_same_v<T, Forward>) {
+          submit(m.command);
+        }
+      },
+      msg);
+}
+
+void Replica::submit(Command command) {
+  if (crashed_) return;
+  const std::uint32_t leader = leader_index();
+  if (leader != index_) {
+    net_.send(replica_node(index_), replica_node(leader), Forward{command});
+    return;
+  }
+  pending_.push_back(std::move(command));
+  if (leading_) {
+    propose_pending();
+  } else if (!preparing_) {
+    start_leadership();
+  }
+}
+
+// ------------------------------------------------------------- acceptor
+
+void Replica::handle_prepare(const sim::NodeId& from, const Prepare& msg) {
+  if (msg.ballot <= promised_ballot_) return;  // stale candidate
+  promised_ballot_ = msg.ballot;
+  Promise promise;
+  promise.ballot = msg.ballot;
+  for (const auto& [slot, state] : slots_) {
+    if (slot < msg.low_slot) continue;
+    if (state.chosen) {
+      // Chosen values are reported as accepted at an infinite-like ballot
+      // so the new leader must re-propose exactly them.
+      promise.accepted.push_back(Promise::AcceptedEntry{
+          slot, promised_ballot_, state.chosen_command});
+    } else if (state.has_accepted) {
+      promise.accepted.push_back(Promise::AcceptedEntry{
+          slot, state.accepted_ballot, state.accepted_command});
+    }
+  }
+  net_.send(replica_node(index_), from, promise);
+}
+
+void Replica::handle_accept(const sim::NodeId& from, const Accept& msg) {
+  if (msg.ballot < promised_ballot_) return;  // promised to a newer leader
+  promised_ballot_ = msg.ballot;
+  SlotState& state = slots_[msg.slot];
+  if (state.chosen) return;  // already decided; Learn already circulated
+  state.accepted_ballot = msg.ballot;
+  state.accepted_command = msg.command;
+  state.has_accepted = true;
+  net_.send(replica_node(index_), from, Accepted{msg.ballot, msg.slot});
+}
+
+// --------------------------------------------------------------- leader
+
+void Replica::handle_promise(const sim::NodeId& from, const Promise& msg) {
+  if (!preparing_ || msg.ballot != my_ballot_) return;
+  promises_from_.insert(from.index);
+  for (const auto& entry : msg.accepted) {
+    promised_entries_.push_back(entry);
+  }
+  if (promises_from_.size() < majority()) return;
+
+  // Phase 1 complete: adopt, per slot, the accepted value with the highest
+  // ballot; re-propose all of them under our ballot, then open for traffic.
+  preparing_ = false;
+  leading_ = true;
+  std::map<std::uint64_t, Promise::AcceptedEntry> to_recover;
+  for (const auto& entry : promised_entries_) {
+    auto [it, inserted] = to_recover.emplace(entry.slot, entry);
+    if (!inserted && entry.ballot > it->second.ballot) it->second = entry;
+  }
+  next_slot_ = next_to_apply_;
+  for (const auto& [slot, entry] : to_recover) {
+    next_slot_ = std::max(next_slot_, slot + 1);
+  }
+  for (const auto& [slot, entry] : to_recover) {
+    ++stats_.slots_recovered;
+    propose(slot, entry.command);
+  }
+  propose_pending();
+}
+
+void Replica::propose_pending() {
+  while (!pending_.empty()) {
+    propose(next_slot_++, std::move(pending_.front()));
+    pending_.pop_front();
+  }
+}
+
+void Replica::propose(std::uint64_t slot, Command command) {
+  SlotState& state = slots_[slot];
+  state.accepted_from.clear();
+  state.proposed_command = command;
+  broadcast(Accept{my_ballot_, slot, std::move(command)});
+}
+
+void Replica::handle_accepted(const sim::NodeId& from, const Accepted& msg) {
+  if (!leading_ || msg.ballot != my_ballot_) return;
+  SlotState& state = slots_[msg.slot];
+  if (state.chosen) return;
+  state.accepted_from.insert(from.index);
+  if (state.accepted_from.size() >= majority()) {
+    // Chosen: the value is exactly what we proposed under my_ballot_ (the
+    // tally only counts Accepted messages carrying that ballot).
+    broadcast(Learn{msg.slot, state.proposed_command});
+  }
+}
+
+// --------------------------------------------------------------- learner
+
+void Replica::handle_learn(const Learn& msg) {
+  choose(msg.slot, msg.command);
+}
+
+void Replica::choose(std::uint64_t slot, const Command& command) {
+  SlotState& state = slots_[slot];
+  if (!state.chosen) {
+    state.chosen = true;
+    state.chosen_command = command;
+  }
+  try_apply();
+}
+
+void Replica::try_apply() {
+  for (;;) {
+    auto it = slots_.find(next_to_apply_);
+    if (it == slots_.end() || !it->second.chosen) return;
+    const Command& command = it->second.chosen_command;
+    // Exactly-once: a command can occupy two slots if a recovering leader
+    // re-proposed it while the old leader's proposal was also chosen.
+    if (applied_ids_.insert(command.id).second) {
+      ++stats_.commands_applied;
+      applied_log_.push_back(command);
+      if (apply_) apply_(next_to_apply_, command);
+    }
+    ++next_to_apply_;
+  }
+}
+
+}  // namespace qopt::smr

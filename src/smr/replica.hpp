@@ -1,0 +1,135 @@
+// MultiPaxos replica — the state-machine-replication substrate the paper
+// points to for removing Q-OPT's control-plane single points of failure
+// (Section 3: "standard replication techniques, such as state-machine
+// replication [18, 38, 5], can be used to derive fault-tolerant
+// implementations of any of these components").
+//
+// Design (classic leader-based MultiPaxos, simplified for a fixed group):
+//  * every replica is proposer + acceptor + learner;
+//  * leadership follows the failure detector: the lowest-indexed
+//    non-suspected replica leads; a leadership change runs phase 1
+//    (Prepare/Promise) over all unchosen slots, re-proposes the highest-
+//    ballot accepted values it finds, then serves new commands with
+//    phase 2 only;
+//  * ballots are (term * group_size + replica_index), globally unique;
+//  * a slot is chosen on a majority of Accepted; Learn messages disseminate
+//    the decision; replicas apply commands in slot order once contiguous;
+//  * command ids give exactly-once application (a command re-proposed
+//    during recovery may occupy two slots; the second apply is a no-op).
+//
+// Safety holds under any asynchrony/suspicion pattern; liveness requires a
+// majority of correct replicas and eventually accurate suspicion (the same
+// ◇P assumption the paper makes for the RM).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/failure_detector.hpp"
+#include "sim/ids.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "smr/messages.hpp"
+
+namespace qopt::smr {
+
+struct ReplicaStats {
+  std::uint64_t commands_applied = 0;
+  std::uint64_t leadership_changes = 0;
+  std::uint64_t slots_recovered = 0;  // re-proposed during phase 1
+};
+
+class Replica {
+ public:
+  using Net = sim::Network<Message>;
+  /// Called exactly once per command, in log order.
+  using ApplyFn = std::function<void(std::uint64_t slot, const Command&)>;
+
+  Replica(sim::Simulator& sim, Net& net, sim::FailureDetector& fd,
+          std::uint32_t index, std::uint32_t group_size, ApplyFn apply);
+
+  void on_message(const sim::NodeId& from, const Message& msg);
+
+  /// Submits a command for replication. Any replica accepts submissions;
+  /// non-leaders forward to their current leader. Commands are buffered
+  /// across leadership changes until chosen.
+  void submit(Command command);
+
+  void crash();
+  bool crashed() const noexcept { return crashed_; }
+
+  bool is_leader() const;
+  std::uint32_t index() const noexcept { return index_; }
+  std::uint64_t applied_upto() const noexcept { return next_to_apply_; }
+  const std::vector<Command>& applied_log() const noexcept {
+    return applied_log_;
+  }
+  const ReplicaStats& stats() const noexcept { return stats_; }
+
+  /// Reacts to failure-detector output; wired by the group (also invoked
+  /// directly by tests).
+  void reevaluate_leadership();
+
+ private:
+  struct SlotState {
+    std::uint64_t accepted_ballot = 0;
+    Command accepted_command;
+    bool has_accepted = false;
+    bool chosen = false;
+    Command chosen_command;
+    // Leader-side phase-2 state for this replica's own proposal.
+    Command proposed_command;
+    std::set<std::uint32_t> accepted_from;
+  };
+
+  std::uint32_t leader_index() const;
+  void start_leadership();
+  void handle_prepare(const sim::NodeId& from, const Prepare& msg);
+  void handle_promise(const sim::NodeId& from, const Promise& msg);
+  void handle_accept(const sim::NodeId& from, const Accept& msg);
+  void handle_accepted(const sim::NodeId& from, const Accepted& msg);
+  void handle_learn(const Learn& msg);
+  void propose(std::uint64_t slot, Command command);
+  void propose_pending();
+  void choose(std::uint64_t slot, const Command& command);
+  void try_apply();
+  void broadcast(const Message& msg);
+  std::uint32_t majority() const { return group_size_ / 2 + 1; }
+
+  sim::Simulator& sim_;
+  Net& net_;
+  sim::FailureDetector& fd_;
+  std::uint32_t index_;
+  std::uint32_t group_size_;
+  ApplyFn apply_;
+  bool crashed_ = false;
+
+  // Acceptor state.
+  std::uint64_t promised_ballot_ = 0;
+  std::map<std::uint64_t, SlotState> slots_;
+
+  // Leader state.
+  std::uint64_t term_ = 0;
+  std::uint64_t my_ballot_ = 0;
+  bool leading_ = false;        // completed phase 1 for my_ballot_
+  bool preparing_ = false;      // phase 1 in flight
+  std::set<std::uint32_t> promises_from_;
+  std::vector<Promise::AcceptedEntry> promised_entries_;
+  std::uint64_t next_slot_ = 0;
+  std::deque<Command> pending_;  // submitted, not yet proposed
+
+  // Learner state.
+  std::uint64_t next_to_apply_ = 0;
+  std::vector<Command> applied_log_;
+  std::unordered_set<std::uint64_t> applied_ids_;
+
+  ReplicaStats stats_;
+};
+
+}  // namespace qopt::smr

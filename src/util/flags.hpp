@@ -1,0 +1,41 @@
+// Minimal command-line flag parser for the example/CLI binaries.
+//
+// Supports --name=value, --name value, and boolean --name / --no-name.
+// Unknown flags are collected so callers can fail with a helpful message.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace qopt {
+
+class Flags {
+ public:
+  /// Parses argv; positional (non---prefixed) arguments are kept in order.
+  Flags(int argc, const char* const argv[]);
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Flags that were provided but never queried (typo detection). Call
+  /// after all get_*() lookups.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::map<std::string, bool> accessed_;
+};
+
+}  // namespace qopt

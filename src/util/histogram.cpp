@@ -1,0 +1,83 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace qopt {
+
+LatencyHistogram::LatencyHistogram(double min_value, double growth,
+                                   std::size_t num_buckets)
+    : min_value_(min_value > 0 ? min_value : 1.0),
+      log_growth_(std::log(growth > 1.0 ? growth : 1.02)),
+      buckets_(num_buckets ? num_buckets : 1, 0) {}
+
+std::size_t LatencyHistogram::bucket_for(double value) const {
+  if (value <= min_value_) return 0;
+  const double idx = std::log(value / min_value_) / log_growth_;
+  const auto bucket = static_cast<std::size_t>(idx) + 1;
+  return std::min(bucket, buckets_.size() - 1);
+}
+
+double LatencyHistogram::bucket_upper(std::size_t index) const {
+  return min_value_ * std::exp(log_growth_ * static_cast<double>(index));
+}
+
+void LatencyHistogram::record(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++buckets_[bucket_for(value)];
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  // Histograms created with the same parameters merge bucket-wise; this is
+  // the only supported use (enforced by construction in the metrics layer).
+  const std::size_t n = std::min(buckets_.size(), other.buckets_.size());
+  for (std::size_t i = 0; i < n; ++i) buckets_[i] += other.buckets_[i];
+}
+
+void LatencyHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = max_ = 0.0;
+}
+
+double LatencyHistogram::percentile(double pct) const {
+  if (count_ == 0) return 0.0;
+  const double target =
+      std::clamp(pct, 0.0, 100.0) / 100.0 * static_cast<double>(count_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (static_cast<double>(cumulative) >= target) {
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+std::string LatencyHistogram::summary() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean() << " p50=" << percentile(50)
+     << " p99=" << percentile(99) << " max=" << max();
+  return os.str();
+}
+
+}  // namespace qopt

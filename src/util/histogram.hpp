@@ -1,0 +1,52 @@
+// Log-scale latency histogram with fixed memory footprint.
+//
+// Buckets grow geometrically, giving ~2% relative resolution across the full
+// nanosecond..minute range, which is plenty for latency reporting while
+// staying allocation-free on the hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace qopt {
+
+class LatencyHistogram {
+ public:
+  /// `growth` is the geometric bucket ratio (>1); default gives ~128 buckets
+  /// per decade.
+  explicit LatencyHistogram(double min_value = 100.0, double growth = 1.02,
+                            std::size_t num_buckets = 1200);
+
+  void record(double value);
+  void merge(const LatencyHistogram& other);
+  void reset();
+
+  std::uint64_t count() const noexcept { return count_; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double mean() const noexcept {
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Approximate value at the given percentile in [0,100].
+  double percentile(double pct) const;
+
+  /// One-line human-readable summary (used by bench harnesses).
+  std::string summary() const;
+
+ private:
+  std::size_t bucket_for(double value) const;
+  double bucket_upper(std::size_t index) const;
+
+  double min_value_;
+  double log_growth_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace qopt

@@ -1,0 +1,112 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace qopt {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() noexcept { *this = RunningStats{}; }
+
+double RunningStats::variance() const noexcept {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity ? capacity : 1), rng_(seed) {
+  data_.reserve(capacity_);
+}
+
+void ReservoirSample::add(double x) {
+  ++seen_;
+  if (data_.size() < capacity_) {
+    data_.push_back(x);
+  } else {
+    const std::uint64_t j = rng_.next_below(seen_);
+    if (j < capacity_) data_[static_cast<std::size_t>(j)] = x;
+  }
+  dirty_ = true;
+}
+
+double ReservoirSample::percentile(double pct) const {
+  if (data_.empty()) return 0.0;
+  if (dirty_) {
+    sorted_ = data_;
+    std::sort(sorted_.begin(), sorted_.end());
+    dirty_ = false;
+  }
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] + (sorted_[hi] - sorted_[lo]) * frac;
+}
+
+MovingAverage::MovingAverage(std::size_t window)
+    : window_(window ? window : 1) {}
+
+void MovingAverage::add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  if (samples_.size() > window_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+}
+
+double MovingAverage::mean() const noexcept {
+  return samples_.empty() ? 0.0
+                          : sum_ / static_cast<double>(samples_.size());
+}
+
+void MovingAverage::reset() {
+  samples_.clear();
+  sum_ = 0.0;
+}
+
+double exact_percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+}  // namespace qopt

@@ -1,0 +1,37 @@
+// Virtual-time representation shared by the whole code base.
+//
+// The simulator runs on a single signed 64-bit nanosecond clock. Signed
+// arithmetic keeps interval subtraction safe; at nanosecond resolution the
+// clock covers ~292 years, far beyond any simulated experiment.
+#pragma once
+
+#include <cstdint>
+
+namespace qopt {
+
+using Time = std::int64_t;  // nanoseconds of virtual time
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1'000;
+inline constexpr Duration kMillisecond = 1'000'000;
+inline constexpr Duration kSecond = 1'000'000'000;
+
+constexpr Duration nanoseconds(std::int64_t n) { return n * kNanosecond; }
+constexpr Duration microseconds(std::int64_t n) { return n * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t n) { return n * kMillisecond; }
+constexpr Duration seconds(double n) {
+  return static_cast<Duration>(n * static_cast<double>(kSecond));
+}
+
+/// Converts a virtual-time duration to fractional seconds (for reporting).
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Converts a virtual-time duration to fractional milliseconds.
+constexpr double to_millis(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+}  // namespace qopt

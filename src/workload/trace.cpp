@@ -1,0 +1,75 @@
+#include "workload/trace.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qopt::workload {
+
+RecordingSource::RecordingSource(std::shared_ptr<OperationSource> inner)
+    : inner_(std::move(inner)) {
+  if (!inner_) throw std::invalid_argument("RecordingSource: null inner");
+}
+
+Operation RecordingSource::next(Rng& rng, Time now) {
+  const Operation op = inner_->next(rng, now);
+  trace_.push_back(TraceEntry{now, op});
+  return op;
+}
+
+std::string RecordingSource::describe() const {
+  return "recording(" + inner_->describe() + ")";
+}
+
+TraceSource::TraceSource(std::vector<TraceEntry> trace, bool loop)
+    : trace_(std::move(trace)), loop_(loop) {
+  if (trace_.empty()) throw std::invalid_argument("TraceSource: empty trace");
+}
+
+Operation TraceSource::next(Rng& /*rng*/, Time /*now*/) {
+  const Operation op = trace_[position_].op;
+  if (position_ + 1 < trace_.size()) {
+    ++position_;
+  } else if (loop_) {
+    position_ = 0;
+  }
+  return op;
+}
+
+std::string TraceSource::describe() const {
+  return "trace(" + std::to_string(trace_.size()) + " ops)";
+}
+
+void save_trace(const std::string& path,
+                const std::vector<TraceEntry>& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+  out << "at_ns,oid,is_write,size_bytes\n";
+  for (const TraceEntry& entry : trace) {
+    out << entry.at << ',' << entry.op.oid << ','
+        << (entry.op.is_write ? 1 : 0) << ',' << entry.op.size_bytes << '\n';
+  }
+}
+
+std::vector<TraceEntry> load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+  std::vector<TraceEntry> trace;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    TraceEntry entry;
+    char comma;
+    int is_write = 0;
+    row >> entry.at >> comma >> entry.op.oid >> comma >> is_write >> comma >>
+        entry.op.size_bytes;
+    if (row.fail()) throw std::runtime_error("load_trace: corrupt row");
+    entry.op.is_write = is_write != 0;
+    trace.push_back(entry);
+  }
+  return trace;
+}
+
+}  // namespace qopt::workload

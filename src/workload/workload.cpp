@@ -1,0 +1,228 @@
+#include "workload/workload.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace qopt::workload {
+
+// ------------------------------------------------------------------- keys
+
+UniformKeys::UniformKeys(std::uint64_t num_keys) : num_keys_(num_keys) {
+  if (num_keys == 0) throw std::invalid_argument("UniformKeys: empty space");
+}
+
+kv::ObjectId UniformKeys::sample(Rng& rng) {
+  return rng.next_below(num_keys_);
+}
+
+namespace {
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+}  // namespace
+
+ZipfianKeys::ZipfianKeys(std::uint64_t num_keys, double theta, bool scramble)
+    : num_keys_(num_keys), theta_(theta), scramble_(scramble) {
+  if (num_keys == 0) throw std::invalid_argument("ZipfianKeys: empty space");
+  if (theta <= 0 || theta >= 1) {
+    throw std::invalid_argument("ZipfianKeys: theta must be in (0,1)");
+  }
+  zetan_ = zeta(num_keys_, theta_);
+  zeta2_ = zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_keys_), 1.0 - theta_)) /
+         (1.0 - zeta2_ / zetan_);
+}
+
+kv::ObjectId ZipfianKeys::sample(Rng& rng) {
+  // Gray et al. "Quickly generating billion-record synthetic databases",
+  // as used by YCSB's ZipfianGenerator.
+  const double u = rng.next_double();
+  const double uz = u * zetan_;
+  std::uint64_t rank;
+  if (uz < 1.0) {
+    rank = 0;
+  } else if (uz < 1.0 + std::pow(0.5, theta_)) {
+    rank = 1;
+  } else {
+    rank = static_cast<std::uint64_t>(
+        static_cast<double>(num_keys_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    if (rank >= num_keys_) rank = num_keys_ - 1;
+  }
+  if (!scramble_) return rank;
+  return mix64(rank) % num_keys_;
+}
+
+HotspotKeys::HotspotKeys(std::uint64_t num_keys, double hot_fraction,
+                         double hot_ratio)
+    : num_keys_(num_keys), hot_ratio_(hot_ratio) {
+  if (num_keys == 0) throw std::invalid_argument("HotspotKeys: empty space");
+  hot_keys_ = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(hot_fraction *
+                                    static_cast<double>(num_keys)));
+  if (hot_keys_ > num_keys_) hot_keys_ = num_keys_;
+}
+
+kv::ObjectId HotspotKeys::sample(Rng& rng) {
+  if (rng.chance(hot_ratio_) || hot_keys_ == num_keys_) {
+    return rng.next_below(hot_keys_);
+  }
+  return hot_keys_ + rng.next_below(num_keys_ - hot_keys_);
+}
+
+// ------------------------------------------------------------------ sizes
+
+std::uint64_t SizeDistribution::sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return fixed;
+    case Kind::kUniform:
+      return lo + rng.next_below(hi > lo ? hi - lo + 1 : 1);
+  }
+  return fixed;
+}
+
+// ---------------------------------------------------------------- sources
+
+BasicWorkload::BasicWorkload(WorkloadSpec spec) : spec_(std::move(spec)) {
+  if (!spec_.keys) throw std::invalid_argument("BasicWorkload: null keys");
+}
+
+Operation BasicWorkload::next(Rng& rng, Time /*now*/) {
+  Operation op;
+  op.oid = spec_.key_offset + spec_.keys->sample(rng);
+  op.is_write = rng.chance(spec_.write_ratio);
+  op.size_bytes = spec_.sizes.sample(rng);
+  return op;
+}
+
+InsertingWorkload::InsertingWorkload(Spec spec)
+    : spec_(spec), next_key_(spec.initial_keys) {
+  if (spec_.initial_keys == 0) {
+    throw std::invalid_argument("InsertingWorkload: need initial keys");
+  }
+}
+
+kv::ObjectId InsertingWorkload::sample_recent(Rng& rng) {
+  // Approximate zipfian-over-recency: rank r (0 = newest) has probability
+  // ~ r^-theta, sampled by inverse transform over the continuous
+  // approximation (exact zeta tables are impractical for a growing n).
+  const double u = rng.next_double();
+  const double n = static_cast<double>(next_key_);
+  const double rank =
+      std::pow(u, 1.0 / (1.0 - spec_.theta)) * n;  // heavy mass near 0
+  auto offset = static_cast<std::uint64_t>(rank);
+  if (offset >= next_key_) offset = next_key_ - 1;
+  return spec_.key_offset + (next_key_ - 1 - offset);
+}
+
+Operation InsertingWorkload::next(Rng& rng, Time /*now*/) {
+  Operation op;
+  op.size_bytes = spec_.sizes.sample(rng);
+  if (rng.chance(spec_.insert_ratio)) {
+    op.is_write = true;
+    op.oid = spec_.key_offset + next_key_++;
+    return op;
+  }
+  op.oid = sample_recent(rng);
+  op.is_write = rng.chance(spec_.write_ratio);
+  return op;
+}
+
+PhasedWorkload::PhasedWorkload(std::vector<Phase> phases, bool cycle)
+    : phases_(std::move(phases)), cycle_(cycle) {
+  if (phases_.empty()) {
+    throw std::invalid_argument("PhasedWorkload: no phases");
+  }
+  for (const Phase& phase : phases_) {
+    if (phase.duration <= 0 || !phase.source) {
+      throw std::invalid_argument("PhasedWorkload: invalid phase");
+    }
+    total_ += phase.duration;
+  }
+}
+
+std::size_t PhasedWorkload::phase_at(Time now) const {
+  Time t = now;
+  if (cycle_) {
+    t = now % total_;
+  } else if (now >= total_) {
+    return phases_.size() - 1;
+  }
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (t < phases_[i].duration) return i;
+    t -= phases_[i].duration;
+  }
+  return phases_.size() - 1;
+}
+
+Operation PhasedWorkload::next(Rng& rng, Time now) {
+  return phases_[phase_at(now)].source->next(rng, now);
+}
+
+std::string PhasedWorkload::describe() const {
+  std::string out = "phased(";
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (i) out += ",";
+    out += phases_[i].source->describe();
+  }
+  return out + ")";
+}
+
+// ---------------------------------------------------------------- presets
+
+namespace {
+std::shared_ptr<OperationSource> make_preset(double write_ratio,
+                                             std::uint64_t num_keys,
+                                             std::uint64_t object_bytes,
+                                             kv::ObjectId key_offset,
+                                             std::string name,
+                                             bool zipfian = true) {
+  WorkloadSpec spec;
+  spec.write_ratio = write_ratio;
+  if (zipfian) {
+    spec.keys = std::make_shared<ZipfianKeys>(num_keys);
+  } else {
+    spec.keys = std::make_shared<UniformKeys>(num_keys);
+  }
+  spec.sizes = SizeDistribution::fixed_size(object_bytes);
+  spec.key_offset = key_offset;
+  spec.name = std::move(name);
+  return std::make_shared<BasicWorkload>(std::move(spec));
+}
+}  // namespace
+
+std::shared_ptr<OperationSource> ycsb_a(std::uint64_t num_keys,
+                                        std::uint64_t object_bytes,
+                                        kv::ObjectId key_offset) {
+  return make_preset(0.50, num_keys, object_bytes, key_offset, "ycsb-a");
+}
+
+std::shared_ptr<OperationSource> ycsb_b(std::uint64_t num_keys,
+                                        std::uint64_t object_bytes,
+                                        kv::ObjectId key_offset) {
+  return make_preset(0.05, num_keys, object_bytes, key_offset, "ycsb-b");
+}
+
+std::shared_ptr<OperationSource> backup_c(std::uint64_t num_keys,
+                                          std::uint64_t object_bytes,
+                                          kv::ObjectId key_offset) {
+  return make_preset(0.99, num_keys, object_bytes, key_offset, "backup-c");
+}
+
+std::shared_ptr<OperationSource> sweep_point(double write_ratio,
+                                             std::uint64_t object_bytes,
+                                             std::uint64_t num_keys,
+                                             kv::ObjectId key_offset) {
+  return make_preset(write_ratio, num_keys, object_bytes, key_offset,
+                     "sweep(w=" + std::to_string(write_ratio) + ")",
+                     /*zipfian=*/false);
+}
+
+}  // namespace qopt::workload

@@ -1,0 +1,209 @@
+// Workload generation: key popularity distributions, read/write mixes and
+// object-size distributions, with presets for the workloads used in the
+// paper's evaluation:
+//   * YCSB Workload A — 50% reads / 50% writes, zipfian keys ("session
+//     store");
+//   * YCSB Workload B — 95% reads, zipfian keys ("photo tagging");
+//   * Workload C (paper) — 99% writes ("backup service" / personal file
+//     storage with upload-only users [14]);
+// plus uniform/hotspot/latest distributions, time-varying phase schedules
+// (the Dropbox commute pattern from the introduction) and per-tenant key
+// namespaces for multi-tenant scenarios.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kv/types.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace qopt::workload {
+
+struct Operation {
+  kv::ObjectId oid = 0;
+  bool is_write = false;
+  std::uint64_t size_bytes = 0;  // meaningful for writes
+};
+
+// ------------------------------------------------------------------- keys
+
+class KeyDistribution {
+ public:
+  virtual ~KeyDistribution() = default;
+  virtual kv::ObjectId sample(Rng& rng) = 0;
+  virtual std::uint64_t key_space() const = 0;
+};
+
+class UniformKeys final : public KeyDistribution {
+ public:
+  explicit UniformKeys(std::uint64_t num_keys);
+  kv::ObjectId sample(Rng& rng) override;
+  std::uint64_t key_space() const override { return num_keys_; }
+
+ private:
+  std::uint64_t num_keys_;
+};
+
+/// YCSB-style zipfian generator (Gray et al.'s method, O(1) sampling after
+/// an O(n) zeta precomputation). `scramble` hashes ranks over the key space
+/// so popular keys are not clustered at low ids (YCSB's default behaviour).
+class ZipfianKeys final : public KeyDistribution {
+ public:
+  explicit ZipfianKeys(std::uint64_t num_keys, double theta = 0.99,
+                       bool scramble = true);
+  kv::ObjectId sample(Rng& rng) override;
+  std::uint64_t key_space() const override { return num_keys_; }
+
+ private:
+  std::uint64_t num_keys_;
+  double theta_;
+  bool scramble_;
+  double zetan_;
+  double zeta2_;
+  double alpha_;
+  double eta_;
+};
+
+/// Hotspot distribution: `hot_ratio` of operations hit the first
+/// `hot_fraction` of the key space uniformly; the rest spread uniformly
+/// over the remainder.
+class HotspotKeys final : public KeyDistribution {
+ public:
+  HotspotKeys(std::uint64_t num_keys, double hot_fraction, double hot_ratio);
+  kv::ObjectId sample(Rng& rng) override;
+  std::uint64_t key_space() const override { return num_keys_; }
+
+ private:
+  std::uint64_t num_keys_;
+  std::uint64_t hot_keys_;
+  double hot_ratio_;
+};
+
+// ------------------------------------------------------------------ sizes
+
+struct SizeDistribution {
+  enum class Kind { kFixed, kUniform };
+  Kind kind = Kind::kFixed;
+  std::uint64_t fixed = 4096;
+  std::uint64_t lo = 1024;
+  std::uint64_t hi = 65536;
+
+  static SizeDistribution fixed_size(std::uint64_t bytes) {
+    SizeDistribution d;
+    d.kind = Kind::kFixed;
+    d.fixed = bytes;
+    return d;
+  }
+  static SizeDistribution uniform(std::uint64_t lo, std::uint64_t hi) {
+    SizeDistribution d;
+    d.kind = Kind::kUniform;
+    d.lo = lo;
+    d.hi = hi;
+    return d;
+  }
+  std::uint64_t sample(Rng& rng) const;
+};
+
+// ---------------------------------------------------------------- sources
+
+/// Stream of operations consumed by a (closed-loop) client driver.
+class OperationSource {
+ public:
+  virtual ~OperationSource() = default;
+  virtual Operation next(Rng& rng, Time now) = 0;
+  virtual std::string describe() const = 0;
+};
+
+struct WorkloadSpec {
+  double write_ratio = 0.5;
+  std::shared_ptr<KeyDistribution> keys;
+  SizeDistribution sizes;
+  kv::ObjectId key_offset = 0;  // tenant namespace base
+  std::string name = "custom";
+};
+
+class BasicWorkload final : public OperationSource {
+ public:
+  explicit BasicWorkload(WorkloadSpec spec);
+  Operation next(Rng& rng, Time now) override;
+  std::string describe() const override { return spec_.name; }
+  const WorkloadSpec& spec() const noexcept { return spec_; }
+
+ private:
+  WorkloadSpec spec_;
+};
+
+/// YCSB's "latest" behaviour for insert-heavy applications: the key space
+/// grows over time (each insert appends a key) and non-insert operations
+/// skew zipfian toward the most recently inserted keys — the
+/// upload-then-share pattern of personal file storage [14].
+class InsertingWorkload final : public OperationSource {
+ public:
+  struct Spec {
+    double insert_ratio = 0.2;   // fraction of ops creating a new object
+    double write_ratio = 0.1;    // overwrites among non-insert ops
+    std::uint64_t initial_keys = 1000;
+    kv::ObjectId key_offset = 0;
+    double theta = 0.99;         // recency skew
+    SizeDistribution sizes;
+  };
+
+  explicit InsertingWorkload(Spec spec);
+  Operation next(Rng& rng, Time now) override;
+  std::string describe() const override { return "inserting-latest"; }
+  std::uint64_t keys_inserted() const noexcept {
+    return next_key_ - spec_.initial_keys;
+  }
+  std::uint64_t key_count() const noexcept { return next_key_; }
+
+ private:
+  kv::ObjectId sample_recent(Rng& rng);
+
+  Spec spec_;
+  std::uint64_t next_key_;
+};
+
+/// Cycles through phases of fixed (virtual-time) duration; models workloads
+/// whose profile shifts over time, e.g. Dropbox users alternating between
+/// read-intensive and upload-only periods [14].
+class PhasedWorkload final : public OperationSource {
+ public:
+  struct Phase {
+    Duration duration = 0;
+    std::shared_ptr<OperationSource> source;
+  };
+
+  explicit PhasedWorkload(std::vector<Phase> phases, bool cycle = true);
+  Operation next(Rng& rng, Time now) override;
+  std::string describe() const override;
+  /// Phase index active at `now` (for trace annotation).
+  std::size_t phase_at(Time now) const;
+
+ private:
+  std::vector<Phase> phases_;
+  bool cycle_;
+  Duration total_ = 0;
+};
+
+// ---------------------------------------------------------------- presets
+
+std::shared_ptr<OperationSource> ycsb_a(std::uint64_t num_keys,
+                                        std::uint64_t object_bytes = 4096,
+                                        kv::ObjectId key_offset = 0);
+std::shared_ptr<OperationSource> ycsb_b(std::uint64_t num_keys,
+                                        std::uint64_t object_bytes = 4096,
+                                        kv::ObjectId key_offset = 0);
+/// The paper's write-intensive "backup service" workload (99% writes).
+std::shared_ptr<OperationSource> backup_c(std::uint64_t num_keys,
+                                          std::uint64_t object_bytes = 4096,
+                                          kv::ObjectId key_offset = 0);
+/// Parametric workload used for the 170-point sweep of Figure 3.
+std::shared_ptr<OperationSource> sweep_point(double write_ratio,
+                                             std::uint64_t object_bytes,
+                                             std::uint64_t num_keys,
+                                             kv::ObjectId key_offset = 0);
+
+}  // namespace qopt::workload

@@ -1,0 +1,178 @@
+// Tests for the Autonomic Manager's round-based optimization (Algorithm 1):
+// fine-grain hotspot tuning, the γ/θ stopping rule, tail optimization,
+// steady-state drift handling, and workload-change restarts.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "workload/workload.hpp"
+
+namespace qopt {
+namespace {
+
+ClusterConfig am_config() {
+  ClusterConfig config;
+  config.num_storage = 5;
+  config.num_proxies = 2;
+  config.clients_per_proxy = 5;
+  config.replication = 5;
+  config.initial_quorum = {3, 3};
+  config.seed = 21;
+  return config;
+}
+
+autonomic::AutonomicOptions fast_tuning() {
+  autonomic::AutonomicOptions options;
+  options.round_window = seconds(2);
+  options.quarantine = seconds(1);
+  options.topk_per_round = 4;
+  return options;
+}
+
+TEST(AutonomicTest, ConvergesToLargeWForReadHeavyTail) {
+  Cluster cluster(am_config());
+  cluster.preload(2000, 4096);
+  cluster.set_workload(workload::ycsb_b(2000));
+  cluster.enable_autotuning(fast_tuning());
+  cluster.run_for(seconds(60));
+  ASSERT_TRUE(cluster.am()->converged());
+  // 95% reads -> oracle picks W=5 (R=1) for the tail.
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{1, 5}));
+  EXPECT_GE(cluster.am()->stats().tail_reconfigs, 1u);
+  EXPECT_TRUE(cluster.checker().clean());
+}
+
+TEST(AutonomicTest, ConvergesToSmallWForWriteHeavyTail) {
+  Cluster cluster(am_config());
+  cluster.preload(2000, 4096);
+  cluster.set_workload(workload::backup_c(2000));
+  cluster.enable_autotuning(fast_tuning());
+  cluster.run_for(seconds(60));
+  ASSERT_TRUE(cluster.am()->converged());
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{5, 1}));
+  EXPECT_TRUE(cluster.checker().clean());
+}
+
+TEST(AutonomicTest, HotspotObjectsGetPerObjectOverrides) {
+  Cluster cluster(am_config());
+  cluster.preload(5000, 4096);
+  // Zipfian read-heavy traffic: hot objects exist and differ from the tail.
+  cluster.set_workload(workload::ycsb_b(5000));
+  cluster.enable_autotuning(fast_tuning());
+  cluster.run_for(seconds(40));
+  EXPECT_GT(cluster.am()->stats().objects_tuned, 0u);
+  EXPECT_GT(cluster.rm().config().overrides.size(), 0u);
+  // Every installed override must be strict.
+  for (const auto& [oid, q] : cluster.rm().config().overrides) {
+    EXPECT_TRUE(kv::is_strict(q, 5));
+  }
+}
+
+TEST(AutonomicTest, StopsFineGrainWhenImprovementFades) {
+  Cluster cluster(am_config());
+  cluster.preload(2000, 4096);
+  cluster.set_workload(workload::ycsb_b(2000));
+  cluster.enable_autotuning(fast_tuning());
+  cluster.run_for(seconds(90));
+  ASSERT_TRUE(cluster.am()->converged());
+  // Convergence implies rounds stopped triggering fine-grain reconfigs;
+  // steady rounds continue but tuned-object count stabilizes.
+  const std::uint64_t tuned = cluster.am()->stats().objects_tuned;
+  cluster.run_for(seconds(20));
+  EXPECT_LE(cluster.am()->stats().objects_tuned, tuned + 4)
+      << "fine-grain tuning kept churning after convergence";
+}
+
+TEST(AutonomicTest, ConstraintsRestrictChosenQuorums) {
+  Cluster cluster(am_config());
+  cluster.preload(2000, 4096);
+  cluster.set_workload(workload::ycsb_b(2000));  // would want W=5
+  autonomic::AutonomicOptions options = fast_tuning();
+  options.constraints.min_read = 2;  // fault-tolerance SLA: R >= 2 -> W <= 4
+  cluster.enable_autotuning(options);
+  cluster.run_for(seconds(60));
+  EXPECT_LE(cluster.rm().config().default_q.write_q, 4);
+  EXPECT_GE(cluster.rm().config().default_q.read_q, 2);
+  for (const auto& [oid, q] : cluster.rm().config().overrides) {
+    EXPECT_GE(q.read_q, 2);
+  }
+}
+
+TEST(AutonomicTest, RestartsAfterWorkloadShift) {
+  Cluster cluster(am_config());
+  cluster.preload(2000, 4096);
+  // Dropbox commute pattern: read-heavy day, write-heavy evening.
+  auto day = workload::ycsb_b(2000);
+  auto evening = workload::backup_c(2000);
+  cluster.set_workload(std::make_shared<workload::PhasedWorkload>(
+      std::vector<workload::PhasedWorkload::Phase>{
+          {seconds(70), day}, {seconds(200), evening}}));
+  cluster.enable_autotuning(fast_tuning());
+  cluster.run_for(seconds(60));
+  ASSERT_TRUE(cluster.am()->converged());
+  EXPECT_EQ(cluster.rm().config().default_q.write_q, 5);  // read-optimized
+  cluster.run_for(seconds(150));
+  // After the shift the manager must have detected the KPI change and
+  // re-optimized toward a write-friendly configuration.
+  EXPECT_LE(cluster.rm().config().default_q.write_q, 2)
+      << "did not adapt to the write-heavy phase";
+  EXPECT_TRUE(cluster.checker().clean());
+}
+
+TEST(AutonomicTest, EventCallbackEmitsTrace) {
+  Cluster cluster(am_config());
+  cluster.preload(1000, 4096);
+  cluster.set_workload(workload::ycsb_b(1000));
+  cluster.enable_autotuning(fast_tuning());
+  std::vector<std::string> events;
+  cluster.am()->set_event_callback(
+      [&](Time, const std::string& what) { events.push_back(what); });
+  cluster.run_for(seconds(60));
+  EXPECT_FALSE(events.empty());
+}
+
+TEST(AutonomicTest, SurvivesProxyCrashDuringTuning) {
+  Cluster cluster(am_config());
+  cluster.preload(1000, 4096);
+  cluster.set_workload(workload::ycsb_b(1000));
+  cluster.enable_autotuning(fast_tuning());
+  cluster.run_for(seconds(5));
+  cluster.crash_proxy(1);
+  cluster.run_for(seconds(60));
+  // Rounds keep progressing using the surviving proxy's reports.
+  EXPECT_TRUE(cluster.am()->converged());
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{1, 5}));
+  EXPECT_TRUE(cluster.checker().clean());
+}
+
+TEST(AutonomicTest, DoubleEnableThrows) {
+  Cluster cluster(am_config());
+  cluster.enable_autotuning(fast_tuning());
+  EXPECT_THROW(cluster.enable_autotuning(fast_tuning()), std::logic_error);
+}
+
+TEST(AutonomicTest, StopHaltsRounds) {
+  Cluster cluster(am_config());
+  cluster.preload(500, 4096);
+  cluster.set_workload(workload::ycsb_a(500));
+  cluster.enable_autotuning(fast_tuning());
+  cluster.run_for(seconds(10));
+  cluster.am()->stop();
+  const std::uint64_t rounds = cluster.am()->stats().rounds;
+  cluster.run_for(seconds(20));
+  EXPECT_EQ(cluster.am()->stats().rounds, rounds);
+}
+
+TEST(AutonomicTest, LatencyKpiAlsoConverges) {
+  Cluster cluster(am_config());
+  cluster.preload(2000, 4096);
+  cluster.set_workload(workload::ycsb_b(2000));
+  autonomic::AutonomicOptions options = fast_tuning();
+  options.kpi = autonomic::Kpi::kLatency;
+  cluster.enable_autotuning(options);
+  cluster.run_for(seconds(60));
+  EXPECT_TRUE(cluster.am()->converged());
+  EXPECT_EQ(cluster.rm().config().default_q.write_q, 5);
+}
+
+}  // namespace
+}  // namespace qopt

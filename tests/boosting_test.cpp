@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ml/boosting.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace qopt::ml {
+namespace {
+
+Dataset noisy_bands(std::uint64_t seed, double noise) {
+  // Class = band of x in [0,1), with `noise` fraction of labels flipped to
+  // a neighbouring band.
+  Dataset data({"x", "y"});
+  Rng rng(seed);
+  for (int i = 0; i < 800; ++i) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    int label = static_cast<int>(x * 4.0);
+    if (rng.chance(noise)) label = std::min(3, label + 1);
+    data.add_row({x, y}, label);
+  }
+  return data;
+}
+
+TEST(BoostingTest, TrainsAndPredicts) {
+  const Dataset data = noisy_bands(1, 0.0);
+  BoostedTrees ensemble;
+  ensemble.train(data);
+  EXPECT_TRUE(ensemble.trained());
+  const std::vector<double> low{0.1, 0.5};
+  const std::vector<double> high{0.9, 0.5};
+  EXPECT_EQ(ensemble.predict(low), 0);
+  EXPECT_EQ(ensemble.predict(high), 3);
+}
+
+TEST(BoostingTest, EmptyDatasetThrows) {
+  BoostedTrees ensemble;
+  EXPECT_THROW(ensemble.train(Dataset({"x"})), std::invalid_argument);
+  const std::vector<double> row{0.0};
+  EXPECT_THROW(ensemble.predict(row), std::logic_error);
+}
+
+TEST(BoostingTest, PerfectSeparableStopsEarly) {
+  // A clean dataset is learned by the first tree; AdaBoost stops instead of
+  // burning the remaining rounds.
+  Dataset data({"x"});
+  for (int i = 0; i < 100; ++i) {
+    data.add_row({static_cast<double>(i)}, i < 50 ? 0 : 1);
+  }
+  BoostParams params;
+  params.rounds = 20;
+  BoostedTrees ensemble;
+  ensemble.train(data, params);
+  EXPECT_LE(ensemble.rounds_used(), 2u);
+}
+
+TEST(BoostingTest, UsesMultipleRoundsOnNoisyData) {
+  const Dataset data = noisy_bands(2, 0.2);
+  BoostParams params;
+  params.rounds = 8;
+  BoostedTrees ensemble;
+  ensemble.train(data, params);
+  EXPECT_GT(ensemble.rounds_used(), 1u);
+}
+
+TEST(BoostingTest, VotesSumMatchesPrediction) {
+  const Dataset data = noisy_bands(3, 0.1);
+  BoostedTrees ensemble;
+  ensemble.train(data);
+  const std::vector<double> probe{0.6, 0.2};
+  const std::vector<double> votes = ensemble.predict_votes(probe);
+  int argmax = 0;
+  for (std::size_t c = 1; c < votes.size(); ++c) {
+    if (votes[c] > votes[static_cast<std::size_t>(argmax)]) {
+      argmax = static_cast<int>(c);
+    }
+  }
+  EXPECT_EQ(ensemble.predict(probe), argmax);
+}
+
+TEST(BoostingTest, DeterministicForSameSeed) {
+  const Dataset data = noisy_bands(4, 0.15);
+  BoostParams params;
+  params.seed = 99;
+  BoostedTrees a;
+  BoostedTrees b;
+  a.train(data, params);
+  b.train(data, params);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::vector<double> row{rng.next_double(), rng.next_double()};
+    EXPECT_EQ(a.predict(row), b.predict(row));
+  }
+}
+
+TEST(BoostingTest, CrossValidationNotWorseThanSingleTreeOnNoise) {
+  const Dataset data = noisy_bands(6, 0.25);
+  TreeParams tree_params;
+  const CvResult single =
+      cross_validate_model<DecisionTree>(data, 5, tree_params, 7);
+  BoostParams boost_params;
+  boost_params.rounds = 10;
+  const CvResult boosted =
+      cross_validate_model<BoostedTrees>(data, 5, boost_params, 7);
+  // Boosting must be at least competitive (within a small margin) and
+  // usually better on noisy multi-class data.
+  EXPECT_GE(boosted.accuracy() + 0.03, single.accuracy());
+}
+
+TEST(BoostingTest, GenericCvMatchesDedicatedCvForTrees) {
+  const Dataset data = noisy_bands(8, 0.1);
+  TreeParams params;
+  const CvResult dedicated = cross_validate(data, 5, params, 11);
+  const CvResult generic =
+      cross_validate_model<DecisionTree>(data, 5, params, 11);
+  EXPECT_EQ(dedicated.correct, generic.correct);
+  EXPECT_EQ(dedicated.total, generic.total);
+}
+
+// ------------------------------------------------------- tree persistence
+
+TEST(TreeSerializationTest, RoundTripsExactly) {
+  const Dataset data = noisy_bands(9, 0.1);
+  DecisionTree tree;
+  tree.train(data);
+  const std::string blob = tree.serialize();
+  const DecisionTree restored = DecisionTree::deserialize(blob);
+  Rng rng(10);
+  for (int i = 0; i < 500; ++i) {
+    const std::vector<double> row{rng.next_double(), rng.next_double()};
+    EXPECT_EQ(tree.predict(row), restored.predict(row));
+  }
+  EXPECT_EQ(tree.node_count(), restored.node_count());
+}
+
+TEST(TreeSerializationTest, RejectsGarbage) {
+  EXPECT_THROW(DecisionTree::deserialize("not a model"),
+               std::invalid_argument);
+  EXPECT_THROW(DecisionTree::deserialize("qopt-dtree 2 2 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(DecisionTree::deserialize("qopt-dtree 1 2 5 1\n-1 0 -1 -1 0 0\n"),
+               std::invalid_argument);  // root out of range
+}
+
+TEST(TreeSerializationTest, TruncatedInputThrows) {
+  const Dataset data = noisy_bands(11, 0.0);
+  DecisionTree tree;
+  tree.train(data);
+  std::string blob = tree.serialize();
+  blob.resize(blob.size() / 2);
+  EXPECT_THROW(DecisionTree::deserialize(blob), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qopt::ml

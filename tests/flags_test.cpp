@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "util/flags.hpp"
+
+namespace qopt {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  const Flags flags = parse({"--name=value", "--count=42"});
+  EXPECT_EQ(flags.get_string("name", ""), "value");
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  const Flags flags = parse({"--name", "value", "--count", "7"});
+  EXPECT_EQ(flags.get_string("name", ""), "value");
+  EXPECT_EQ(flags.get_int("count", 0), 7);
+}
+
+TEST(FlagsTest, BooleanForms) {
+  const Flags flags = parse({"--verbose", "--no-color", "--flag=false"});
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  EXPECT_FALSE(flags.get_bool("color", true));
+  EXPECT_FALSE(flags.get_bool("flag", true));
+  EXPECT_TRUE(flags.get_bool("absent", true));
+  EXPECT_FALSE(flags.get_bool("absent2", false));
+}
+
+TEST(FlagsTest, DoubleValues) {
+  const Flags flags = parse({"--ratio=0.75"});
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0), 0.75);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+}
+
+TEST(FlagsTest, PositionalArguments) {
+  const Flags flags = parse({"input.csv", "--opt=1", "output.csv"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "output.csv");
+}
+
+TEST(FlagsTest, FlagFollowedByFlagIsBoolean) {
+  const Flags flags = parse({"--a", "--b", "value"});
+  EXPECT_TRUE(flags.get_bool("a", false));
+  EXPECT_EQ(flags.get_string("b", ""), "value");
+}
+
+TEST(FlagsTest, HasAndUnused) {
+  const Flags flags = parse({"--used=1", "--typo=2"});
+  EXPECT_TRUE(flags.has("used"));
+  (void)flags.get_int("used", 0);
+  const auto unused = flags.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(FlagsTest, EmptyArgv) {
+  const Flags flags = parse({});
+  EXPECT_FALSE(flags.has("anything"));
+  EXPECT_TRUE(flags.positional().empty());
+  EXPECT_EQ(flags.get_int("n", -3), -3);
+}
+
+TEST(FlagsTest, LastOccurrenceWins) {
+  const Flags flags = parse({"--n=1", "--n=2"});
+  EXPECT_EQ(flags.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace qopt

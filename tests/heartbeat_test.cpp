@@ -1,0 +1,119 @@
+// Tests for the heartbeat-driven failure detector: suspicion arises from
+// actual message traffic (crash = beats stop; pause = organic false
+// suspicion that later clears), and the reconfiguration protocol's
+// indulgence holds under it end to end.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "workload/workload.hpp"
+
+namespace qopt {
+namespace {
+
+ClusterConfig hb_config() {
+  ClusterConfig config;
+  config.num_storage = 5;
+  config.num_proxies = 3;
+  config.clients_per_proxy = 2;
+  config.replication = 5;
+  config.initial_quorum = {3, 3};
+  config.heartbeat_fd = true;
+  config.heartbeat_interval = milliseconds(100);
+  config.heartbeat_timeout = milliseconds(500);
+  config.seed = 13;
+  return config;
+}
+
+TEST(HeartbeatTest, NoSuspicionsWhileHealthy) {
+  Cluster cluster(hb_config());
+  cluster.preload(100, 1024);
+  cluster.set_workload(workload::ycsb_a(100));
+  cluster.run_for(seconds(10));
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_FALSE(cluster.failure_detector().suspects(sim::proxy_id(i)));
+  }
+  EXPECT_EQ(cluster.heartbeat_watcher()->suspicions_raised(), 0u);
+}
+
+TEST(HeartbeatTest, CrashDetectedFromMissingBeats) {
+  Cluster cluster(hb_config());
+  cluster.preload(100, 1024);
+  cluster.set_workload(workload::ycsb_a(100));
+  cluster.run_for(seconds(2));
+  cluster.crash_proxy(1);
+  EXPECT_FALSE(cluster.failure_detector().suspects(sim::proxy_id(1)));
+  cluster.run_for(seconds(1));  // > timeout + check interval
+  EXPECT_TRUE(cluster.failure_detector().suspects(sim::proxy_id(1)));
+  EXPECT_GE(cluster.heartbeat_watcher()->suspicions_raised(), 1u);
+}
+
+TEST(HeartbeatTest, PausedBeatsCauseFalseSuspicionThatClears) {
+  Cluster cluster(hb_config());
+  cluster.preload(100, 1024);
+  cluster.set_workload(workload::ycsb_a(100));
+  cluster.run_for(seconds(2));
+  cluster.proxy(2).set_heartbeats_paused(true);
+  cluster.run_for(seconds(1));
+  EXPECT_TRUE(cluster.failure_detector().suspects(sim::proxy_id(2)))
+      << "silent (but live) proxy not suspected";
+  cluster.proxy(2).set_heartbeats_paused(false);
+  cluster.run_for(seconds(1));
+  EXPECT_FALSE(cluster.failure_detector().suspects(sim::proxy_id(2)))
+      << "suspicion not cleared after beats resumed (eventual accuracy)";
+  EXPECT_GE(cluster.heartbeat_watcher()->suspicions_cleared(), 1u);
+}
+
+TEST(HeartbeatTest, ReconfigurationDuringOrganicFalseSuspicionIsSafe) {
+  // The falsely suspected proxy keeps serving; the RM epoch-changes past
+  // it; the proxy resynchronizes through NACKs — all with suspicion derived
+  // purely from (paused) heartbeat traffic.
+  Cluster cluster(hb_config());
+  cluster.preload(200, 1024);
+  cluster.set_workload(workload::ycsb_a(200));
+  cluster.run_for(seconds(2));
+  cluster.proxy(0).set_heartbeats_paused(true);
+  cluster.run_for(seconds(1));
+  bool ok = false;
+  cluster.reconfigure({4, 2}, [&](bool success) { ok = success; });
+  cluster.run_for(seconds(3));
+  EXPECT_TRUE(ok);
+  EXPECT_GE(cluster.rm().stats().epoch_changes, 1u);
+  EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig{4, 2}));
+  cluster.proxy(0).set_heartbeats_paused(false);
+  cluster.run_for(seconds(2));
+  EXPECT_FALSE(cluster.failure_detector().suspects(sim::proxy_id(0)));
+  EXPECT_TRUE(cluster.checker().clean());
+  EXPECT_GT(cluster.client(0).ops_completed(), 0u);
+}
+
+TEST(HeartbeatTest, CrashedProxyReconfigStillTerminates) {
+  Cluster cluster(hb_config());
+  cluster.preload(100, 1024);
+  cluster.set_workload(workload::ycsb_a(100));
+  cluster.run_for(seconds(1));
+  cluster.crash_proxy(2);
+  bool ok = false;
+  cluster.reconfigure({5, 1}, [&](bool success) { ok = success; });
+  cluster.run_for(seconds(5));
+  EXPECT_TRUE(ok) << "reconfiguration blocked on a heartbeat-detected crash";
+  EXPECT_TRUE(cluster.checker().clean());
+}
+
+TEST(HeartbeatTest, AutotuningRunsOverHeartbeatDetector) {
+  ClusterConfig config = hb_config();
+  config.clients_per_proxy = 4;
+  Cluster cluster(config);
+  cluster.preload(2000, 4096);
+  cluster.set_workload(workload::ycsb_b(2000));
+  autonomic::AutonomicOptions tuning;
+  tuning.round_window = seconds(2);
+  tuning.quarantine = seconds(1);
+  cluster.enable_autotuning(tuning);
+  cluster.run_for(seconds(60));
+  EXPECT_TRUE(cluster.am()->converged());
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{1, 5}));
+  EXPECT_TRUE(cluster.checker().clean());
+}
+
+}  // namespace
+}  // namespace qopt

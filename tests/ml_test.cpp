@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ml/cross_validation.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "util/rng.hpp"
+
+namespace qopt::ml {
+namespace {
+
+Dataset make_xor_like() {
+  // Two features; class = (x > 0.5) XOR (y > 0.5). Requires depth-2 splits.
+  Dataset data({"x", "y"});
+  Rng rng(3);
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    const int label = ((x > 0.5) != (y > 0.5)) ? 1 : 0;
+    data.add_row({x, y}, label);
+  }
+  return data;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset data({"a", "b"});
+  data.add_row({1.0, 2.0}, 0);
+  data.add_row({3.0, 4.0}, 2);
+  EXPECT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.num_features(), 2u);
+  EXPECT_EQ(data.num_classes(), 3);  // labels 0..2
+  EXPECT_DOUBLE_EQ(data.feature(1, 0), 3.0);
+  EXPECT_EQ(data.label(1), 2);
+  EXPECT_EQ(data.row(0).size(), 2u);
+  EXPECT_DOUBLE_EQ(data.row(0)[1], 2.0);
+}
+
+TEST(DatasetTest, ArityMismatchThrows) {
+  Dataset data({"a", "b"});
+  EXPECT_THROW(data.add_row({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(data.add_row({1.0, 2.0, 3.0}, 0), std::invalid_argument);
+  EXPECT_THROW(data.add_row({1.0, 2.0}, -1), std::invalid_argument);
+}
+
+TEST(DatasetTest, SubsetSelectsRows) {
+  Dataset data({"a"});
+  for (int i = 0; i < 10; ++i) data.add_row({static_cast<double>(i)}, i % 2);
+  const std::vector<std::size_t> idx{1, 3, 5};
+  const Dataset sub = data.subset(idx);
+  EXPECT_EQ(sub.size(), 3u);
+  EXPECT_DOUBLE_EQ(sub.feature(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(sub.feature(2, 0), 5.0);
+  EXPECT_EQ(sub.label(1), 1);
+}
+
+TEST(DecisionTreeTest, UntrainedThrows) {
+  DecisionTree tree;
+  const std::vector<double> row{0.0};
+  EXPECT_THROW(tree.predict(row), std::logic_error);
+  EXPECT_THROW((void)DecisionTree().train(Dataset({"a"})),
+               std::invalid_argument);
+}
+
+TEST(DecisionTreeTest, LearnsSingleThreshold) {
+  Dataset data({"x"});
+  for (int i = 0; i < 50; ++i) {
+    data.add_row({static_cast<double>(i)}, i < 25 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.train(data);
+  const std::vector<double> low{3.0};
+  const std::vector<double> high{40.0};
+  EXPECT_EQ(tree.predict(low), 0);
+  EXPECT_EQ(tree.predict(high), 1);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(DecisionTreeTest, LearnsXorInteraction) {
+  const Dataset data = make_xor_like();
+  DecisionTree tree;
+  tree.train(data);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (tree.predict(data.row(i)) == data.label(i)) ++correct;
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data.size()),
+            0.95);
+  EXPECT_GE(tree.depth(), 2);  // a single split cannot express XOR
+}
+
+TEST(DecisionTreeTest, PureDatasetYieldsSingleLeaf) {
+  Dataset data({"x"});
+  for (int i = 0; i < 20; ++i) data.add_row({static_cast<double>(i)}, 3);
+  DecisionTree tree;
+  tree.train(data);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  const std::vector<double> any{100.0};
+  EXPECT_EQ(tree.predict(any), 3);
+}
+
+TEST(DecisionTreeTest, MaxDepthRespected) {
+  const Dataset data = make_xor_like();
+  DecisionTree tree;
+  TreeParams params;
+  params.max_depth = 1;
+  params.prune = false;
+  tree.train(data, params);
+  EXPECT_LE(tree.depth(), 2);  // root split + leaves
+}
+
+TEST(DecisionTreeTest, MinLeafPreventsTinySplits) {
+  Dataset data({"x"});
+  for (int i = 0; i < 10; ++i) data.add_row({static_cast<double>(i)}, i == 0);
+  TreeParams params;
+  params.min_leaf = 6;  // no binary split of 10 rows has both sides >= 6
+  params.prune = false;
+  DecisionTree tree;
+  tree.train(data, params);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+
+  // min_leaf = 5 admits exactly the 5/5 split, which has positive gain.
+  params.min_leaf = 5;
+  tree.train(data, params);
+  EXPECT_EQ(tree.leaf_count(), 2u);
+}
+
+TEST(DecisionTreeTest, PruningReducesOrKeepsSize) {
+  // Noisy labels: pruning should collapse spurious structure.
+  Dataset data({"x"});
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_double();
+    int label = x > 0.5 ? 1 : 0;
+    if (rng.chance(0.15)) label = 1 - label;  // 15% label noise
+    data.add_row({x}, label);
+  }
+  DecisionTree unpruned;
+  TreeParams no_prune;
+  no_prune.prune = false;
+  unpruned.train(data, no_prune);
+
+  DecisionTree pruned;
+  pruned.train(data);  // default: pruning on
+  EXPECT_LE(pruned.leaf_count(), unpruned.leaf_count());
+  const std::vector<double> low{0.1};
+  const std::vector<double> high{0.9};
+  EXPECT_EQ(pruned.predict(low), 0);
+  EXPECT_EQ(pruned.predict(high), 1);
+}
+
+TEST(DecisionTreeTest, DistributionSumsToLeafExamples) {
+  Dataset data({"x"});
+  for (int i = 0; i < 30; ++i) {
+    data.add_row({static_cast<double>(i)}, i < 10 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.train(data);
+  const std::vector<double> probe{5.0};
+  const std::vector<double> dist = tree.predict_distribution(probe);
+  double total = 0;
+  for (double c : dist) total += c;
+  EXPECT_GT(total, 0.0);
+  EXPECT_EQ(dist.size(), 2u);
+}
+
+TEST(DecisionTreeTest, ToStringMentionsFeatureNames) {
+  Dataset data({"write_ratio"});
+  for (int i = 0; i < 40; ++i) {
+    data.add_row({static_cast<double>(i) / 40.0}, i < 20 ? 0 : 1);
+  }
+  DecisionTree tree;
+  tree.train(data);
+  const std::string dump = tree.to_string(data.feature_names());
+  EXPECT_NE(dump.find("write_ratio"), std::string::npos);
+  EXPECT_NE(dump.find("class"), std::string::npos);
+}
+
+TEST(DecisionTreeTest, MulticlassSeparableBands) {
+  // Class = floor(x * 5): five bands on one feature.
+  Dataset data({"x"});
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    data.add_row({x}, static_cast<int>(x * 5.0));
+  }
+  DecisionTree tree;
+  tree.train(data);
+  int correct = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double x = (i + 0.5) / 100.0;
+    const std::vector<double> row{x};
+    if (tree.predict(row) == static_cast<int>(x * 5.0)) ++correct;
+  }
+  EXPECT_GE(correct, 95);
+}
+
+// -------------------------------------------------------- cross-validation
+
+TEST(CrossValidationTest, HighAccuracyOnSeparableData) {
+  Dataset data({"x", "y"});
+  Rng rng(29);
+  for (int i = 0; i < 300; ++i) {
+    const double x = rng.next_double();
+    const double y = rng.next_double();
+    data.add_row({x, y}, x + y > 1.0 ? 1 : 0);
+  }
+  const CvResult result = cross_validate(data, 10);
+  EXPECT_EQ(result.total, 300u);
+  EXPECT_GT(result.accuracy(), 0.9);
+  EXPECT_GE(result.within_one_accuracy(), result.accuracy());
+}
+
+TEST(CrossValidationTest, ConfusionMatrixSumsToTotal) {
+  Dataset data({"x"});
+  Rng rng(31);
+  for (int i = 0; i < 120; ++i) {
+    const double x = rng.next_double();
+    data.add_row({x}, x > 0.5 ? 1 : 0);
+  }
+  const CvResult result = cross_validate(data, 6);
+  std::size_t sum = 0;
+  for (const auto& row : result.confusion) {
+    for (std::size_t c : row) sum += c;
+  }
+  EXPECT_EQ(sum, result.total);
+}
+
+TEST(CrossValidationTest, DeterministicForSameSeed) {
+  const Dataset data = make_xor_like();
+  const CvResult a = cross_validate(data, 5, {}, 99);
+  const CvResult b = cross_validate(data, 5, {}, 99);
+  EXPECT_EQ(a.correct, b.correct);
+  EXPECT_EQ(a.within_one, b.within_one);
+}
+
+TEST(CrossValidationTest, InvalidArgumentsThrow) {
+  Dataset data({"x"});
+  data.add_row({1.0}, 0);
+  data.add_row({2.0}, 1);
+  EXPECT_THROW(cross_validate(data, 1), std::invalid_argument);
+  EXPECT_THROW(cross_validate(data, 5), std::invalid_argument);
+}
+
+TEST(CrossValidationTest, WithinOneCountsAdjacentClasses) {
+  // Classes 0..4 by bands with noise pushing to neighbours: within_one
+  // should be clearly higher than exact accuracy.
+  Dataset data({"x"});
+  Rng rng(37);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    int label = static_cast<int>(x * 5.0);
+    if (rng.chance(0.3)) label = std::min(4, label + 1);
+    data.add_row({x}, label);
+  }
+  const CvResult result = cross_validate(data, 5);
+  EXPECT_GT(result.within_one_accuracy(), result.accuracy() + 0.1);
+}
+
+}  // namespace
+}  // namespace qopt::ml

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "ml/dataset.hpp"
+#include "oracle/oracle.hpp"
+#include "util/rng.hpp"
+
+namespace qopt::oracle {
+namespace {
+
+TEST(ClampTest, UnconstrainedPassThrough) {
+  const QuorumConstraints none;
+  for (int w = 1; w <= 5; ++w) {
+    EXPECT_EQ(clamp_write_quorum(w, none, 5), w);
+  }
+  EXPECT_EQ(clamp_write_quorum(0, none, 5), 1);
+  EXPECT_EQ(clamp_write_quorum(9, none, 5), 5);
+}
+
+TEST(ClampTest, MinWriteForFaultTolerance) {
+  // The paper's example: fault-tolerance SLA requiring every write to reach
+  // at least k > 1 replicas.
+  QuorumConstraints constraints;
+  constraints.min_write = 2;
+  EXPECT_EQ(clamp_write_quorum(1, constraints, 5), 2);
+  EXPECT_EQ(clamp_write_quorum(4, constraints, 5), 4);
+}
+
+TEST(ClampTest, ReadConstraintsBoundWriteThroughDerivation) {
+  // R = N - W + 1; min_read=2 forbids W=N.
+  QuorumConstraints constraints;
+  constraints.min_read = 2;
+  EXPECT_EQ(clamp_write_quorum(5, constraints, 5), 4);
+  // max_read=3 forces W >= N+1-3 = 3.
+  QuorumConstraints constraints2;
+  constraints2.max_read = 3;
+  EXPECT_EQ(clamp_write_quorum(1, constraints2, 5), 3);
+}
+
+TEST(ClampTest, InfeasibleConstraintsThrow) {
+  QuorumConstraints constraints;
+  constraints.min_write = 4;
+  constraints.min_read = 4;  // W >= 4 and W <= N+1-4 = 2: empty
+  EXPECT_THROW(clamp_write_quorum(3, constraints, 5),
+               std::invalid_argument);
+}
+
+TEST(ConfigDerivationTest, StrictByConstruction) {
+  for (int n : {1, 3, 5, 7}) {
+    for (int w = 1; w <= n; ++w) {
+      const kv::QuorumConfig q = config_from_write_quorum(w, n);
+      EXPECT_TRUE(kv::is_strict(q, n)) << "n=" << n << " w=" << w;
+      EXPECT_EQ(q.read_q + q.write_q, n + 1);  // minimal strict overlap
+    }
+  }
+  EXPECT_EQ(config_from_write_quorum(0, 5).write_q, 1);
+  EXPECT_EQ(config_from_write_quorum(99, 5).write_q, 5);
+}
+
+TEST(LinearRuleOracleTest, MonotoneInWriteRatio) {
+  LinearRuleOracle oracle(5);
+  WorkloadFeatures read_heavy{0.05, 4.0, 1000.0};
+  WorkloadFeatures balanced{0.5, 4.0, 1000.0};
+  WorkloadFeatures write_heavy{0.99, 4.0, 1000.0};
+  const int w_read = oracle.predict_write_quorum(read_heavy);
+  const int w_bal = oracle.predict_write_quorum(balanced);
+  const int w_write = oracle.predict_write_quorum(write_heavy);
+  EXPECT_EQ(w_read, 5);   // read-heavy -> large W (small R)
+  EXPECT_EQ(w_write, 1);  // write-heavy -> small W
+  EXPECT_GT(w_read, w_bal);
+  EXPECT_GT(w_bal, w_write);
+}
+
+TEST(LinearRuleOracleTest, ExtremeRatiosStayInRange) {
+  LinearRuleOracle oracle(3);
+  for (double ratio : {-0.5, 0.0, 0.5, 1.0, 1.5}) {
+    WorkloadFeatures features{ratio, 4.0, 10.0};
+    const int w = oracle.predict_write_quorum(features);
+    EXPECT_GE(w, 1);
+    EXPECT_LE(w, 3);
+  }
+}
+
+TEST(TreeOracleTest, PredictBeforeTrainThrows) {
+  TreeOracle oracle(5);
+  WorkloadFeatures features{0.5, 4.0, 10.0};
+  EXPECT_THROW(oracle.predict_write_quorum(features), std::logic_error);
+  EXPECT_FALSE(oracle.trained());
+}
+
+TEST(TreeOracleTest, LearnsNonLinearBoundary) {
+  // Ground truth with an interaction the linear rule cannot express:
+  // large objects flip the optimum for mid write ratios.
+  TreeOracle oracle(5);
+  ml::Dataset data(WorkloadFeatures::names());
+  Rng rng(21);
+  auto truth = [](double write_ratio, double size_kib) {
+    if (write_ratio > 0.8) return 1;
+    if (write_ratio < 0.2) return 5;
+    return size_kib > 64 ? 1 : 3;
+  };
+  for (int i = 0; i < 600; ++i) {
+    const double ratio = rng.next_double();
+    const double size = rng.uniform(1, 256);
+    data.add_row({ratio, size, 100.0}, truth(ratio, size));
+  }
+  oracle.train(data);
+  EXPECT_TRUE(oracle.trained());
+  EXPECT_EQ(oracle.predict_write_quorum({0.9, 16.0, 100.0}), 1);
+  EXPECT_EQ(oracle.predict_write_quorum({0.05, 16.0, 100.0}), 5);
+  EXPECT_EQ(oracle.predict_write_quorum({0.5, 8.0, 100.0}), 3);
+  EXPECT_EQ(oracle.predict_write_quorum({0.5, 200.0, 100.0}), 1);
+}
+
+TEST(TreeOracleTest, DescribeNames) {
+  EXPECT_EQ(TreeOracle(5).describe(), "decision-tree");
+  EXPECT_EQ(LinearRuleOracle(5).describe(), "linear-rule");
+}
+
+TEST(TreeOracleTest, ModelPersistenceRoundTrip) {
+  TreeOracle trained(5);
+  ml::Dataset data(WorkloadFeatures::names());
+  Rng rng(31);
+  for (int i = 0; i < 300; ++i) {
+    const double ratio = rng.next_double();
+    data.add_row({ratio, rng.uniform(1, 256), rng.uniform(10, 5000)},
+                 ratio > 0.5 ? 1 : 5);
+  }
+  trained.train(data);
+  const std::string blob = trained.save_model();
+
+  TreeOracle deployed(5);  // fresh instance, no training data available
+  deployed.load_model(blob);
+  for (int i = 0; i < 100; ++i) {
+    WorkloadFeatures features{rng.next_double(), rng.uniform(1, 256),
+                              rng.uniform(10, 5000)};
+    EXPECT_EQ(deployed.predict_write_quorum(features),
+              trained.predict_write_quorum(features));
+  }
+}
+
+TEST(BoostedOracleTest, TrainsAndPredictsWithinRange) {
+  BoostedOracle oracle(5);
+  ml::Dataset data(WorkloadFeatures::names());
+  Rng rng(37);
+  for (int i = 0; i < 300; ++i) {
+    const double ratio = rng.next_double();
+    data.add_row({ratio, rng.uniform(1, 256), rng.uniform(10, 5000)},
+                 ratio > 0.5 ? 1 : 5);
+  }
+  EXPECT_THROW(oracle.predict_write_quorum({0.5, 4, 100}),
+               std::logic_error);
+  oracle.train(data);
+  EXPECT_TRUE(oracle.trained());
+  EXPECT_EQ(oracle.predict_write_quorum({0.9, 16.0, 100.0}), 1);
+  EXPECT_EQ(oracle.predict_write_quorum({0.1, 16.0, 100.0}), 5);
+}
+
+TEST(WorkloadFeaturesTest, VectorMatchesNames) {
+  const WorkloadFeatures features{0.25, 4.0, 123.0};
+  const auto vec = features.to_vector();
+  ASSERT_EQ(vec.size(), WorkloadFeatures::names().size());
+  EXPECT_DOUBLE_EQ(vec[0], 0.25);
+  EXPECT_DOUBLE_EQ(vec[1], 4.0);
+  EXPECT_DOUBLE_EQ(vec[2], 123.0);
+}
+
+}  // namespace
+}  // namespace qopt::oracle

@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/failure_detector.hpp"
+#include "sim/ids.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace qopt::sim {
+namespace {
+
+// -------------------------------------------------------------- simulator
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(30, [&] { order.push_back(3); });
+  sim.at(10, [&] { order.push_back(1); });
+  sim.at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, SameTimeFifoBySchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  Time fired_at = -1;
+  sim.after(50, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(SimulatorTest, PastEventsClampToNow) {
+  Simulator sim;
+  sim.at(100, [] {});
+  sim.run();
+  Time fired_at = -1;
+  sim.at(10, [&] { fired_at = sim.now(); });  // in the past
+  sim.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulatorTest, RunUntilHorizonStopsAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] { ++fired; });
+  sim.at(100, [&] { ++fired; });
+  sim.run(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);  // clock advanced to horizon
+  sim.run(200);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.after(10, recurse);
+  };
+  sim.after(10, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(10, [&] {
+    ++fired;
+    sim.stop();
+  });
+  sim.at(20, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, StepProcessesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(1, [&] { ++fired; });
+  sim.at(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+// ---------------------------------------------------------------- node ids
+
+TEST(NodeIdTest, OrderingAndEquality) {
+  EXPECT_EQ(proxy_id(1), proxy_id(1));
+  EXPECT_NE(proxy_id(1), proxy_id(2));
+  EXPECT_NE(proxy_id(1), storage_id(1));
+  EXPECT_LT(client_id(0), proxy_id(0));  // enum order
+}
+
+TEST(NodeIdTest, ToString) {
+  EXPECT_EQ(to_string(proxy_id(3)), "proxy-3");
+  EXPECT_EQ(to_string(storage_id(0)), "storage-0");
+  EXPECT_EQ(to_string(rm_id()), "rm-0");
+  EXPECT_EQ(to_string(am_id()), "am-0");
+  EXPECT_EQ(to_string(client_id(12)), "client-12");
+}
+
+// ---------------------------------------------------------------- network
+
+using TestNet = Network<std::string>;
+
+struct NetFixture : ::testing::Test {
+  Simulator sim;
+  Rng rng{99};
+  LatencyModel latency{microseconds(100), microseconds(50)};
+  TestNet net{sim, latency, rng};
+};
+
+TEST_F(NetFixture, DeliversToRegisteredHandler) {
+  std::vector<std::string> received;
+  net.register_node(proxy_id(0),
+                    [&](const NodeId&, const std::string& m) {
+                      received.push_back(m);
+                    });
+  net.send(client_id(0), proxy_id(0), "hello");
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hello");
+  EXPECT_EQ(net.stats().messages_delivered, 1u);
+}
+
+TEST_F(NetFixture, DeliveryTakesLatency) {
+  Time delivered_at = -1;
+  net.register_node(proxy_id(0), [&](const NodeId&, const std::string&) {
+    delivered_at = sim.now();
+  });
+  net.send(client_id(0), proxy_id(0), "x");
+  sim.run();
+  EXPECT_GE(delivered_at, microseconds(100));
+  EXPECT_LT(delivered_at, microseconds(150) + 1);
+}
+
+TEST_F(NetFixture, FifoPerSenderReceiverPair) {
+  std::vector<int> received;
+  net.register_node(proxy_id(0), [&](const NodeId&, const std::string& m) {
+    received.push_back(std::stoi(m));
+  });
+  for (int i = 0; i < 200; ++i) {
+    net.send(client_id(0), proxy_id(0), std::to_string(i));
+  }
+  sim.run();
+  ASSERT_EQ(received.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+TEST_F(NetFixture, CrashedReceiverDropsInFlight) {
+  int received = 0;
+  net.register_node(proxy_id(0),
+                    [&](const NodeId&, const std::string&) { ++received; });
+  net.send(client_id(0), proxy_id(0), "x");
+  net.set_crashed(proxy_id(0));
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+TEST_F(NetFixture, CrashedSenderCannotSend) {
+  int received = 0;
+  net.register_node(proxy_id(0),
+                    [&](const NodeId&, const std::string&) { ++received; });
+  net.set_crashed(client_id(0));
+  // The sender must be registered for crash state to apply.
+  net.register_node(client_id(0), [](const NodeId&, const std::string&) {});
+  net.set_crashed(client_id(0));
+  net.send(client_id(0), proxy_id(0), "x");
+  sim.run();
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NetFixture, BroadcastReachesAllTargets) {
+  int received = 0;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    net.register_node(storage_id(i),
+                      [&](const NodeId&, const std::string&) { ++received; });
+  }
+  std::vector<NodeId> targets;
+  for (std::uint32_t i = 0; i < 5; ++i) targets.push_back(storage_id(i));
+  net.broadcast(proxy_id(0), targets, "w");
+  sim.run();
+  EXPECT_EQ(received, 5);
+}
+
+TEST_F(NetFixture, SenderIdentityPassedToHandler) {
+  NodeId seen_from{};
+  net.register_node(proxy_id(0), [&](const NodeId& from, const std::string&) {
+    seen_from = from;
+  });
+  net.send(client_id(7), proxy_id(0), "x");
+  sim.run();
+  EXPECT_EQ(seen_from, client_id(7));
+}
+
+TEST_F(NetFixture, UnregisteredTargetCountsAsDropped) {
+  net.send(client_id(0), proxy_id(9), "x");
+  sim.run();
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+}
+
+// -------------------------------------------------------- failure detector
+
+TEST(FailureDetectorTest, SuspectsCrashedNodeAfterDelay) {
+  Simulator sim;
+  FailureDetector fd(sim, milliseconds(100));
+  fd.node_crashed(proxy_id(0));
+  EXPECT_FALSE(fd.suspects(proxy_id(0)));
+  sim.run(milliseconds(50));
+  EXPECT_FALSE(fd.suspects(proxy_id(0)));
+  sim.run(milliseconds(200));
+  EXPECT_TRUE(fd.suspects(proxy_id(0)));
+}
+
+TEST(FailureDetectorTest, FalseSuspicionClearsAfterDuration) {
+  Simulator sim;
+  FailureDetector fd(sim, milliseconds(100));
+  fd.inject_false_suspicion(proxy_id(1), milliseconds(500));
+  EXPECT_TRUE(fd.suspects(proxy_id(1)));
+  sim.run(milliseconds(600));
+  EXPECT_FALSE(fd.suspects(proxy_id(1)));
+}
+
+TEST(FailureDetectorTest, ManualClear) {
+  Simulator sim;
+  FailureDetector fd(sim, milliseconds(100));
+  fd.inject_false_suspicion(proxy_id(1), 0);  // indefinite
+  EXPECT_TRUE(fd.suspects(proxy_id(1)));
+  fd.clear_suspicion(proxy_id(1));
+  EXPECT_FALSE(fd.suspects(proxy_id(1)));
+}
+
+TEST(FailureDetectorTest, CrashOverridesFalseSuspicionClearing) {
+  Simulator sim;
+  FailureDetector fd(sim, milliseconds(100));
+  fd.inject_false_suspicion(proxy_id(2), milliseconds(300));
+  fd.node_crashed(proxy_id(2));
+  sim.run(milliseconds(1000));
+  // The scheduled un-suspect must not clear a real crash.
+  EXPECT_TRUE(fd.suspects(proxy_id(2)));
+}
+
+TEST(FailureDetectorTest, ListenersNotifiedOnChange) {
+  Simulator sim;
+  FailureDetector fd(sim, milliseconds(10));
+  std::vector<std::pair<NodeId, bool>> events;
+  fd.subscribe([&](const NodeId& id, bool suspected) {
+    events.emplace_back(id, suspected);
+  });
+  fd.inject_false_suspicion(proxy_id(0), milliseconds(100));
+  sim.run(milliseconds(500));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], std::make_pair(proxy_id(0), true));
+  EXPECT_EQ(events[1], std::make_pair(proxy_id(0), false));
+}
+
+TEST(FailureDetectorTest, UnknownNodeNotSuspected) {
+  Simulator sim;
+  FailureDetector fd(sim, milliseconds(10));
+  EXPECT_FALSE(fd.suspects(proxy_id(9)));
+}
+
+TEST(FailureDetectorTest, FalseSuspicionOnCrashedNodeIgnored) {
+  Simulator sim;
+  FailureDetector fd(sim, milliseconds(10));
+  fd.node_crashed(proxy_id(0));
+  sim.run(milliseconds(50));
+  EXPECT_TRUE(fd.suspects(proxy_id(0)));
+  fd.inject_false_suspicion(proxy_id(0), milliseconds(10));
+  sim.run(milliseconds(100));
+  EXPECT_TRUE(fd.suspects(proxy_id(0)));  // stays suspected forever
+}
+
+}  // namespace
+}  // namespace qopt::sim

@@ -1,0 +1,273 @@
+// Tests for the state-machine-replication substrate (MultiPaxos) and the
+// replicated configuration state machine — the mechanism the paper cites
+// for removing Q-OPT's control-plane single points of failure.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "smr/group.hpp"
+#include "util/rng.hpp"
+
+namespace qopt::smr {
+namespace {
+
+Command make_command(std::uint64_t id, int write_q) {
+  Command command;
+  command.id = id;
+  command.change.is_global = true;
+  command.change.global = kv::QuorumConfig{5 - write_q + 1, write_q};
+  return command;
+}
+
+struct GroupFixture : ::testing::Test {
+  sim::Simulator sim;
+  GroupOptions options;
+  std::unique_ptr<Group> group;
+
+  void build(std::uint32_t replicas = 3) {
+    options.replicas = replicas;
+    group = std::make_unique<Group>(sim, options, nullptr);
+  }
+
+  /// All live replicas applied the same sequence of command ids.
+  void expect_agreement(std::size_t expected_commands) {
+    std::vector<std::uint64_t> reference;
+    for (std::uint32_t i = 0; i < group->size(); ++i) {
+      const Replica& replica = group->replica(i);
+      if (replica.crashed()) continue;
+      std::vector<std::uint64_t> ids;
+      for (const Command& command : replica.applied_log()) {
+        ids.push_back(command.id);
+      }
+      if (reference.empty()) reference = ids;
+      EXPECT_EQ(ids, reference) << "replica " << i << " diverged";
+      EXPECT_EQ(ids.size(), expected_commands) << "replica " << i;
+    }
+  }
+};
+
+TEST_F(GroupFixture, SingleCommandReachesAllReplicas) {
+  build();
+  group->submit(0, make_command(1, 2));
+  sim.run(seconds(2));
+  expect_agreement(1);
+}
+
+TEST_F(GroupFixture, FollowerSubmissionForwardsToLeader) {
+  build();
+  group->submit(2, make_command(1, 3));  // replica 2 is not the leader
+  sim.run(seconds(2));
+  expect_agreement(1);
+  EXPECT_TRUE(group->replica(0).is_leader());
+  EXPECT_FALSE(group->replica(2).is_leader());
+}
+
+TEST_F(GroupFixture, ManyCommandsTotallyOrdered) {
+  build(5);
+  Rng rng(3);
+  for (std::uint64_t i = 1; i <= 50; ++i) {
+    group->submit(static_cast<std::uint32_t>(rng.next_below(5)),
+                  make_command(i, static_cast<int>(rng.next_below(5)) + 1));
+    sim.run(sim.now() + milliseconds(20));
+  }
+  sim.run(sim.now() + seconds(2));
+  expect_agreement(50);
+}
+
+TEST_F(GroupFixture, LeaderCrashFailsOver) {
+  build();
+  group->submit(0, make_command(1, 2));
+  sim.run(seconds(1));
+  group->crash_replica(0);
+  sim.run(sim.now() + seconds(1));  // detector fires, replica 1 takes over
+  group->submit(1, make_command(2, 4));
+  sim.run(sim.now() + seconds(2));
+  EXPECT_TRUE(group->replica(1).is_leader());
+  // Both survivors hold both commands in order.
+  for (std::uint32_t i : {1u, 2u}) {
+    ASSERT_EQ(group->replica(i).applied_log().size(), 2u) << "replica " << i;
+    EXPECT_EQ(group->replica(i).applied_log()[0].id, 1u);
+    EXPECT_EQ(group->replica(i).applied_log()[1].id, 2u);
+  }
+}
+
+TEST_F(GroupFixture, CommandSubmittedToDeadLeaderEraIsNotLost) {
+  build();
+  // Crash the leader, then immediately submit through a follower before
+  // anyone has been suspected: the forward chases the (dead) leader, so the
+  // client-side of the control plane must resubmit after failover. Here we
+  // verify the group itself recovers and continues to decide commands.
+  group->crash_replica(0);
+  group->submit(1, make_command(1, 2));
+  sim.run(sim.now() + seconds(2));  // suspicion + takeover
+  group->submit(1, make_command(2, 3));
+  sim.run(sim.now() + seconds(2));
+  const auto& log = group->replica(1).applied_log();
+  ASSERT_GE(log.size(), 1u);
+  EXPECT_EQ(log.back().id, 2u);
+}
+
+TEST_F(GroupFixture, MinorityCrashStillLive) {
+  build(5);
+  group->crash_replica(3);
+  group->crash_replica(4);
+  sim.run(sim.now() + seconds(1));
+  for (std::uint64_t i = 1; i <= 10; ++i) {
+    group->submit(0, make_command(i, 1 + static_cast<int>(i % 5)));
+  }
+  sim.run(sim.now() + seconds(3));
+  expect_agreement(10);
+}
+
+TEST_F(GroupFixture, DuplicateCommandIdsApplyOnce) {
+  build();
+  group->submit(0, make_command(7, 2));
+  group->submit(0, make_command(7, 2));  // client retry
+  group->submit(0, make_command(8, 3));
+  sim.run(seconds(3));
+  // The duplicate occupies a slot but must not be applied twice.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    std::size_t sevens = 0;
+    for (const Command& command : group->replica(i).applied_log()) {
+      sevens += command.id == 7;
+    }
+    EXPECT_EQ(sevens, 1u) << "replica " << i;
+  }
+}
+
+TEST_F(GroupFixture, FalseSuspicionOfLeaderIsSafe) {
+  build();
+  group->submit(0, make_command(1, 2));
+  sim.run(seconds(1));
+  // Falsely suspect the leader: replica 1 takes over with a higher ballot;
+  // when the suspicion clears, replica 0 returns. No divergence allowed.
+  group->failure_detector().inject_false_suspicion(
+      sim::NodeId{sim::NodeKind::kStorage, 0}, seconds(2));
+  sim.run(sim.now() + milliseconds(500));
+  group->submit(1, make_command(2, 4));
+  sim.run(sim.now() + seconds(3));
+  group->submit(0, make_command(3, 5));
+  sim.run(sim.now() + seconds(3));
+  expect_agreement(3);
+}
+
+class SmrChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SmrChurn, RandomScheduleNeverDiverges) {
+  // Property: under random submissions, one crash, and random false
+  // suspicions, all live replicas' applied logs agree (prefix property is
+  // implied by checking at quiescence with equal lengths).
+  sim::Simulator sim;
+  GroupOptions options;
+  options.replicas = 5;
+  options.seed = GetParam();
+  Group group(sim, options, nullptr);
+  Rng rng(GetParam() * 13 + 1);
+  bool crashed = false;
+  std::uint64_t next_id = 1;
+  for (int step = 0; step < 40; ++step) {
+    const auto dice = rng.next_below(10);
+    if (dice < 6) {
+      group.submit(static_cast<std::uint32_t>(rng.next_below(5)),
+                   make_command(next_id++,
+                                static_cast<int>(rng.next_below(5)) + 1));
+    } else if (dice < 8) {
+      group.failure_detector().inject_false_suspicion(
+          sim::NodeId{sim::NodeKind::kStorage,
+                      static_cast<std::uint32_t>(rng.next_below(5))},
+          milliseconds(100 + rng.next_below(400)));
+    } else if (!crashed && dice == 9) {
+      group.crash_replica(static_cast<std::uint32_t>(rng.next_below(5)));
+      crashed = true;
+    }
+    sim.run(sim.now() + milliseconds(50 + rng.next_below(200)));
+  }
+  sim.run(sim.now() + seconds(5));  // quiesce
+
+  std::vector<std::vector<std::uint64_t>> logs;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    if (group.replica(i).crashed()) continue;
+    std::vector<std::uint64_t> ids;
+    for (const Command& command : group.replica(i).applied_log()) {
+      ids.push_back(command.id);
+    }
+    logs.push_back(std::move(ids));
+  }
+  for (std::size_t i = 1; i < logs.size(); ++i) {
+    EXPECT_EQ(logs[i], logs[0]) << "replica logs diverged";
+  }
+  EXPECT_FALSE(logs[0].empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SmrChurn,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// ----------------------------------------------------- ConfigStateMachine
+
+TEST(ConfigStateMachineTest, AppliesGlobalAndPerObjectChanges) {
+  ConfigStateMachine machine({3, 3}, 5);
+  Command global = make_command(1, 1);
+  machine.apply(global);
+  EXPECT_EQ(machine.config().default_q, (kv::QuorumConfig{5, 1}));
+  EXPECT_EQ(machine.config().cfno, 1u);
+
+  Command per_object;
+  per_object.id = 2;
+  per_object.change.is_global = false;
+  per_object.change.overrides = {{42, kv::QuorumConfig{1, 5}}};
+  machine.apply(per_object);
+  EXPECT_EQ(machine.config().overrides.size(), 1u);
+  EXPECT_EQ(machine.config().cfno, 2u);
+  // History tracks the max read quorum per configuration.
+  EXPECT_EQ(machine.config().read_q_history.back().second, 5);
+}
+
+TEST(ConfigStateMachineTest, RejectsNonStrictDeterministically) {
+  ConfigStateMachine machine({3, 3}, 5);
+  Command bad;
+  bad.id = 1;
+  bad.change.is_global = true;
+  bad.change.global = {2, 3};  // 2+3 == N
+  machine.apply(bad);
+  EXPECT_EQ(machine.config().cfno, 0u);
+  EXPECT_EQ(machine.applied(), 0u);
+}
+
+TEST(ConfigStateMachineTest, ReplicatedConfigHistoryConverges) {
+  // End-to-end: three replicas each fold the decided log into their own
+  // ConfigStateMachine; after submissions + a leader crash, all survivors
+  // hold identical configuration state.
+  sim::Simulator sim;
+  GroupOptions options;
+  std::vector<std::unique_ptr<ConfigStateMachine>> machines;
+  for (int i = 0; i < 3; ++i) {
+    machines.push_back(std::make_unique<ConfigStateMachine>(
+        kv::QuorumConfig{3, 3}, 5));
+  }
+  // The apply callback runs on every replica; dispatch on... each Replica
+  // shares one ApplyFn, so route by inspecting which replica applied via
+  // the Group API instead: simplest is replaying applied_log after the run.
+  Group group(sim, options, nullptr);
+  Rng rng(5);
+  for (std::uint64_t i = 1; i <= 8; ++i) {
+    Command command = make_command(i, static_cast<int>(rng.next_below(5)) + 1);
+    group.submit(static_cast<std::uint32_t>(i % 3), command);
+    sim.run(sim.now() + milliseconds(100));
+    if (i == 4) {
+      group.crash_replica(0);
+      sim.run(sim.now() + seconds(1));
+    }
+  }
+  sim.run(sim.now() + seconds(2));
+
+  for (std::uint32_t i = 1; i < 3; ++i) {
+    for (const Command& command : group.replica(i).applied_log()) {
+      machines[i]->apply(command);
+    }
+  }
+  EXPECT_EQ(machines[1]->config().cfno, machines[2]->config().cfno);
+  EXPECT_EQ(machines[1]->config().default_q, machines[2]->config().default_q);
+  EXPECT_GT(machines[1]->applied(), 0u);
+}
+
+}  // namespace
+}  // namespace qopt::smr

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kv/version_vector.hpp"
+#include "util/rng.hpp"
+
+namespace qopt::kv {
+namespace {
+
+TEST(VersionVectorTest, EmptyVectorsEqual) {
+  VersionVector a;
+  VersionVector b;
+  EXPECT_EQ(a.compare(b), CausalOrder::kEqual);
+  EXPECT_TRUE(a.dominates(b));
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(VersionVectorTest, IncrementCreatesHappensBefore) {
+  VersionVector a;
+  VersionVector b = a;
+  b.increment(0);
+  EXPECT_EQ(a.compare(b), CausalOrder::kBefore);
+  EXPECT_EQ(b.compare(a), CausalOrder::kAfter);
+  EXPECT_TRUE(b.dominates(a));
+  EXPECT_FALSE(a.dominates(b));
+}
+
+TEST(VersionVectorTest, IndependentIncrementsAreConcurrent) {
+  VersionVector base;
+  base.increment(0);
+  VersionVector a = base;
+  VersionVector b = base;
+  a.increment(1);
+  b.increment(2);
+  EXPECT_EQ(a.compare(b), CausalOrder::kConcurrent);
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_FALSE(a.dominates(b));
+  EXPECT_FALSE(b.dominates(a));
+}
+
+TEST(VersionVectorTest, CounterAccessor) {
+  VersionVector v;
+  EXPECT_EQ(v.counter(3), 0u);
+  EXPECT_EQ(v.increment(3), 1u);
+  EXPECT_EQ(v.increment(3), 2u);
+  EXPECT_EQ(v.counter(3), 2u);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VersionVectorTest, MergeDominatesBothBranches) {
+  VersionVector base;
+  base.increment(0);
+  VersionVector a = base;
+  VersionVector b = base;
+  a.increment(1);
+  b.increment(2);
+  const VersionVector merged = a.merged(b);
+  EXPECT_TRUE(merged.dominates(a));
+  EXPECT_TRUE(merged.dominates(b));
+  EXPECT_EQ(merged.counter(0), 1u);
+  EXPECT_EQ(merged.counter(1), 1u);
+  EXPECT_EQ(merged.counter(2), 1u);
+}
+
+TEST(VersionVectorTest, MergeIsCommutativeAssociativeIdempotent) {
+  Rng rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    auto random_vv = [&] {
+      VersionVector v;
+      for (int i = 0; i < 5; ++i) {
+        const auto proxy = static_cast<std::uint32_t>(rng.next_below(4));
+        for (std::uint64_t k = rng.next_below(3); k > 0; --k) {
+          v.increment(proxy);
+        }
+      }
+      return v;
+    };
+    const VersionVector a = random_vv();
+    const VersionVector b = random_vv();
+    const VersionVector c = random_vv();
+    EXPECT_EQ(a.merged(b), b.merged(a));                          // commut.
+    EXPECT_EQ(a.merged(b).merged(c), a.merged(b.merged(c)));      // assoc.
+    EXPECT_EQ(a.merged(a), a);                                    // idemp.
+  }
+}
+
+TEST(VersionVectorTest, CausalChainThroughMessagePassing) {
+  // p0 writes, p1 reads (merges) then writes: p1's version must dominate.
+  VersionVector stored;
+  stored.increment(0);  // p0's write
+  VersionVector p1 = stored.merged(VersionVector{});
+  p1.increment(1);  // p1's dependent write
+  EXPECT_EQ(stored.compare(p1), CausalOrder::kBefore);
+}
+
+TEST(VersionVectorTest, TotalOrderRespectsCausality) {
+  VersionVector a;
+  a.increment(0);
+  VersionVector b = a;
+  b.increment(0);
+  EXPECT_TRUE(a.totally_before(b, 0, 0));
+  EXPECT_FALSE(b.totally_before(a, 0, 0));
+}
+
+TEST(VersionVectorTest, TotalOrderBreaksConcurrentTiesDeterministically) {
+  VersionVector a;
+  a.increment(1);
+  VersionVector b;
+  b.increment(2);
+  // Equal sums -> writer proxy id decides; antisymmetric.
+  EXPECT_TRUE(a.totally_before(b, 1, 2));
+  EXPECT_FALSE(b.totally_before(a, 2, 1));
+}
+
+TEST(VersionVectorTest, TotalOrderIsTotalOverRandomPairs) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    VersionVector a;
+    VersionVector b;
+    for (int i = 0; i < 4; ++i) {
+      if (rng.chance(0.6)) {
+        a.increment(static_cast<std::uint32_t>(rng.next_below(3)));
+      }
+      if (rng.chance(0.6)) {
+        b.increment(static_cast<std::uint32_t>(rng.next_below(3)));
+      }
+    }
+    const bool ab = a.totally_before(b, 0, 1);
+    const bool ba = b.totally_before(a, 1, 0);
+    EXPECT_FALSE(ab && ba) << "both before: " << a.to_string() << " vs "
+                           << b.to_string();
+    if (a == b) continue;  // equality handled by proxy tiebreak only
+    EXPECT_TRUE(ab || ba) << "neither before: " << a.to_string() << " vs "
+                          << b.to_string();
+  }
+}
+
+TEST(VersionVectorTest, ToStringReadable) {
+  VersionVector v;
+  v.increment(0);
+  v.increment(2);
+  v.increment(2);
+  EXPECT_EQ(v.to_string(), "{p0:1,p2:2}");
+  EXPECT_EQ(VersionVector{}.to_string(), "{}");
+}
+
+}  // namespace
+}  // namespace qopt::kv

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/workload.hpp"
+
+namespace qopt::workload {
+namespace {
+
+TEST(UniformKeysTest, CoversRangeUniformly) {
+  UniformKeys keys(10);
+  Rng rng(1);
+  std::map<kv::ObjectId, int> counts;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[keys.sample(rng)];
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [key, count] : counts) {
+    EXPECT_LT(key, 10u);
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(UniformKeysTest, EmptySpaceThrows) {
+  EXPECT_THROW(UniformKeys(0), std::invalid_argument);
+}
+
+TEST(ZipfianKeysTest, UnscrambledRankZeroIsHottest) {
+  ZipfianKeys keys(1000, 0.99, /*scramble=*/false);
+  Rng rng(2);
+  std::map<kv::ObjectId, int> counts;
+  for (int i = 0; i < 200'000; ++i) ++counts[keys.sample(rng)];
+  // Rank 0 should be the most frequent, with roughly 1/zeta(n) of mass.
+  int max_count = 0;
+  kv::ObjectId max_key = 0;
+  for (const auto& [key, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_key = key;
+    }
+  }
+  EXPECT_EQ(max_key, 0u);
+  EXPECT_GT(max_count, 200'000 / 20);  // clearly skewed
+}
+
+TEST(ZipfianKeysTest, ZipfLawRatio) {
+  ZipfianKeys keys(10'000, 0.99, /*scramble=*/false);
+  Rng rng(3);
+  std::map<kv::ObjectId, int> counts;
+  for (int i = 0; i < 500'000; ++i) ++counts[keys.sample(rng)];
+  // P(rank 0) / P(rank 1) ~ 2^0.99 ~ 1.99.
+  const double ratio =
+      static_cast<double>(counts[0]) / static_cast<double>(counts[1]);
+  EXPECT_NEAR(ratio, 1.99, 0.4);
+}
+
+TEST(ZipfianKeysTest, ScrambleSpreadsHotKeys) {
+  ZipfianKeys keys(100'000, 0.99, /*scramble=*/true);
+  Rng rng(4);
+  std::map<kv::ObjectId, int> counts;
+  for (int i = 0; i < 100'000; ++i) ++counts[keys.sample(rng)];
+  // With scrambling, the hottest key should typically NOT be id 0.
+  int max_count = 0;
+  kv::ObjectId max_key = 0;
+  for (const auto& [key, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_key = key;
+    }
+  }
+  EXPECT_NE(max_key, 0u);
+}
+
+TEST(ZipfianKeysTest, SamplesInRange) {
+  ZipfianKeys keys(50, 0.8);
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(keys.sample(rng), 50u);
+}
+
+TEST(ZipfianKeysTest, InvalidParamsThrow) {
+  EXPECT_THROW(ZipfianKeys(0), std::invalid_argument);
+  EXPECT_THROW(ZipfianKeys(10, 0.0), std::invalid_argument);
+  EXPECT_THROW(ZipfianKeys(10, 1.0), std::invalid_argument);
+}
+
+TEST(HotspotKeysTest, HotSetGetsConfiguredShare) {
+  HotspotKeys keys(1000, 0.1, 0.9);  // 10% of keys get 90% of traffic
+  Rng rng(6);
+  int hot = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) {
+    if (keys.sample(rng) < 100) ++hot;
+  }
+  EXPECT_NEAR(static_cast<double>(hot) / n, 0.9, 0.02);
+}
+
+TEST(HotspotKeysTest, AllKeysReachable) {
+  HotspotKeys keys(20, 0.25, 0.5);
+  Rng rng(7);
+  std::map<kv::ObjectId, int> counts;
+  for (int i = 0; i < 50'000; ++i) ++counts[keys.sample(rng)];
+  EXPECT_EQ(counts.size(), 20u);
+}
+
+TEST(SizeDistributionTest, FixedAlwaysSame) {
+  const SizeDistribution dist = SizeDistribution::fixed_size(4096);
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(dist.sample(rng), 4096u);
+}
+
+TEST(SizeDistributionTest, UniformWithinBounds) {
+  const SizeDistribution dist = SizeDistribution::uniform(1000, 2000);
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t size = dist.sample(rng);
+    EXPECT_GE(size, 1000u);
+    EXPECT_LE(size, 2000u);
+  }
+}
+
+TEST(BasicWorkloadTest, WriteRatioHonoured) {
+  WorkloadSpec spec;
+  spec.write_ratio = 0.3;
+  spec.keys = std::make_shared<UniformKeys>(100);
+  BasicWorkload load(spec);
+  Rng rng(10);
+  int writes = 0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) writes += load.next(rng, 0).is_write;
+  EXPECT_NEAR(static_cast<double>(writes) / n, 0.3, 0.02);
+}
+
+TEST(BasicWorkloadTest, KeyOffsetShiftsNamespace) {
+  WorkloadSpec spec;
+  spec.keys = std::make_shared<UniformKeys>(10);
+  spec.key_offset = 1'000'000;
+  BasicWorkload load(spec);
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const kv::ObjectId oid = load.next(rng, 0).oid;
+    EXPECT_GE(oid, 1'000'000u);
+    EXPECT_LT(oid, 1'000'010u);
+  }
+}
+
+TEST(BasicWorkloadTest, NullKeysThrow) {
+  WorkloadSpec spec;
+  EXPECT_THROW(BasicWorkload{spec}, std::invalid_argument);
+}
+
+TEST(PhasedWorkloadTest, SwitchesAtBoundaries) {
+  auto writes = std::make_shared<BasicWorkload>(WorkloadSpec{
+      1.0, std::make_shared<UniformKeys>(10), {}, 0, "writes"});
+  auto reads = std::make_shared<BasicWorkload>(WorkloadSpec{
+      0.0, std::make_shared<UniformKeys>(10), {}, 0, "reads"});
+  PhasedWorkload phased(
+      {{seconds(10), writes}, {seconds(10), reads}});
+  Rng rng(12);
+  EXPECT_TRUE(phased.next(rng, seconds(1)).is_write);
+  EXPECT_FALSE(phased.next(rng, seconds(15)).is_write);
+  EXPECT_EQ(phased.phase_at(seconds(5)), 0u);
+  EXPECT_EQ(phased.phase_at(seconds(15)), 1u);
+}
+
+TEST(PhasedWorkloadTest, CyclesByDefault) {
+  auto writes = std::make_shared<BasicWorkload>(WorkloadSpec{
+      1.0, std::make_shared<UniformKeys>(10), {}, 0, "writes"});
+  auto reads = std::make_shared<BasicWorkload>(WorkloadSpec{
+      0.0, std::make_shared<UniformKeys>(10), {}, 0, "reads"});
+  PhasedWorkload phased(
+      {{seconds(10), writes}, {seconds(10), reads}});
+  Rng rng(13);
+  EXPECT_TRUE(phased.next(rng, seconds(21)).is_write);   // wrapped
+  EXPECT_FALSE(phased.next(rng, seconds(35)).is_write);  // wrapped
+}
+
+TEST(PhasedWorkloadTest, NonCyclingStaysInLastPhase) {
+  auto writes = std::make_shared<BasicWorkload>(WorkloadSpec{
+      1.0, std::make_shared<UniformKeys>(10), {}, 0, "writes"});
+  auto reads = std::make_shared<BasicWorkload>(WorkloadSpec{
+      0.0, std::make_shared<UniformKeys>(10), {}, 0, "reads"});
+  PhasedWorkload phased({{seconds(10), writes}, {seconds(10), reads}},
+                        /*cycle=*/false);
+  Rng rng(14);
+  EXPECT_FALSE(phased.next(rng, seconds(100)).is_write);
+}
+
+TEST(PhasedWorkloadTest, InvalidPhasesThrow) {
+  EXPECT_THROW(PhasedWorkload({}), std::invalid_argument);
+  auto src = std::make_shared<BasicWorkload>(WorkloadSpec{
+      0.5, std::make_shared<UniformKeys>(10), {}, 0, "x"});
+  EXPECT_THROW(PhasedWorkload({{0, src}}), std::invalid_argument);
+  EXPECT_THROW(PhasedWorkload({{seconds(1), nullptr}}),
+               std::invalid_argument);
+}
+
+TEST(PresetTest, YcsbMixes) {
+  Rng rng(15);
+  int writes_a = 0;
+  int writes_b = 0;
+  int writes_c = 0;
+  auto a = ycsb_a(1000);
+  auto b = ycsb_b(1000);
+  auto c = backup_c(1000);
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    writes_a += a->next(rng, 0).is_write;
+    writes_b += b->next(rng, 0).is_write;
+    writes_c += c->next(rng, 0).is_write;
+  }
+  EXPECT_NEAR(writes_a / static_cast<double>(n), 0.50, 0.02);
+  EXPECT_NEAR(writes_b / static_cast<double>(n), 0.05, 0.01);
+  EXPECT_NEAR(writes_c / static_cast<double>(n), 0.99, 0.01);
+}
+
+TEST(PresetTest, SweepPointUsesUniformKeysAndRatio) {
+  auto sweep = sweep_point(0.7, 8192, 100);
+  Rng rng(16);
+  int writes = 0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) {
+    const Operation op = sweep->next(rng, 0);
+    EXPECT_LT(op.oid, 100u);
+    EXPECT_EQ(op.size_bytes, 8192u);
+    writes += op.is_write;
+  }
+  EXPECT_NEAR(writes / static_cast<double>(n), 0.7, 0.02);
+}
+
+TEST(PresetTest, DescribeNames) {
+  EXPECT_EQ(ycsb_a(10)->describe(), "ycsb-a");
+  EXPECT_EQ(ycsb_b(10)->describe(), "ycsb-b");
+  EXPECT_EQ(backup_c(10)->describe(), "backup-c");
+}
+
+}  // namespace
+}  // namespace qopt::workload
