@@ -51,9 +51,9 @@ int main() {
     std::printf("%6.0f s   %12.0f %14.0f %12llu %12llu\n", window_s,
                 to_seconds(converged), steady,
                 static_cast<unsigned long long>(
-                    cluster.rm().stats().reconfigurations_completed),
+                    cluster.obs().registry().counter_value("rm.reconfigurations_completed")),
                 static_cast<unsigned long long>(
-                    cluster.am()->stats().restarts));
+                    cluster.obs().registry().counter_value("am.restarts")));
   }
   std::printf("\n");
   return 0;

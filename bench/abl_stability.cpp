@@ -52,8 +52,8 @@ StabilityResult run(bool stabilized,
   cluster.run_for(total);
 
   StabilityResult result;
-  result.reconfigs = cluster.rm().stats().reconfigurations_completed;
-  result.restarts = cluster.am()->stats().restarts;
+  result.reconfigs = cluster.obs().registry().counter_value("rm.reconfigurations_completed");
+  result.restarts = cluster.obs().registry().counter_value("am.restarts");
   const Duration bucket = seconds(5);
   RunningStats stats;
   for (Time t = seconds(60); t + bucket <= total; t += bucket) {

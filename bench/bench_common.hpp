@@ -1,10 +1,16 @@
 // Shared helpers for the paper-reproduction bench harnesses.
+//
+// Measurement flows through `Cluster::report()`: `run_and_report()` runs the
+// warmup/measure phases and hands back one `obs::RunReport` with everything
+// the harnesses print (throughput, latencies, quorum state, message and
+// consistency accounting) instead of each bench polling six stats structs.
 #pragma once
 
 #include <cstdio>
 #include <string>
 
 #include "core/experiment.hpp"
+#include "obs/report.hpp"
 
 namespace qopt::bench {
 
@@ -40,6 +46,27 @@ inline ExperimentSpec sweep_spec() {
 }
 
 inline const char* corpus_cache_path() { return "qopt_corpus_cache.csv"; }
+
+/// Runs warmup then the measurement window on an already-configured cluster
+/// and returns the windowed whole-cluster report (throughput and workload
+/// totals cover the measurement window only).
+inline obs::RunReport run_and_report(Cluster& cluster, Duration warmup,
+                                     Duration measure) {
+  cluster.run_for(warmup);
+  const Time t0 = cluster.now();
+  cluster.run_for(measure);
+  return cluster.report(t0, cluster.now());
+}
+
+/// Convenience: `run_and_report` with the spec's warmup/measure phases.
+inline obs::RunReport run_and_report(Cluster& cluster,
+                                     const ExperimentSpec& spec) {
+  return run_and_report(cluster, spec.warmup, spec.measure);
+}
+
+inline void print_report(const obs::RunReport& report) {
+  std::fputs(report.render().c_str(), stdout);
+}
 
 inline void print_header(const std::string& title,
                          const std::string& paper_claim) {

@@ -111,8 +111,8 @@ int main() {
               cluster.rm().config().default_q.write_q);
   std::printf("reconfigurations: %llu (epoch changes: %llu)\n\n",
               static_cast<unsigned long long>(
-                  cluster.rm().stats().reconfigurations_completed),
+                  cluster.obs().registry().counter_value("rm.reconfigurations_completed")),
               static_cast<unsigned long long>(
-                  cluster.rm().stats().epoch_changes));
+                  cluster.obs().registry().counter_value("rm.epoch_changes")));
   return 0;
 }

@@ -53,16 +53,17 @@ CostRow run_scenario(const char* name, bool loaded,
 
   CostRow row;
   row.name = name;
-  const auto& stats = cluster.rm().stats();
-  row.avg_ms = to_millis(stats.total_reconfig_time) /
-               static_cast<double>(stats.reconfigurations_completed);
+  const auto& reg = cluster.obs().registry();
+  row.avg_ms =
+      static_cast<double>(reg.counter_value("rm.reconfig_time_ns")) / 1e6 /
+      static_cast<double>(reg.counter_value("rm.reconfigurations_completed"));
   // Message cost attributable to the control plane: on an idle store every
   // message in the window is protocol traffic; under load we report the
   // total delta for context.
   row.messages =
       static_cast<double>(cluster.network_stats().messages_sent - msg_before) /
       static_cast<double>(reconfigs);
-  row.epoch_changes = stats.epoch_changes;
+  row.epoch_changes = reg.counter_value("rm.epoch_changes");
   if (loaded && steady > 0) {
     row.tput_ratio = cluster.metrics().throughput(t0, t1) / steady;
   }

@@ -44,7 +44,7 @@ double run(bool monitoring, Duration round_window, std::uint64_t* rounds,
   }
   cluster.run_for(seconds(120));
   if (rounds) {
-    *rounds = cluster.am() ? cluster.am()->stats().rounds : 0;
+    *rounds = cluster.am() ? cluster.obs().registry().counter_value("am.rounds") : 0;
   }
   if (control_msgs) *control_msgs = control;
   const Time t1 = cluster.now();

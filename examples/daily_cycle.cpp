@@ -48,7 +48,7 @@ int main() {
   }
   std::printf("\nreconfigurations over the day: %llu, violations: %zu\n",
               static_cast<unsigned long long>(
-                  cluster.rm().stats().reconfigurations_completed),
+                  cluster.obs().registry().counter_value("rm.reconfigurations_completed")),
               cluster.checker().violations().size());
   return cluster.checker().clean() ? 0 : 1;
 }

@@ -29,7 +29,7 @@ int main() {
                 static_cast<unsigned long long>(rm_config.cfno),
                 static_cast<unsigned long long>(rm_config.epno),
                 static_cast<unsigned long long>(
-                    cluster.rm().stats().epoch_changes));
+                    cluster.obs().registry().counter_value("rm.epoch_changes")));
   };
   show("initial configuration:");
 
@@ -77,7 +77,7 @@ int main() {
               cluster.proxy(2).default_quorum().read_q,
               cluster.proxy(2).default_quorum().write_q,
               static_cast<unsigned long long>(
-                  cluster.proxy(2).stats().nacks_received));
+                  cluster.obs().registry().counter_value(obs::instrument_name("proxy", 2, "nacks_received"))));
 
   cluster.run_for(seconds(5));
   std::printf("\nops completed: %llu, consistency violations: %zu\n",

@@ -2,8 +2,8 @@
 //
 // Drives a full cluster from the command line: workload mix, object size,
 // topology, static quorum or Q-OPT autotuning, failure injection, and
-// CSV/human output. Useful for exploring the configuration space without
-// writing code.
+// human/CSV/JSON output — all three render the same Cluster::report().
+// Useful for exploring the configuration space without writing code.
 //
 // Examples:
 //   ./build/examples/qopt_cli --workload ycsb-b --read-q 1 --write-q 5
@@ -17,6 +17,8 @@
 
 #include "core/cluster.hpp"
 #include "core/nemesis.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "util/flags.hpp"
 #include "workload/trace.hpp"
 #include "workload/workload.hpp"
@@ -35,7 +37,8 @@ void usage() {
       "quorum:     --read-q N --write-q N   (static; default 3/3)\n"
       "            --autotune [--round-window S] [--topk N]\n"
       "run:        --duration S (default 60) --warmup S (default 5)\n"
-      "            --seed N --csv --trace-out FILE\n"
+      "            --seed N --csv --json --trace-out FILE\n"
+      "            --trace-events FILE  (obs tracer JSON, all categories)\n"
       "faults:     --crash-proxy I --crash-storage I --crash-at S\n"
       "            --anti-entropy\n"
       "            --nemesis [--nemesis-interval MS]  (chaos schedule)\n");
@@ -72,6 +75,8 @@ int main(int argc, char** argv) {
   const double duration_s = flags.get_double("duration", 60);
   const double warmup_s = flags.get_double("warmup", 5);
   const bool csv = flags.get_bool("csv", false);
+  const bool json = flags.get_bool("json", false);
+  const std::string trace_events = flags.get_string("trace-events", "");
 
   std::shared_ptr<workload::OperationSource> source;
   if (workload_name == "ycsb-a") {
@@ -97,6 +102,7 @@ int main(int argc, char** argv) {
   }
 
   Cluster cluster(config);
+  if (!trace_events.empty()) cluster.obs().tracer().enable_all();
   cluster.preload(objects, object_bytes);
   cluster.set_workload(source);
 
@@ -160,34 +166,28 @@ int main(int argc, char** argv) {
                  recorder->trace().size(), trace_out.c_str());
   }
 
-  const double tput = cluster.metrics().throughput(t0, t1);
-  const auto& read_lat = cluster.metrics().read_latency();
-  const auto& write_lat = cluster.metrics().write_latency();
-  const auto& quorum = cluster.rm().config().default_q;
-  if (csv) {
-    std::printf("workload,ops_s,read_p50_ms,read_p99_ms,write_p50_ms,"
-                "write_p99_ms,read_q,write_q,overrides,violations\n");
-    std::printf("%s,%.0f,%.3f,%.3f,%.3f,%.3f,%d,%d,%zu,%zu\n",
-                workload_name.c_str(), tput, read_lat.percentile(50) / 1e6,
-                read_lat.percentile(99) / 1e6, write_lat.percentile(50) / 1e6,
-                write_lat.percentile(99) / 1e6, quorum.read_q, quorum.write_q,
-                cluster.rm().config().overrides.size(),
-                cluster.checker().violations().size());
+  // One consistent summary for every output mode: the cluster-wide report
+  // over the measurement window.
+  const obs::RunReport report = cluster.report(t0, t1);
+  if (!trace_events.empty()) {
+    const std::string events = cluster.obs().tracer().to_json();
+    if (std::FILE* f = std::fopen(trace_events.c_str(), "w")) {
+      std::fwrite(events.data(), 1, events.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "%zu trace events written to %s\n",
+                   cluster.obs().tracer().size(), trace_events.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", trace_events.c_str());
+    }
+  }
+  if (json) {
+    std::printf("%s\n", report.to_json().c_str());
+  } else if (csv) {
+    std::printf("workload,%s\n", obs::RunReport::csv_header().c_str());
+    std::printf("%s,%s\n", workload_name.c_str(), report.csv_row().c_str());
   } else {
     std::printf("\nworkload            %s\n", workload_name.c_str());
-    std::printf("throughput          %.0f ops/s\n", tput);
-    std::printf("read latency        p50 %.2f ms, p99 %.2f ms\n",
-                read_lat.percentile(50) / 1e6, read_lat.percentile(99) / 1e6);
-    std::printf("write latency       p50 %.2f ms, p99 %.2f ms\n",
-                write_lat.percentile(50) / 1e6,
-                write_lat.percentile(99) / 1e6);
-    std::printf("default quorum      R=%d W=%d (+%zu per-object overrides)\n",
-                quorum.read_q, quorum.write_q,
-                cluster.rm().config().overrides.size());
-    std::printf("consistency         %zu violations over %llu checked reads\n",
-                cluster.checker().violations().size(),
-                static_cast<unsigned long long>(
-                    cluster.checker().reads_checked()));
+    std::fputs(report.render().c_str(), stdout);
   }
-  return cluster.checker().clean() ? 0 : 1;
+  return report.consistency_violations == 0 ? 0 : 1;
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Builds the whole tree under ASan+UBSan and runs the test suite.
+# Usage: scripts/sanitize.sh [extra ctest args...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$jobs"
+ctest --preset asan-ubsan -j "$jobs" "$@"

@@ -21,7 +21,8 @@ AutonomicManager::AutonomicManager(sim::Simulator& sim, Net& net,
                                    oracle::Oracle& oracle,
                                    std::vector<sim::NodeId> proxies,
                                    int replication,
-                                   const AutonomicOptions& options)
+                                   const AutonomicOptions& options,
+                                   obs::Observability* obs)
     : sim_(sim),
       net_(net),
       self_(self),
@@ -37,6 +38,31 @@ AutonomicManager::AutonomicManager(sim::Simulator& sim, Net& net,
       maybe_process_round();
     }
   });
+  if (!obs) {
+    own_obs_ = std::make_unique<obs::Observability>();
+    obs = own_obs_.get();
+  }
+  obs_ = obs;
+  auto& reg = obs_->registry();
+  ins_.rounds = &reg.counter("am.rounds");
+  ins_.fine_grain_reconfigs = &reg.counter("am.fine_grain_reconfigs");
+  ins_.objects_tuned = &reg.counter("am.objects_tuned");
+  ins_.tail_reconfigs = &reg.counter("am.tail_reconfigs");
+  ins_.steady_reconfigs = &reg.counter("am.steady_reconfigs");
+  ins_.restarts = &reg.counter("am.restarts");
+  ins_.round = &reg.gauge("am.round");
+  ins_.last_kpi = &reg.gauge("am.last_kpi");
+}
+
+AutonomicStats AutonomicManager::stats() const {
+  AutonomicStats s;
+  s.rounds = ins_.rounds->value();
+  s.fine_grain_reconfigs = ins_.fine_grain_reconfigs->value();
+  s.objects_tuned = ins_.objects_tuned->value();
+  s.tail_reconfigs = ins_.tail_reconfigs->value();
+  s.steady_reconfigs = ins_.steady_reconfigs->value();
+  s.restarts = ins_.restarts->value();
+  return s;
 }
 
 void AutonomicManager::start() {
@@ -56,12 +82,18 @@ void AutonomicManager::stop() {
 
 void AutonomicManager::emit(const std::string& what) {
   if (on_event_) on_event_(sim_.now(), what);
+  obs::Tracer& tracer = obs_->tracer();
+  if (tracer.enabled(obs::Category::kAutonomic)) {
+    tracer.record(sim_.now(), obs::Category::kAutonomic, "am_event", "am",
+                  round_, 0, what);
+  }
 }
 
 void AutonomicManager::begin_round() {
   if (!running_) return;
   ++round_;
-  ++stats_.rounds;
+  ins_.rounds->inc();
+  ins_.round->set(static_cast<double>(round_));
   reports_.clear();
   gathering_ = true;
   const kv::NewRoundMsg msg{round_, options_.round_window};
@@ -168,6 +200,7 @@ void AutonomicManager::process_round() {
     }
   }
   last_kpi_ = kpi;
+  ins_.last_kpi->set(kpi);
   have_kpi_ = true;
 
   std::vector<ObjectStats> merged_topk;
@@ -256,8 +289,8 @@ void AutonomicManager::process_fine_grain(
   };
 
   if (!change.overrides.empty()) {
-    ++stats_.fine_grain_reconfigs;
-    stats_.objects_tuned += change.overrides.size();
+    ins_.fine_grain_reconfigs->inc();
+    ins_.objects_tuned->inc(change.overrides.size());
     emit("fine-grain reconfiguration of " +
          std::to_string(change.overrides.size()) + " object(s)");
     rm_.change_configuration(
@@ -298,7 +331,7 @@ void AutonomicManager::finish_fine_grain(const TailStats& tail) {
       const QuorumConfig target =
           oracle::config_from_write_quorum(w, replication_);
       if (rm_.config().default_q != target) {
-        ++stats_.tail_reconfigs;
+        ins_.tail_reconfigs->inc();
         emit("tail reconfiguration to R=" + std::to_string(target.read_q) +
              " W=" + std::to_string(target.write_q));
         QuorumChange change;
@@ -330,7 +363,7 @@ void AutonomicManager::process_steady(
     workload_shifted = workload_shift_.update(tail.write_ratio());
   }
   if (kpi_dropped || workload_shifted) {
-    ++stats_.restarts;
+    ins_.restarts->inc();
     emit(std::string(kpi_dropped ? "KPI drop" : "workload shift") +
          " detected; restarting fine-grain optimization");
     mode_ = Mode::kFineGrain;
@@ -409,7 +442,7 @@ void AutonomicManager::process_steady(
   };
 
   if (!change.overrides.empty() || tail_change) {
-    ++stats_.steady_reconfigs;
+    ins_.steady_reconfigs->inc();
     emit("steady-state drift reconfiguration");
     if (tail_change) {
       QuorumChange global_change;

@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "autonomic/filters.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
+#include "obs/obs.hpp"
 #include "oracle/oracle.hpp"
 #include "reconfig/reconfig_manager.hpp"
 #include "sim/failure_detector.hpp"
@@ -61,6 +63,8 @@ struct AutonomicOptions {
   bool drift_hysteresis = true;  // two-round agreement before steady drift
 };
 
+/// Legacy aggregate view; the authoritative instruments live in the shared
+/// `obs::MetricRegistry` under `am.*`.
 struct AutonomicStats {
   std::uint64_t rounds = 0;
   std::uint64_t fine_grain_reconfigs = 0;  // per-object batches applied
@@ -76,11 +80,14 @@ class AutonomicManager {
   /// Observer for adaptation traces: (virtual time, description).
   using EventCallback = std::function<void(Time, const std::string&)>;
 
+  /// `obs` is the cluster-wide observability bundle; when null the AM
+  /// allocates a private one (stand-alone component tests).
   AutonomicManager(sim::Simulator& sim, Net& net, sim::NodeId self,
                    sim::FailureDetector& fd,
                    reconfig::ReconfigManager& rm, oracle::Oracle& oracle,
                    std::vector<sim::NodeId> proxies, int replication,
-                   const AutonomicOptions& options);
+                   const AutonomicOptions& options,
+                   obs::Observability* obs = nullptr);
 
   /// Starts the optimization loop (round 1 begins immediately).
   void start();
@@ -90,7 +97,11 @@ class AutonomicManager {
   void on_message(const sim::NodeId& from, const kv::Message& msg);
   void set_event_callback(EventCallback cb) { on_event_ = std::move(cb); }
 
-  const AutonomicStats& stats() const noexcept { return stats_; }
+  /// Observability bundle in use (the shared one, or the private fallback).
+  obs::Observability& observability() noexcept { return *obs_; }
+  const obs::Observability& observability() const noexcept { return *obs_; }
+  [[deprecated("query the metric registry (am.*) instead")]]
+  AutonomicStats stats() const;
   bool converged() const noexcept { return mode_ == Mode::kSteady; }
   std::uint64_t round() const noexcept { return round_; }
   double last_kpi() const noexcept { return last_kpi_; }
@@ -158,7 +169,21 @@ class AutonomicManager {
   ShiftDetector workload_shift_;   // watches the tail write ratio
   TrendPredictor kpi_trend_;
 
-  AutonomicStats stats_;
+  // Observability: counters cached at construction, bumped on the hot path.
+  std::unique_ptr<obs::Observability> own_obs_;  // fallback when none shared
+  obs::Observability* obs_ = nullptr;
+  struct Instruments {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* fine_grain_reconfigs = nullptr;
+    obs::Counter* objects_tuned = nullptr;
+    obs::Counter* tail_reconfigs = nullptr;
+    obs::Counter* steady_reconfigs = nullptr;
+    obs::Counter* restarts = nullptr;
+    obs::Gauge* round = nullptr;
+    obs::Gauge* last_kpi = nullptr;
+  };
+  Instruments ins_;
+
   EventCallback on_event_;
 };
 

@@ -20,13 +20,23 @@ Cluster::Cluster(const ClusterConfig& config)
     throw std::invalid_argument("Cluster: need at least 1 proxy and storage");
   }
 
+  net_.bind_observability(&obs_);
+  // Membership trace: every suspicion-state flip, whatever its origin
+  // (oracle FD, heartbeat watcher, injected false suspicion).
+  fd_.subscribe([this](const sim::NodeId& node, bool suspected) {
+    obs::Tracer& tracer = obs_.tracer();
+    if (!tracer.enabled(obs::Category::kMembership)) return;
+    tracer.record(sim_.now(), obs::Category::kMembership,
+                  suspected ? "suspect" : "unsuspect", sim::to_string(node));
+  });
+
   // ---- storage nodes
   storage_.reserve(config_.num_storage);
   for (std::uint32_t i = 0; i < config_.num_storage; ++i) {
     const sim::NodeId id = sim::storage_id(i);
     auto node = std::make_unique<kv::StorageNode>(
         sim_, net_, id, config_.storage_service, config_.storage_servers,
-        master_rng_.fork(0x5704A6E + i));
+        master_rng_.fork(0x5704A6E + i), &obs_);
     kv::StorageNode* raw = node.get();
     net_.register_node(id, [raw](const sim::NodeId& from,
                                  const kv::Message& msg) {
@@ -42,7 +52,7 @@ Cluster::Cluster(const ClusterConfig& config)
   for (std::uint32_t i = 0; i < config_.num_proxies; ++i) {
     const sim::NodeId id = sim::proxy_id(i);
     auto node = std::make_unique<proxy::Proxy>(sim_, net_, id, placement_,
-                                               proxy_options);
+                                               proxy_options, &obs_);
     proxy::Proxy* raw = node.get();
     net_.register_node(id, [raw](const sim::NodeId& from,
                                  const kv::Message& msg) {
@@ -62,7 +72,7 @@ Cluster::Cluster(const ClusterConfig& config)
   }
   rm_ = std::make_unique<reconfig::ReconfigManager>(
       sim_, net_, sim::rm_id(), fd_, proxy_ids, storage_ids,
-      config_.initial_quorum, config_.replication);
+      config_.initial_quorum, config_.replication, &obs_);
   net_.register_node(sim::rm_id(), [this](const sim::NodeId& from,
                                           const kv::Message& msg) {
     if (std::holds_alternative<kv::HeartbeatMsg>(msg)) {
@@ -183,7 +193,7 @@ void Cluster::enable_autotuning(const autonomic::AutonomicOptions& options,
   }
   am_ = std::make_unique<autonomic::AutonomicManager>(
       sim_, net_, sim::am_id(), fd_, *rm_, *oracle_, proxy_ids,
-      config_.replication, options);
+      config_.replication, options, &obs_);
   net_.register_node(sim::am_id(), [this](const sim::NodeId& from,
                                           const kv::Message& msg) {
     am_->on_message(from, msg);
@@ -210,6 +220,10 @@ void Cluster::enable_anti_entropy(const kv::ReplicatorOptions& options) {
 
 void Cluster::crash_proxy(std::uint32_t index) {
   proxies_.at(index)->crash();
+  if (obs_.tracer().enabled(obs::Category::kMembership)) {
+    obs_.tracer().record(sim_.now(), obs::Category::kMembership, "crash",
+                         sim::to_string(sim::proxy_id(index)));
+  }
   // With heartbeat detection the suspicion arises organically from the
   // stopped beats; the oracle path keeps the configured detection delay.
   if (!config_.heartbeat_fd) fd_.node_crashed(sim::proxy_id(index));
@@ -217,12 +231,83 @@ void Cluster::crash_proxy(std::uint32_t index) {
 
 void Cluster::crash_storage(std::uint32_t index) {
   storage_.at(index)->crash();
+  if (obs_.tracer().enabled(obs::Category::kMembership)) {
+    obs_.tracer().record(sim_.now(), obs::Category::kMembership, "crash",
+                         sim::to_string(sim::storage_id(index)));
+  }
   fd_.node_crashed(sim::storage_id(index));
 }
 
 void Cluster::inject_false_suspicion(std::uint32_t proxy_index,
                                      Duration duration) {
   fd_.inject_false_suspicion(sim::proxy_id(proxy_index), duration);
+}
+
+namespace {
+
+obs::LatencySummary summarize(const LatencyHistogram& hist) {
+  obs::LatencySummary s;
+  s.count = hist.count();
+  if (s.count == 0) return s;
+  s.mean_ms = hist.mean() / 1e6;  // histograms record nanoseconds
+  s.p50_ms = hist.percentile(50.0) / 1e6;
+  s.p95_ms = hist.percentile(95.0) / 1e6;
+  s.p99_ms = hist.percentile(99.0) / 1e6;
+  s.max_ms = hist.max() / 1e6;
+  return s;
+}
+
+}  // namespace
+
+obs::RunReport Cluster::report() const { return report(0, sim_.now()); }
+
+obs::RunReport Cluster::report(Time t0, Time t1) const {
+  obs::RunReport r;
+  r.seed = config_.seed;
+  r.num_storage = config_.num_storage;
+  r.num_proxies = config_.num_proxies;
+  r.num_clients = static_cast<std::uint32_t>(clients_.size());
+  r.replication = config_.replication;
+  r.window_start = t0;
+  r.window_end = t1;
+
+  r.ops = metrics_.ops_between(t0, t1);
+  r.reads = metrics_.reads_between(t0, t1);
+  r.writes = metrics_.writes_between(t0, t1);
+  r.throughput_ops = metrics_.throughput(t0, t1);
+  r.read_latency = summarize(metrics_.read_latency());
+  r.write_latency = summarize(metrics_.write_latency());
+  for (Time t = t0; t + seconds(1) <= t1; t += seconds(1)) {
+    r.throughput_timeline.push_back(metrics_.throughput(t, t + seconds(1)));
+  }
+
+  const kv::FullConfig& canonical = rm_->config();
+  r.default_read_q = canonical.default_q.read_q;
+  r.default_write_q = canonical.default_q.write_q;
+  r.override_count = canonical.overrides.size();
+  const obs::MetricRegistry& reg = obs_.registry();
+  r.reconfigurations = reg.counter_value("rm.reconfigurations_completed");
+  r.epoch_changes = reg.counter_value("rm.epoch_changes");
+  r.reconfig_time_s =
+      static_cast<double>(reg.counter_value("rm.reconfig_time_ns")) / 1e9;
+  r.am_rounds = reg.counter_value("am.rounds");
+  r.objects_tuned = reg.counter_value("am.objects_tuned");
+  r.tail_reconfigs = reg.counter_value("am.tail_reconfigs");
+  r.steady_reconfigs = reg.counter_value("am.steady_reconfigs");
+  r.am_restarts = reg.counter_value("am.restarts");
+
+  const sim::NetworkStats& net = net_.stats();
+  r.messages_sent = net.messages_sent;
+  r.messages_delivered = net.messages_delivered;
+  r.dropped_sender_crashed = net.dropped_sender_crashed;
+  r.dropped_receiver_crashed = net.dropped_receiver_crashed;
+  r.dropped_unroutable = net.dropped_unroutable;
+
+  r.reads_checked = checker_.reads_checked();
+  r.consistency_violations = checker_.violations().size();
+
+  r.instruments = reg.snapshot();
+  return r;
 }
 
 }  // namespace qopt

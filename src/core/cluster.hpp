@@ -31,6 +31,8 @@
 #include "kv/service_model.hpp"
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
+#include "obs/obs.hpp"
+#include "obs/report.hpp"
 #include "oracle/oracle.hpp"
 #include "proxy/proxy.hpp"
 #include "reconfig/reconfig_manager.hpp"
@@ -143,6 +145,16 @@ class Cluster {
   // -------------------------------------------------------------- accessors
 
   sim::Simulator& simulator() noexcept { return sim_; }
+  /// Shared observability bundle: every component's instruments live in
+  /// `obs().registry()`, trace events in `obs().tracer()`.
+  obs::Observability& obs() noexcept { return obs_; }
+  const obs::Observability& obs() const noexcept { return obs_; }
+  /// Whole-cluster summary over [0, now()); deterministic for a
+  /// deterministic run (same seed → byte-identical to_json()).
+  obs::RunReport report() const;
+  /// Summary restricted to the window [t0, t1) (workload totals and
+  /// throughput only; cumulative fields cover the whole run).
+  obs::RunReport report(Time t0, Time t1) const;
   Metrics& metrics() noexcept { return metrics_; }
   const Metrics& metrics() const noexcept { return metrics_; }
   ConsistencyChecker& checker() noexcept { return checker_; }
@@ -168,6 +180,9 @@ class Cluster {
   using Net = sim::Network<kv::Message>;
 
   ClusterConfig config_;
+  // Declared before every component: they cache pointers into the registry,
+  // so the bundle must outlive them (destroyed last).
+  obs::Observability obs_;
   sim::Simulator sim_;
   Rng master_rng_;
   Net net_;

@@ -24,16 +24,15 @@ ExperimentResult run_static(const ExperimentSpec& spec,
   cluster.run_for(spec.measure);
   const Time t1 = cluster.now();
 
+  const obs::RunReport report = cluster.report(t0, t1);
   ExperimentResult result;
   result.quorum = quorum;
-  result.throughput_ops = cluster.metrics().throughput(t0, t1);
-  result.ops = cluster.metrics().ops_between(t0, t1);
-  const auto& read_lat = cluster.metrics().read_latency();
-  const auto& write_lat = cluster.metrics().write_latency();
-  result.read_p50_ms = read_lat.percentile(50) / 1e6;
-  result.read_p99_ms = read_lat.percentile(99) / 1e6;
-  result.write_p50_ms = write_lat.percentile(50) / 1e6;
-  result.write_p99_ms = write_lat.percentile(99) / 1e6;
+  result.throughput_ops = report.throughput_ops;
+  result.ops = report.ops;
+  result.read_p50_ms = report.read_latency.p50_ms;
+  result.read_p99_ms = report.read_latency.p99_ms;
+  result.write_p50_ms = report.write_latency.p50_ms;
+  result.write_p99_ms = report.write_latency.p99_ms;
   result.consistent = cluster.checker().clean();
   return result;
 }

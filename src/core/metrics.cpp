@@ -38,16 +38,15 @@ void Metrics::reset() {
 }
 
 std::uint64_t Metrics::ops_between(Time t0, Time t1) const {
-  if (t1 <= t0 || buckets_.empty()) return 0;
-  const auto first = static_cast<std::size_t>(std::max<Time>(t0, 0) /
-                                              bucket_width_);
-  const auto last = static_cast<std::size_t>(std::max<Time>(t1 - 1, 0) /
-                                             bucket_width_);
-  std::uint64_t total = 0;
-  for (std::size_t i = first; i <= last && i < buckets_.size(); ++i) {
-    total += buckets_[i].ops;
-  }
-  return total;
+  return sum_between(t0, t1, [](const Bucket& b) { return b.ops; });
+}
+
+std::uint64_t Metrics::reads_between(Time t0, Time t1) const {
+  return sum_between(t0, t1, [](const Bucket& b) { return b.reads; });
+}
+
+std::uint64_t Metrics::writes_between(Time t0, Time t1) const {
+  return sum_between(t0, t1, [](const Bucket& b) { return b.writes; });
 }
 
 double Metrics::throughput(Time t0, Time t1) const {

@@ -3,6 +3,7 @@
 // harnesses).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -36,6 +37,8 @@ class Metrics {
 
   /// Completed operations in [t0, t1), resolved to bucket granularity.
   std::uint64_t ops_between(Time t0, Time t1) const;
+  std::uint64_t reads_between(Time t0, Time t1) const;
+  std::uint64_t writes_between(Time t0, Time t1) const;
 
   /// Throughput (ops/s) over [t0, t1).
   double throughput(Time t0, Time t1) const;
@@ -44,6 +47,20 @@ class Metrics {
   const std::vector<Bucket>& buckets() const noexcept { return buckets_; }
 
  private:
+  template <typename F>
+  std::uint64_t sum_between(Time t0, Time t1, F pick) const {
+    if (t1 <= t0 || buckets_.empty()) return 0;
+    const auto first =
+        static_cast<std::size_t>(std::max<Time>(t0, 0) / bucket_width_);
+    const auto last =
+        static_cast<std::size_t>(std::max<Time>(t1 - 1, 0) / bucket_width_);
+    std::uint64_t total = 0;
+    for (std::size_t i = first; i <= last && i < buckets_.size(); ++i) {
+      total += pick(buckets_[i]);
+    }
+    return total;
+  }
+
   Duration bucket_width_;
   std::vector<Bucket> buckets_;
   std::uint64_t total_ops_ = 0;

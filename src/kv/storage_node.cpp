@@ -4,13 +4,42 @@ namespace qopt::kv {
 
 StorageNode::StorageNode(sim::Simulator& sim, Net& net, sim::NodeId self,
                          const ServiceTimes& service, std::size_t servers,
-                         Rng rng)
+                         Rng rng, obs::Observability* obs)
     : sim_(sim),
       net_(net),
       self_(self),
       service_(service),
       pool_(servers),
-      rng_(rng) {}
+      rng_(rng) {
+  if (!obs) {
+    own_obs_ = std::make_unique<obs::Observability>();
+    obs = own_obs_.get();
+  }
+  obs_ = obs;
+  node_name_ = sim::to_string(self_);
+  auto& reg = obs_->registry();
+  const std::uint32_t i = self_.index;
+  ins_.reads_served = &reg.counter(obs::instrument_name("storage", i,
+                                                        "reads_served"));
+  ins_.writes_applied =
+      &reg.counter(obs::instrument_name("storage", i, "writes_applied"));
+  ins_.writes_discarded =
+      &reg.counter(obs::instrument_name("storage", i, "writes_discarded"));
+  ins_.nacks_sent = &reg.counter(obs::instrument_name("storage", i,
+                                                      "nacks_sent"));
+  ins_.epoch_changes =
+      &reg.counter(obs::instrument_name("storage", i, "epoch_changes"));
+}
+
+StorageNodeStats StorageNode::stats() const {
+  StorageNodeStats s;
+  s.reads_served = ins_.reads_served->value();
+  s.writes_applied = ins_.writes_applied->value();
+  s.writes_discarded = ins_.writes_discarded->value();
+  s.nacks_sent = ins_.nacks_sent->value();
+  s.epoch_changes = ins_.epoch_changes->value();
+  return s;
+}
 
 void StorageNode::on_message(const sim::NodeId& from, const Message& msg) {
   if (crashed_) return;
@@ -40,7 +69,7 @@ const Version* StorageNode::peek(ObjectId oid) const {
 }
 
 void StorageNode::send_nack(const sim::NodeId& to, std::uint64_t op_id) {
-  ++stats_.nacks_sent;
+  ins_.nacks_sent->inc();
   net_.send(self_, to, EpochNack{op_id, config_});
 }
 
@@ -58,7 +87,7 @@ void StorageNode::handle_read(const sim::NodeId& from,
   const std::uint64_t op_id = req.op_id;
   sim_.at(done, [this, from, oid, op_id] {
     if (crashed_) return;
-    ++stats_.reads_served;
+    ins_.reads_served->inc();
     StorageReadResp resp;
     resp.op_id = op_id;
     if (auto sit = store_.find(oid); sit != store_.end()) {
@@ -85,19 +114,19 @@ void StorageNode::handle_write(const sim::NodeId& from,
     if (!inserted) {
       if (req.version.ts > it->second.ts) {
         it->second = req.version;
-        ++stats_.writes_applied;
+        ins_.writes_applied->inc();
       } else if (req.version.ts == it->second.ts &&
                  req.version.cfno > it->second.cfno) {
         // Same write re-propagated under a newer configuration (the
         // read-repair write-back of Algorithm 4): refresh the cfno tag so
         // future reads need not repeat the historical-quorum read.
         it->second.cfno = req.version.cfno;
-        ++stats_.writes_applied;
+        ins_.writes_applied->inc();
       } else {
-        ++stats_.writes_discarded;
+        ins_.writes_discarded->inc();
       }
     } else {
-      ++stats_.writes_applied;
+      ins_.writes_applied->inc();
     }
     net_.send(self_, from, StorageWriteResp{req.op_id});
   });
@@ -125,7 +154,14 @@ void StorageNode::handle_new_epoch(const sim::NodeId& from,
                                    const NewEpochMsg& msg) {
   // Alg. 6 lines 5-10: adopt any epoch at least as recent as ours and ack.
   if (msg.config.epno >= config_.epno) {
-    if (msg.config.epno > config_.epno) ++stats_.epoch_changes;
+    if (msg.config.epno > config_.epno) {
+      ins_.epoch_changes->inc();
+      if (obs_->tracer().enabled(obs::Category::kReconfig)) {
+        obs_->tracer().record(sim_.now(), obs::Category::kReconfig,
+                              "storage_epoch", node_name_, msg.config.epno,
+                              msg.config.cfno);
+      }
+    }
     config_ = msg.config;
   }
   net_.send(self_, from, AckNewEpochMsg{msg.config.epno});

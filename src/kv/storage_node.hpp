@@ -13,17 +13,22 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "kv/service_model.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
+#include "obs/obs.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 
 namespace qopt::kv {
 
+/// Legacy aggregate view; the authoritative instruments live in the shared
+/// `obs::MetricRegistry` under `storage.<index>.*`.
 struct StorageNodeStats {
   std::uint64_t reads_served = 0;
   std::uint64_t writes_applied = 0;
@@ -36,8 +41,11 @@ class StorageNode {
  public:
   using Net = sim::Network<Message>;
 
+  /// `obs` is the cluster-wide observability bundle; when null the node
+  /// allocates a private one (stand-alone component tests).
   StorageNode(sim::Simulator& sim, Net& net, sim::NodeId self,
-              const ServiceTimes& service, std::size_t servers, Rng rng);
+              const ServiceTimes& service, std::size_t servers, Rng rng,
+              obs::Observability* obs = nullptr);
 
   /// Network message entry point (registered with the network by the
   /// cluster wiring).
@@ -48,7 +56,11 @@ class StorageNode {
 
   std::uint64_t epoch() const noexcept { return config_.epno; }
   const FullConfig& config() const noexcept { return config_; }
-  const StorageNodeStats& stats() const noexcept { return stats_; }
+  /// Observability bundle in use (the shared one, or the private fallback).
+  obs::Observability& observability() noexcept { return *obs_; }
+  const obs::Observability& observability() const noexcept { return *obs_; }
+  [[deprecated("query the metric registry (storage.<i>.*) instead")]]
+  StorageNodeStats stats() const;
   const ServicePool& service_pool() const noexcept { return pool_; }
 
   /// Number of distinct objects stored (tests/diagnostics).
@@ -86,8 +98,20 @@ class StorageNode {
   Rng rng_;
   std::unordered_map<ObjectId, Version> store_;
   FullConfig config_;  // epno/cfno/current quorum state, from NEWEP messages
-  StorageNodeStats stats_;
   bool crashed_ = false;
+
+  // Observability: counters cached at construction, bumped on the hot path.
+  std::unique_ptr<obs::Observability> own_obs_;  // fallback when none shared
+  obs::Observability* obs_ = nullptr;
+  struct Instruments {
+    obs::Counter* reads_served = nullptr;
+    obs::Counter* writes_applied = nullptr;
+    obs::Counter* writes_discarded = nullptr;
+    obs::Counter* nacks_sent = nullptr;
+    obs::Counter* epoch_changes = nullptr;
+  };
+  Instruments ins_;
+  std::string node_name_;  // cached to_string(self_) for trace events
 };
 
 }  // namespace qopt::kv

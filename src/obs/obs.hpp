@@ -1,0 +1,24 @@
+// Observability bundle: one MetricRegistry + one Tracer, shared by every
+// component of a deployment. `qopt::Cluster` owns one and threads it through
+// the network, proxies, storage nodes, RM and AM; stand-alone component
+// tests construct their own and pass a pointer.
+#pragma once
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace qopt::obs {
+
+class Observability {
+ public:
+  MetricRegistry& registry() noexcept { return registry_; }
+  const MetricRegistry& registry() const noexcept { return registry_; }
+  Tracer& tracer() noexcept { return tracer_; }
+  const Tracer& tracer() const noexcept { return tracer_; }
+
+ private:
+  MetricRegistry registry_;
+  Tracer tracer_;
+};
+
+}  // namespace qopt::obs

@@ -1,0 +1,192 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+
+namespace qopt::obs {
+
+std::string instrument_name(std::string_view component,
+                            std::string_view field) {
+  std::string name;
+  name.reserve(component.size() + field.size() + 1);
+  name.append(component);
+  name.push_back('.');
+  name.append(field);
+  return name;
+}
+
+std::string instrument_name(std::string_view component, std::uint32_t index,
+                            std::string_view field) {
+  std::string name;
+  name.reserve(component.size() + field.size() + 12);
+  name.append(component);
+  name.push_back('.');
+  name.append(std::to_string(index));
+  name.push_back('.');
+  name.append(field);
+  return name;
+}
+
+std::string format_double(double value) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+LatencyHistogram& MetricRegistry::histogram(const std::string& name) {
+  return histograms_.try_emplace(name).first->second;
+}
+
+std::uint64_t MetricRegistry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+double MetricRegistry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second.value();
+}
+
+const LatencyHistogram* MetricRegistry::find_histogram(
+    const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+Snapshot MetricRegistry::snapshot() const {
+  Snapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter.value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge.value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSummary summary;
+    summary.count = histogram.count();
+    summary.mean = histogram.mean();
+    summary.p50 = histogram.percentile(50);
+    summary.p95 = histogram.percentile(95);
+    summary.p99 = histogram.percentile(99);
+    summary.max = histogram.max();
+    snap.histograms.emplace(name, summary);
+  }
+  return snap;
+}
+
+void MetricRegistry::reset() {
+  for (auto& [name, counter] : counters_) counter = Counter{};
+  for (auto& [name, gauge] : gauges_) gauge = Gauge{};
+  for (auto& [name, histogram] : histograms_) histogram.reset();
+}
+
+Snapshot Snapshot::delta_since(const Snapshot& earlier) const {
+  Snapshot delta = *this;
+  for (auto& [name, value] : delta.counters) {
+    auto it = earlier.counters.find(name);
+    if (it != earlier.counters.end()) {
+      value = value >= it->second ? value - it->second : 0;
+    }
+  }
+  for (auto& [name, summary] : delta.histograms) {
+    auto it = earlier.histograms.find(name);
+    if (it != earlier.histograms.end()) {
+      summary.count = summary.count >= it->second.count
+                          ? summary.count - it->second.count
+                          : 0;
+    }
+  }
+  return delta;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out.append(std::to_string(value));
+  }
+  out.append("},\"gauges\":{");
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out.append(format_double(value));
+  }
+  out.append("},\"histograms\":{");
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.append(":{\"count\":");
+    out.append(std::to_string(h.count));
+    out.append(",\"mean\":");
+    out.append(format_double(h.mean));
+    out.append(",\"p50\":");
+    out.append(format_double(h.p50));
+    out.append(",\"p95\":");
+    out.append(format_double(h.p95));
+    out.append(",\"p99\":");
+    out.append(format_double(h.p99));
+    out.append(",\"max\":");
+    out.append(format_double(h.max));
+    out.append("}");
+  }
+  out.append("}}");
+  return out;
+}
+
+std::string Snapshot::to_csv() const {
+  std::string out = "name,kind,value\n";
+  for (const auto& [name, value] : counters) {
+    out.append(name).append(",counter,").append(std::to_string(value));
+    out.push_back('\n');
+  }
+  for (const auto& [name, value] : gauges) {
+    out.append(name).append(",gauge,").append(format_double(value));
+    out.push_back('\n');
+  }
+  for (const auto& [name, h] : histograms) {
+    out.append(name).append(".count,histogram,")
+        .append(std::to_string(h.count)).push_back('\n');
+    out.append(name).append(".mean,histogram,")
+        .append(format_double(h.mean)).push_back('\n');
+    out.append(name).append(".p50,histogram,")
+        .append(format_double(h.p50)).push_back('\n');
+    out.append(name).append(".p95,histogram,")
+        .append(format_double(h.p95)).push_back('\n');
+    out.append(name).append(".p99,histogram,")
+        .append(format_double(h.p99)).push_back('\n');
+    out.append(name).append(".max,histogram,")
+        .append(format_double(h.max)).push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace qopt::obs

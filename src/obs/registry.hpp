@@ -1,0 +1,116 @@
+// Unified metrics registry — the single home for every counter, gauge and
+// histogram in the system.
+//
+// Components register named instruments once (construction time) and bump
+// them through cached pointers on the hot path, so recording is a plain
+// integer increment. Names are hierarchical, dot-separated labels following
+// the scheme documented in docs/OBSERVABILITY.md:
+//
+//   <component>[.<index>].<field>     e.g.  proxy.2.client_reads
+//                                           rm.epoch_changes
+//                                           net.dropped.sender_crashed
+//
+// Instruments live in ordered maps, so snapshots, deltas and both export
+// formats (CSV, JSON) enumerate deterministically — two runs with the same
+// seed produce byte-identical exports.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/histogram.hpp"
+
+namespace qopt::obs {
+
+/// Monotone 64-bit event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-value instrument for levels (epoch numbers, KPIs, queue depths).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_ = value; }
+  void add(double delta) noexcept { value_ += delta; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Builds "component.field" / "component.index.field" instrument names.
+std::string instrument_name(std::string_view component,
+                            std::string_view field);
+std::string instrument_name(std::string_view component, std::uint32_t index,
+                            std::string_view field);
+
+/// Fixed-quantile digest of a histogram at snapshot time.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Point-in-time copy of every instrument, ordered by name.
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Interval view: counters and histogram counts become differences
+  /// against `earlier` (instruments absent from `earlier` count from zero);
+  /// gauges and histogram quantiles keep their current values.
+  Snapshot delta_since(const Snapshot& earlier) const;
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} with keys in
+  /// name order — deterministic for a deterministic run.
+  std::string to_json() const;
+
+  /// Flat "name,kind,value" rows (histograms expand to one row per field).
+  std::string to_csv() const;
+};
+
+class MetricRegistry {
+ public:
+  /// Finds or creates; the returned reference is stable for the registry's
+  /// lifetime (node-based map), so callers cache pointers.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  /// Query by name; zero / null when the instrument does not exist.
+  std::uint64_t counter_value(const std::string& name) const;
+  double gauge_value(const std::string& name) const;
+  const LatencyHistogram* find_histogram(const std::string& name) const;
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every instrument (the instruments themselves survive, so cached
+  /// pointers stay valid).
+  void reset();
+
+  std::size_t instrument_count() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+/// Deterministic float formatting shared by every obs export (shortest
+/// round-trippable-ish "%.9g"); exposed for RunReport.
+std::string format_double(double value);
+
+}  // namespace qopt::obs

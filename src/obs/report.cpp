@@ -1,0 +1,210 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+namespace qopt::obs {
+
+namespace {
+
+std::string fmt(const char* format, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), format, value);
+  return buffer;
+}
+
+void field(std::string& out, const char* name, std::uint64_t value,
+           bool first = false) {
+  if (!first) out.push_back(',');
+  out.push_back('"');
+  out.append(name);
+  out.append("\":");
+  out.append(std::to_string(value));
+}
+
+void field(std::string& out, const char* name, double value) {
+  out.append(",\"");
+  out.append(name);
+  out.append("\":");
+  out.append(format_double(value));
+}
+
+void latency_json(std::string& out, const char* name,
+                  const LatencySummary& latency) {
+  out.append(",\"");
+  out.append(name);
+  out.append("\":{\"count\":");
+  out.append(std::to_string(latency.count));
+  out.append(",\"mean_ms\":");
+  out.append(format_double(latency.mean_ms));
+  out.append(",\"p50_ms\":");
+  out.append(format_double(latency.p50_ms));
+  out.append(",\"p95_ms\":");
+  out.append(format_double(latency.p95_ms));
+  out.append(",\"p99_ms\":");
+  out.append(format_double(latency.p99_ms));
+  out.append(",\"max_ms\":");
+  out.append(format_double(latency.max_ms));
+  out.push_back('}');
+}
+
+}  // namespace
+
+std::string RunReport::to_json() const {
+  std::string out = "{";
+  field(out, "seed", seed, /*first=*/true);
+  field(out, "num_storage", static_cast<std::uint64_t>(num_storage));
+  field(out, "num_proxies", static_cast<std::uint64_t>(num_proxies));
+  field(out, "num_clients", static_cast<std::uint64_t>(num_clients));
+  field(out, "replication", static_cast<std::uint64_t>(replication));
+  field(out, "window_start_ns", static_cast<std::uint64_t>(window_start));
+  field(out, "window_end_ns", static_cast<std::uint64_t>(window_end));
+  field(out, "ops", ops);
+  field(out, "reads", reads);
+  field(out, "writes", writes);
+  field(out, "throughput_ops", throughput_ops);
+  latency_json(out, "read_latency", read_latency);
+  latency_json(out, "write_latency", write_latency);
+  out.append(",\"throughput_timeline\":[");
+  for (std::size_t i = 0; i < throughput_timeline.size(); ++i) {
+    if (i) out.push_back(',');
+    out.append(format_double(throughput_timeline[i]));
+  }
+  out.push_back(']');
+  field(out, "default_read_q", static_cast<std::uint64_t>(default_read_q));
+  field(out, "default_write_q", static_cast<std::uint64_t>(default_write_q));
+  field(out, "override_count", override_count);
+  field(out, "reconfigurations", reconfigurations);
+  field(out, "epoch_changes", epoch_changes);
+  field(out, "reconfig_time_s", reconfig_time_s);
+  field(out, "am_rounds", am_rounds);
+  field(out, "objects_tuned", objects_tuned);
+  field(out, "tail_reconfigs", tail_reconfigs);
+  field(out, "steady_reconfigs", steady_reconfigs);
+  field(out, "am_restarts", am_restarts);
+  field(out, "messages_sent", messages_sent);
+  field(out, "messages_delivered", messages_delivered);
+  field(out, "dropped_sender_crashed", dropped_sender_crashed);
+  field(out, "dropped_receiver_crashed", dropped_receiver_crashed);
+  field(out, "dropped_unroutable", dropped_unroutable);
+  field(out, "reads_checked", reads_checked);
+  field(out, "consistency_violations", consistency_violations);
+  out.append(",\"instruments\":");
+  out.append(instruments.to_json());
+  out.push_back('}');
+  return out;
+}
+
+std::string RunReport::render() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "cluster             %u storage / %u proxies / %u clients, "
+                "replication %d, seed %llu\n",
+                num_storage, num_proxies, num_clients, replication,
+                static_cast<unsigned long long>(seed));
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "window              [%.1fs, %.1fs)\n",
+                to_seconds(window_start), to_seconds(window_end));
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "throughput          %.0f ops/s (%llu ops: %llu reads, "
+                "%llu writes)\n",
+                throughput_ops, static_cast<unsigned long long>(ops),
+                static_cast<unsigned long long>(reads),
+                static_cast<unsigned long long>(writes));
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "read latency        p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                read_latency.p50_ms, read_latency.p95_ms, read_latency.p99_ms);
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "write latency       p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n",
+                write_latency.p50_ms, write_latency.p95_ms,
+                write_latency.p99_ms);
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "default quorum      R=%d W=%d (+%llu per-object overrides)\n",
+                default_read_q, default_write_q,
+                static_cast<unsigned long long>(override_count));
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "reconfiguration     %llu completed, %llu epoch changes, "
+                "%.3f s total\n",
+                static_cast<unsigned long long>(reconfigurations),
+                static_cast<unsigned long long>(epoch_changes),
+                reconfig_time_s);
+  out.append(line);
+  if (am_rounds > 0) {
+    std::snprintf(line, sizeof(line),
+                  "autonomic           %llu rounds, %llu objects tuned, "
+                  "%llu tail + %llu steady reconfigs, %llu restarts\n",
+                  static_cast<unsigned long long>(am_rounds),
+                  static_cast<unsigned long long>(objects_tuned),
+                  static_cast<unsigned long long>(tail_reconfigs),
+                  static_cast<unsigned long long>(steady_reconfigs),
+                  static_cast<unsigned long long>(am_restarts));
+    out.append(line);
+  }
+  std::snprintf(line, sizeof(line),
+                "messages            %llu sent, %llu delivered, %llu dropped "
+                "(%llu sender-crash, %llu receiver-crash, %llu unroutable)\n",
+                static_cast<unsigned long long>(messages_sent),
+                static_cast<unsigned long long>(messages_delivered),
+                static_cast<unsigned long long>(messages_dropped()),
+                static_cast<unsigned long long>(dropped_sender_crashed),
+                static_cast<unsigned long long>(dropped_receiver_crashed),
+                static_cast<unsigned long long>(dropped_unroutable));
+  out.append(line);
+  std::snprintf(line, sizeof(line),
+                "consistency         %llu violations over %llu checked "
+                "reads\n",
+                static_cast<unsigned long long>(consistency_violations),
+                static_cast<unsigned long long>(reads_checked));
+  out.append(line);
+  return out;
+}
+
+std::string RunReport::csv_header() {
+  return "ops_s,ops,reads,writes,read_p50_ms,read_p99_ms,write_p50_ms,"
+         "write_p99_ms,read_q,write_q,overrides,reconfigs,epoch_changes,"
+         "messages_sent,messages_dropped,violations";
+}
+
+std::string RunReport::csv_row() const {
+  std::string out;
+  out.append(fmt("%.0f", throughput_ops));
+  out.push_back(',');
+  out.append(std::to_string(ops));
+  out.push_back(',');
+  out.append(std::to_string(reads));
+  out.push_back(',');
+  out.append(std::to_string(writes));
+  out.push_back(',');
+  out.append(fmt("%.3f", read_latency.p50_ms));
+  out.push_back(',');
+  out.append(fmt("%.3f", read_latency.p99_ms));
+  out.push_back(',');
+  out.append(fmt("%.3f", write_latency.p50_ms));
+  out.push_back(',');
+  out.append(fmt("%.3f", write_latency.p99_ms));
+  out.push_back(',');
+  out.append(std::to_string(default_read_q));
+  out.push_back(',');
+  out.append(std::to_string(default_write_q));
+  out.push_back(',');
+  out.append(std::to_string(override_count));
+  out.push_back(',');
+  out.append(std::to_string(reconfigurations));
+  out.push_back(',');
+  out.append(std::to_string(epoch_changes));
+  out.push_back(',');
+  out.append(std::to_string(messages_sent));
+  out.push_back(',');
+  out.append(std::to_string(messages_dropped()));
+  out.push_back(',');
+  out.append(std::to_string(consistency_violations));
+  return out;
+}
+
+}  // namespace qopt::obs

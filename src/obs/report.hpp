@@ -1,0 +1,91 @@
+// RunReport — the whole-cluster summary every harness used to assemble by
+// hand from six ad-hoc stats structs. `Cluster::report()` fills one in a
+// single call; benches, examples and qopt_cli render it as a human table
+// (`render()`), a machine-readable JSON document (`to_json()`), or a flat
+// CSV row (`csv_header()` / `csv_row()`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "util/time.hpp"
+
+namespace qopt::obs {
+
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+struct RunReport {
+  // ---- identification
+  std::uint64_t seed = 0;
+  std::uint32_t num_storage = 0;
+  std::uint32_t num_proxies = 0;
+  std::uint32_t num_clients = 0;
+  int replication = 0;
+  Time window_start = 0;
+  Time window_end = 0;
+
+  // ---- workload totals over the report window
+  std::uint64_t ops = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  double throughput_ops = 0.0;  // ops/s over [window_start, window_end)
+  /// Whole-run latency distributions (histograms are cumulative).
+  LatencySummary read_latency;
+  LatencySummary write_latency;
+  /// Ops/s per second of the window (adaptation-trace timeline).
+  std::vector<double> throughput_timeline;
+
+  // ---- quorum state and control plane
+  int default_read_q = 0;
+  int default_write_q = 0;
+  std::uint64_t override_count = 0;
+  std::uint64_t reconfigurations = 0;
+  std::uint64_t epoch_changes = 0;
+  double reconfig_time_s = 0.0;
+  std::uint64_t am_rounds = 0;
+  std::uint64_t objects_tuned = 0;
+  std::uint64_t tail_reconfigs = 0;
+  std::uint64_t steady_reconfigs = 0;
+  std::uint64_t am_restarts = 0;
+
+  // ---- message accounting (drops split by reason)
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t dropped_sender_crashed = 0;
+  std::uint64_t dropped_receiver_crashed = 0;
+  std::uint64_t dropped_unroutable = 0;
+
+  // ---- consistency
+  std::uint64_t reads_checked = 0;
+  std::uint64_t consistency_violations = 0;
+
+  /// Full registry dump (every per-component instrument, ordered by name).
+  Snapshot instruments;
+
+  std::uint64_t messages_dropped() const noexcept {
+    return dropped_sender_crashed + dropped_receiver_crashed +
+           dropped_unroutable;
+  }
+
+  /// Single deterministic JSON document (byte-identical across same-seed
+  /// runs); includes the full instrument snapshot.
+  std::string to_json() const;
+
+  /// Human-readable multi-line summary table.
+  std::string render() const;
+
+  /// Flat CSV of the headline fields (no instrument dump).
+  static std::string csv_header();
+  std::string csv_row() const;
+};
+
+}  // namespace qopt::obs

@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+namespace qopt::obs {
+
+const char* to_string(Category category) noexcept {
+  switch (category) {
+    case Category::kOp: return "op";
+    case Category::kQuorum: return "quorum";
+    case Category::kReconfig: return "reconfig";
+    case Category::kMembership: return "membership";
+    case Category::kAutonomic: return "autonomic";
+    case Category::kNet: return "net";
+  }
+  return "unknown";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity ? capacity : 1) {
+  ring_.resize(capacity_);
+}
+
+void Tracer::record(Time at, Category category, std::string_view name,
+                    std::string_view node, std::uint64_t a, std::uint64_t b,
+                    std::string_view detail) {
+  if (!enabled(category)) return;
+  TraceEvent& slot = ring_[next_];
+  if (size_ == capacity_) {
+    ++evicted_;
+  } else {
+    ++size_;
+  }
+  slot.at = at;
+  slot.category = category;
+  slot.name.assign(name);
+  slot.node.assign(node);
+  slot.a = a;
+  slot.b = b;
+  slot.detail.assign(detail);
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  // Oldest event: when full, the slot about to be overwritten; else slot 0.
+  const std::size_t start = size_ == capacity_ ? next_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void Tracer::set_capacity(std::size_t capacity) {
+  capacity_ = capacity ? capacity : 1;
+  ring_.assign(capacity_, TraceEvent{});
+  next_ = 0;
+  size_ = 0;
+}
+
+void Tracer::clear() {
+  for (TraceEvent& slot : ring_) slot = TraceEvent{};
+  next_ = 0;
+  size_ = 0;
+  recorded_ = 0;
+  evicted_ = 0;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string Tracer::to_json() const {
+  std::string out = "[";
+  bool first = true;
+  const std::size_t start = size_ == capacity_ ? next_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const TraceEvent& e = ring_[(start + i) % capacity_];
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"at\":");
+    out.append(std::to_string(e.at));
+    out.append(",\"cat\":\"");
+    out.append(to_string(e.category));
+    out.append("\",\"name\":");
+    append_json_string(out, e.name);
+    out.append(",\"node\":");
+    append_json_string(out, e.node);
+    out.append(",\"a\":");
+    out.append(std::to_string(e.a));
+    out.append(",\"b\":");
+    out.append(std::to_string(e.b));
+    if (!e.detail.empty()) {
+      out.append(",\"detail\":");
+      append_json_string(out, e.detail);
+    }
+    out.push_back('}');
+  }
+  out.push_back(']');
+  return out;
+}
+
+}  // namespace qopt::obs

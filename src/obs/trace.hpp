@@ -1,0 +1,97 @@
+// Structured tracing on the DES virtual clock.
+//
+// Components record typed events (operation start/finish, quorum rounds,
+// reconfiguration phases, suspicions, crashes, message drops) stamped with
+// the simulator's virtual time. Categories are individually enable-able and
+// every category is DISABLED by default: the disabled path is one mask test,
+// so instrumented hot paths stay effectively free until a trace is wanted.
+// Storage is a bounded ring buffer — the newest `capacity` events win and an
+// eviction counter records what was lost.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace qopt::obs {
+
+/// Event categories — bit flags so callers can enable any subset.
+enum class Category : std::uint32_t {
+  kOp = 1u << 0,          // client operation start/finish
+  kQuorum = 1u << 1,      // repair reads, NACKs, fallbacks, retries
+  kReconfig = 1u << 2,    // RM phases, proxy/storage adoption, epochs
+  kMembership = 1u << 3,  // suspicions and crashes
+  kAutonomic = 1u << 4,   // AM rounds and tuning decisions
+  kNet = 1u << 5,         // message drops
+};
+
+inline constexpr std::uint32_t kAllCategories = (1u << 6) - 1;
+
+const char* to_string(Category category) noexcept;
+
+/// One recorded event. `a`/`b` are event-specific numeric arguments (object
+/// id, latency, cfno, ...); `detail` is an optional free-form annotation.
+struct TraceEvent {
+  Time at = 0;
+  Category category = Category::kOp;
+  std::string name;
+  std::string node;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::string detail;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = 8192);
+
+  // ------------------------------------------------------- category flags
+  void enable(std::uint32_t category_mask) noexcept { mask_ |= category_mask; }
+  void disable(std::uint32_t category_mask) noexcept {
+    mask_ &= ~category_mask;
+  }
+  void enable_all() noexcept { mask_ = kAllCategories; }
+  void disable_all() noexcept { mask_ = 0; }
+  std::uint32_t mask() const noexcept { return mask_; }
+  bool enabled(Category category) const noexcept {
+    return (mask_ & static_cast<std::uint32_t>(category)) != 0;
+  }
+
+  // ------------------------------------------------------------ recording
+  /// No-op (single mask test) when the category is disabled.
+  void record(Time at, Category category, std::string_view name,
+              std::string_view node, std::uint64_t a = 0, std::uint64_t b = 0,
+              std::string_view detail = {});
+
+  // ------------------------------------------------------------ inspection
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> events() const;
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Events accepted since construction/clear (including later evictions).
+  std::uint64_t recorded() const noexcept { return recorded_; }
+  /// Events overwritten because the ring was full.
+  std::uint64_t evicted() const noexcept { return evicted_; }
+
+  /// Resizes the ring (drops buffered events, keeps the category mask).
+  void set_capacity(std::size_t capacity);
+  void clear();
+
+  /// JSON array of buffered events, oldest first — deterministic for a
+  /// deterministic run.
+  std::string to_json() const;
+
+ private:
+  std::uint32_t mask_ = 0;  // everything off: tracing is opt-in
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t next_ = 0;  // slot the next event lands in
+  std::size_t size_ = 0;
+  std::uint64_t recorded_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace qopt::obs

@@ -11,7 +11,8 @@ using kv::QuorumConfig;
 using kv::Version;
 
 Proxy::Proxy(sim::Simulator& sim, Net& net, sim::NodeId self,
-             const kv::Placement& placement, const ProxyOptions& options)
+             const kv::Placement& placement, const ProxyOptions& options,
+             obs::Observability* obs)
     : sim_(sim),
       net_(net),
       self_(self),
@@ -21,6 +22,57 @@ Proxy::Proxy(sim::Simulator& sim, Net& net, sim::NodeId self,
       default_q_(options.initial),
       summary_(options.topk_capacity) {
   read_q_history_[0] = default_q_.read_q;
+  if (!obs) {
+    own_obs_ = std::make_unique<obs::Observability>();
+    obs = own_obs_.get();
+  }
+  obs_ = obs;
+  node_name_ = sim::to_string(self_);
+  auto& reg = obs_->registry();
+  const std::uint32_t i = self_.index;
+  ins_.client_reads = &reg.counter(obs::instrument_name("proxy", i,
+                                                        "client_reads"));
+  ins_.client_writes = &reg.counter(obs::instrument_name("proxy", i,
+                                                         "client_writes"));
+  ins_.not_found_reads =
+      &reg.counter(obs::instrument_name("proxy", i, "not_found_reads"));
+  ins_.repair_reads = &reg.counter(obs::instrument_name("proxy", i,
+                                                        "repair_reads"));
+  ins_.writebacks = &reg.counter(obs::instrument_name("proxy", i,
+                                                      "writebacks"));
+  ins_.nacks_received =
+      &reg.counter(obs::instrument_name("proxy", i, "nacks_received"));
+  ins_.op_retries = &reg.counter(obs::instrument_name("proxy", i,
+                                                      "op_retries"));
+  ins_.fallbacks = &reg.counter(obs::instrument_name("proxy", i,
+                                                     "fallbacks"));
+  ins_.reconfigurations =
+      &reg.counter(obs::instrument_name("proxy", i, "reconfigurations"));
+  ins_.read_latency_ns =
+      &reg.histogram(obs::instrument_name("proxy", i, "read_latency_ns"));
+  ins_.write_latency_ns =
+      &reg.histogram(obs::instrument_name("proxy", i, "write_latency_ns"));
+}
+
+ProxyStats Proxy::stats() const {
+  ProxyStats s;
+  s.client_reads = ins_.client_reads->value();
+  s.client_writes = ins_.client_writes->value();
+  s.not_found_reads = ins_.not_found_reads->value();
+  s.repair_reads = ins_.repair_reads->value();
+  s.writebacks = ins_.writebacks->value();
+  s.nacks_received = ins_.nacks_received->value();
+  s.op_retries = ins_.op_retries->value();
+  s.fallbacks = ins_.fallbacks->value();
+  s.reconfigurations = ins_.reconfigurations->value();
+  return s;
+}
+
+void Proxy::trace(obs::Category category, const char* name, std::uint64_t a,
+                  std::uint64_t b) {
+  obs::Tracer& tracer = obs_->tracer();
+  if (!tracer.enabled(category)) return;
+  tracer.record(sim_.now(), category, name, node_name_, a, b);
 }
 
 void Proxy::crash() {
@@ -121,7 +173,8 @@ void Proxy::on_message(const sim::NodeId& from, const Message& msg) {
 
 void Proxy::handle_client_read(const sim::NodeId& from,
                                const kv::ClientReadReq& req) {
-  ++stats_.client_reads;
+  ins_.client_reads->inc();
+  trace(obs::Category::kOp, "read_start", req.oid);
   const Time arrival = sim_.now();
   const Time ready = pool_.submit(arrival, options_.op_cost);
   sim_.at(ready, [this, from, req, arrival] {
@@ -132,7 +185,8 @@ void Proxy::handle_client_read(const sim::NodeId& from,
 
 void Proxy::handle_client_write(const sim::NodeId& from,
                                 const kv::ClientWriteReq& req) {
-  ++stats_.client_writes;
+  ins_.client_writes->inc();
+  trace(obs::Category::kOp, "write_start", req.oid);
   const Time arrival = sim_.now();
   const Time ready = pool_.submit(arrival, options_.op_cost);
   sim_.at(ready, [this, from, req, arrival] {
@@ -226,7 +280,8 @@ void Proxy::arm_fallback(std::uint64_t op_id) {
     PendingOp& op = it->second;
     if (op.received >= op.needed) return;
     if (op.contacted >= static_cast<int>(op.replica_order.size())) return;
-    ++stats_.fallbacks;
+    ins_.fallbacks->inc();
+    trace(obs::Category::kQuorum, "fallback", op.oid);
     contact_replicas(op_id, op, static_cast<int>(op.replica_order.size()));
   });
 }
@@ -260,7 +315,9 @@ void Proxy::maybe_complete_read(std::uint64_t op_id) {
     if (old_r > op.needed) {
       op.repair = true;
       op.needed = old_r;
-      ++stats_.repair_reads;
+      ins_.repair_reads->inc();
+      trace(obs::Category::kQuorum, "read_repair", op.oid,
+            static_cast<std::uint64_t>(old_r));
       if (op.received < op.needed) {
         contact_replicas(op_id, op, op.needed);
         arm_fallback(op_id);
@@ -281,7 +338,8 @@ void Proxy::handle_write_reply(const kv::StorageWriteResp& resp) {
 }
 
 void Proxy::handle_nack(const kv::EpochNack& nack) {
-  ++stats_.nacks_received;
+  ins_.nacks_received->inc();
+  trace(obs::Category::kQuorum, "nack", nack.op_id, nack.config.epno);
   if (nack.config.epno > lepno_) adopt_full_config(nack.config);
   auto it = ops_.find(nack.op_id);
   if (it == ops_.end()) return;
@@ -291,7 +349,7 @@ void Proxy::handle_nack(const kv::EpochNack& nack) {
 void Proxy::retry_op(std::uint64_t op_id) {
   // Re-execute the operation in the (newly learned) epoch. A fresh op-id
   // fences replies belonging to the aborted attempt.
-  ++stats_.op_retries;
+  ins_.op_retries->inc();
   auto node = ops_.extract(op_id);
   PendingOp op = std::move(node.mapped());
   if (op.kind != PendingOp::Kind::kRead) {
@@ -313,13 +371,13 @@ void Proxy::finish_op(std::uint64_t op_id, PendingOp& op_ref) {
     resp.req_id = op.client_req;
     resp.found = op.any_found;
     if (op.any_found) resp.version = op.best;
-    if (!op.any_found) ++stats_.not_found_reads;
+    if (!op.any_found) ins_.not_found_reads->inc();
     net_.send(self_, op.client, resp);
   } else if (op.kind == PendingOp::Kind::kWrite) {
     net_.send(self_, op.client,
               kv::ClientWriteResp{op.client_req, op.write_version.ts});
   } else {
-    ++stats_.writebacks;
+    ins_.writebacks->inc();
   }
 
   if (op.kind != PendingOp::Kind::kWriteBack) {
@@ -327,7 +385,12 @@ void Proxy::finish_op(std::uint64_t op_id, PendingOp& op_ref) {
         is_read ? (op.any_found ? op.best.size_bytes : 0)
                 : op.write_version.size_bytes;
     note_access(op.oid, !is_read, size);
-    round_latency_sum_ms_ += to_millis(sim_.now() - op.start_time);
+    const Duration latency = sim_.now() - op.start_time;
+    auto* hist = is_read ? ins_.read_latency_ns : ins_.write_latency_ns;
+    hist->record(static_cast<double>(latency));
+    trace(obs::Category::kOp, is_read ? "read_finish" : "write_finish",
+          op.oid, static_cast<std::uint64_t>(latency));
+    round_latency_sum_ms_ += to_millis(latency);
     if (on_complete_) {
       on_complete_(OpRecord{op.oid, !is_read, op.start_time, sim_.now(),
                             self_.index});
@@ -363,7 +426,8 @@ void Proxy::handle_new_quorum(const sim::NodeId& from,
     // quorums, so committing it before adopting the next change is safe.
     commit_pending_change();
   }
-  ++stats_.reconfigurations;
+  ins_.reconfigurations->inc();
+  trace(obs::Category::kReconfig, "proxy_newq", msg.epno, msg.cfno);
   pending_change_ = msg.change;
   pending_cfno_ = msg.cfno;
   in_transition_ = true;
@@ -420,6 +484,7 @@ void Proxy::op_completed_for_drain() {
 }
 
 void Proxy::handle_confirm(const sim::NodeId& from, const kv::ConfirmMsg& msg) {
+  trace(obs::Category::kReconfig, "proxy_confirm", msg.epno, msg.cfno);
   if (in_transition_ && msg.cfno == pending_cfno_) {
     commit_pending_change();
     lepno_ = std::max(lepno_, msg.epno);
@@ -439,6 +504,7 @@ void Proxy::commit_pending_change() {
 }
 
 void Proxy::adopt_full_config(const kv::FullConfig& config) {
+  trace(obs::Category::kReconfig, "proxy_resync", config.epno, config.cfno);
   lepno_ = config.epno;
   if (config.cfno >= lcfno_) {
     lcfno_ = config.cfno;

@@ -33,10 +33,14 @@
 #include "kv/service_model.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
+#include "obs/obs.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "topk/space_saving.hpp"
+
+#include <memory>
+#include <string>
 
 namespace qopt::proxy {
 
@@ -48,6 +52,8 @@ struct ProxyOptions {
   std::size_t topk_capacity = 128;         // Space-Saving summary size
 };
 
+/// Legacy aggregate view; the authoritative instruments live in the shared
+/// `obs::MetricRegistry` under `proxy.<index>.*`.
 struct ProxyStats {
   std::uint64_t client_reads = 0;
   std::uint64_t client_writes = 0;
@@ -74,8 +80,11 @@ class Proxy {
   using Net = sim::Network<kv::Message>;
   using OpCallback = std::function<void(const OpRecord&)>;
 
+  /// `obs` is the cluster-wide observability bundle; when null the proxy
+  /// allocates a private one (stand-alone component tests).
   Proxy(sim::Simulator& sim, Net& net, sim::NodeId self,
-        const kv::Placement& placement, const ProxyOptions& options);
+        const kv::Placement& placement, const ProxyOptions& options,
+        obs::Observability* obs = nullptr);
 
   void on_message(const sim::NodeId& from, const kv::Message& msg);
 
@@ -98,7 +107,11 @@ class Proxy {
   kv::QuorumConfig default_quorum() const noexcept { return default_q_; }
   /// Effective quorum used for `oid` right now (includes transition logic).
   kv::QuorumConfig effective_quorum(kv::ObjectId oid) const;
-  const ProxyStats& stats() const noexcept { return stats_; }
+  /// Observability bundle in use (the shared one, or the private fallback).
+  obs::Observability& observability() noexcept { return *obs_; }
+  const obs::Observability& observability() const noexcept { return *obs_; }
+  [[deprecated("query the metric registry (proxy.<i>.*) instead")]]
+  ProxyStats stats() const;
   std::size_t pending_ops() const noexcept { return ops_.size(); }
   std::size_t override_count() const noexcept { return overrides_.size(); }
 
@@ -212,7 +225,28 @@ class Proxy {
   bool heartbeats_paused_ = false;
   std::uint64_t heartbeat_seq_ = 0;
 
-  ProxyStats stats_;
+  // Observability: counters cached at construction, bumped on the hot path.
+  std::unique_ptr<obs::Observability> own_obs_;  // fallback when none shared
+  obs::Observability* obs_ = nullptr;
+  struct Instruments {
+    obs::Counter* client_reads = nullptr;
+    obs::Counter* client_writes = nullptr;
+    obs::Counter* not_found_reads = nullptr;
+    obs::Counter* repair_reads = nullptr;
+    obs::Counter* writebacks = nullptr;
+    obs::Counter* nacks_received = nullptr;
+    obs::Counter* op_retries = nullptr;
+    obs::Counter* fallbacks = nullptr;
+    obs::Counter* reconfigurations = nullptr;
+    LatencyHistogram* read_latency_ns = nullptr;
+    LatencyHistogram* write_latency_ns = nullptr;
+  };
+  Instruments ins_;
+  std::string node_name_;  // cached to_string(self_) for trace events
+
+  void trace(obs::Category category, const char* name, std::uint64_t a = 0,
+             std::uint64_t b = 0);
+
   OpCallback on_complete_;
 };
 

@@ -13,7 +13,8 @@ ReconfigManager::ReconfigManager(sim::Simulator& sim, Net& net,
                                  sim::NodeId self, sim::FailureDetector& fd,
                                  std::vector<sim::NodeId> proxies,
                                  std::vector<sim::NodeId> storages,
-                                 QuorumConfig initial, int replication)
+                                 QuorumConfig initial, int replication,
+                                 obs::Observability* obs)
     : sim_(sim),
       net_(net),
       self_(self),
@@ -28,6 +29,36 @@ ReconfigManager::ReconfigManager(sim::Simulator& sim, Net& net,
   fd_.subscribe([this](const sim::NodeId& node, bool suspected) {
     on_suspicion_change(node, suspected);
   });
+  if (!obs) {
+    own_obs_ = std::make_unique<obs::Observability>();
+    obs = own_obs_.get();
+  }
+  obs_ = obs;
+  auto& reg = obs_->registry();
+  ins_.reconfigurations_completed =
+      &reg.counter("rm.reconfigurations_completed");
+  ins_.epoch_changes = &reg.counter("rm.epoch_changes");
+  ins_.rejected_invalid = &reg.counter("rm.rejected_invalid");
+  ins_.reconfig_time_ns = &reg.counter("rm.reconfig_time_ns");
+  ins_.epoch = &reg.gauge("rm.epoch");
+  ins_.cfno = &reg.gauge("rm.cfno");
+}
+
+ReconfigStats ReconfigManager::stats() const {
+  ReconfigStats s;
+  s.reconfigurations_completed = ins_.reconfigurations_completed->value();
+  s.epoch_changes = ins_.epoch_changes->value();
+  s.rejected_invalid = ins_.rejected_invalid->value();
+  s.total_reconfig_time =
+      static_cast<Duration>(ins_.reconfig_time_ns->value());
+  return s;
+}
+
+void ReconfigManager::trace(obs::Category category, const char* name,
+                            std::uint64_t a, std::uint64_t b) {
+  obs::Tracer& tracer = obs_->tracer();
+  if (!tracer.enabled(category)) return;
+  tracer.record(sim_.now(), category, name, "rm", a, b);
 }
 
 QuorumConfig ReconfigManager::quorum_for(kv::ObjectId oid) const {
@@ -49,7 +80,7 @@ bool ReconfigManager::validate(const QuorumChange& change) const {
 void ReconfigManager::change_configuration(QuorumChange change,
                                            DoneCallback done) {
   if (!validate(change)) {
-    ++stats_.rejected_invalid;
+    ins_.rejected_invalid->inc();
     if (done) done(false);
     return;
   }
@@ -65,6 +96,7 @@ void ReconfigManager::start_next() {
   started_at_ = sim_.now();
   acked_proxies_.clear();
   phase_ = Phase::kNewQuorum;
+  trace(obs::Category::kReconfig, "rm_start", canonical_.epno, current_cfno_);
   const kv::NewQuorumMsg msg{canonical_.epno, current_cfno_, current_.change};
   for (const sim::NodeId& proxy : proxies_) net_.send(self_, proxy, msg);
   // A suspicion may already cover every proxy we would wait for.
@@ -184,6 +216,8 @@ void ReconfigManager::evaluate_phase1() {
 
 void ReconfigManager::begin_confirm() {
   phase_ = Phase::kConfirm;
+  trace(obs::Category::kReconfig, "rm_confirm", canonical_.epno,
+        current_cfno_);
   acked_proxies_.clear();
   const kv::ConfirmMsg msg{canonical_.epno, current_cfno_};
   for (const sim::NodeId& proxy : proxies_) net_.send(self_, proxy, msg);
@@ -208,7 +242,7 @@ void ReconfigManager::evaluate_phase2() {
 }
 
 void ReconfigManager::begin_epoch_change(bool after_phase1) {
-  ++stats_.epoch_changes;
+  ins_.epoch_changes->inc();
   epoch_change_after_phase1_ = after_phase1;
   phase_ = after_phase1 ? Phase::kEpochChange1 : Phase::kEpochChange2;
   acked_storage_.clear();
@@ -232,6 +266,9 @@ void ReconfigManager::begin_epoch_change(bool after_phase1) {
       max_quorum_dimension(after_phase1 ? canonical_ : payload);
 
   canonical_.epno += 1;  // epochs are totally ordered RM-local counters
+  ins_.epoch->set(static_cast<double>(canonical_.epno));
+  trace(obs::Category::kReconfig, "rm_epoch_change", canonical_.epno,
+        current_cfno_);
   FullConfig msg_config = payload;
   msg_config.epno = canonical_.epno;
   for (const sim::NodeId& storage : storages_) {
@@ -256,8 +293,12 @@ void ReconfigManager::commit() {
   FullConfig next = post_change_state();
   next.epno = canonical_.epno;
   canonical_ = std::move(next);
-  ++stats_.reconfigurations_completed;
-  stats_.total_reconfig_time += sim_.now() - started_at_;
+  ins_.reconfigurations_completed->inc();
+  ins_.reconfig_time_ns->inc(
+      static_cast<std::uint64_t>(sim_.now() - started_at_));
+  ins_.cfno->set(static_cast<double>(canonical_.cfno));
+  trace(obs::Category::kReconfig, "rm_commit", canonical_.epno,
+        canonical_.cfno);
   phase_ = Phase::kIdle;
   // Detach the finished request *before* invoking its callback: the callback
   // may synchronously enqueue (and start) the next reconfiguration, which

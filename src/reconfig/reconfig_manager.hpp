@@ -23,12 +23,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
+#include "obs/obs.hpp"
 #include "sim/failure_detector.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
@@ -36,6 +38,8 @@
 
 namespace qopt::reconfig {
 
+/// Legacy aggregate view; the authoritative instruments live in the shared
+/// `obs::MetricRegistry` under `rm.*`.
 struct ReconfigStats {
   std::uint64_t reconfigurations_completed = 0;
   std::uint64_t epoch_changes = 0;
@@ -48,11 +52,14 @@ class ReconfigManager {
   using Net = sim::Network<kv::Message>;
   using DoneCallback = std::function<void(bool ok)>;
 
+  /// `obs` is the cluster-wide observability bundle; when null the RM
+  /// allocates a private one (stand-alone component tests).
   ReconfigManager(sim::Simulator& sim, Net& net, sim::NodeId self,
                   sim::FailureDetector& fd,
                   std::vector<sim::NodeId> proxies,
                   std::vector<sim::NodeId> storages,
-                  kv::QuorumConfig initial, int replication);
+                  kv::QuorumConfig initial, int replication,
+                  obs::Observability* obs = nullptr);
 
   /// Queues a reconfiguration (the changeConfiguration entry point; callable
   /// by the Autonomic Manager or a human administrator). Validates strict
@@ -68,7 +75,11 @@ class ReconfigManager {
   kv::QuorumConfig quorum_for(kv::ObjectId oid) const;
   bool busy() const noexcept { return phase_ != Phase::kIdle; }
   std::size_t queued() const noexcept { return queue_.size(); }
-  const ReconfigStats& stats() const noexcept { return stats_; }
+  /// Observability bundle in use (the shared one, or the private fallback).
+  obs::Observability& observability() noexcept { return *obs_; }
+  const obs::Observability& observability() const noexcept { return *obs_; }
+  [[deprecated("query the metric registry (rm.*) instead")]]
+  ReconfigStats stats() const;
 
  private:
   enum class Phase {
@@ -123,7 +134,21 @@ class ReconfigManager {
   int epoch_quorum_needed_ = 0;
   bool epoch_change_after_phase1_ = false;
 
-  ReconfigStats stats_;
+  // Observability: counters cached at construction, bumped on the hot path.
+  std::unique_ptr<obs::Observability> own_obs_;  // fallback when none shared
+  obs::Observability* obs_ = nullptr;
+  struct Instruments {
+    obs::Counter* reconfigurations_completed = nullptr;
+    obs::Counter* epoch_changes = nullptr;
+    obs::Counter* rejected_invalid = nullptr;
+    obs::Counter* reconfig_time_ns = nullptr;
+    obs::Gauge* epoch = nullptr;
+    obs::Gauge* cfno = nullptr;
+  };
+  Instruments ins_;
+
+  void trace(obs::Category category, const char* name, std::uint64_t a = 0,
+             std::uint64_t b = 0);
 };
 
 }  // namespace qopt::reconfig

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "sim/ids.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -40,7 +41,11 @@ struct LatencyModel {
 struct NetworkStats {
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_delivered = 0;
-  std::uint64_t messages_dropped = 0;  // sender or receiver crashed
+  std::uint64_t messages_dropped = 0;  // total = sum of the reasons below
+  // Drop reasons (each drop is counted exactly once):
+  std::uint64_t dropped_sender_crashed = 0;    // refused at send time
+  std::uint64_t dropped_receiver_crashed = 0;  // in flight, receiver dead
+  std::uint64_t dropped_unroutable = 0;  // unregistered target / no handler
 };
 
 template <typename M>
@@ -73,12 +78,34 @@ class Network {
   using SendTap = std::function<void(const NodeId& from, const NodeId& to)>;
   void set_send_tap(SendTap tap) { tap_ = std::move(tap); }
 
+  /// Mirror message accounting into a shared registry (instruments under
+  /// `net.*`) and emit kNet drop traces. The internal NetworkStats stays
+  /// authoritative so the template works standalone without an obs bundle.
+  void bind_observability(obs::Observability* o) {
+    obs_ = o;
+    if (!obs_) {
+      sent_ = delivered_ = drop_sender_ = drop_receiver_ = drop_unroutable_ =
+          nullptr;
+      return;
+    }
+    auto& reg = obs_->registry();
+    sent_ = &reg.counter("net.messages_sent");
+    delivered_ = &reg.counter("net.messages_delivered");
+    drop_sender_ = &reg.counter("net.dropped.sender_crashed");
+    drop_receiver_ = &reg.counter("net.dropped.receiver_crashed");
+    drop_unroutable_ = &reg.counter("net.dropped.unroutable");
+  }
+
   void send(const NodeId& from, const NodeId& to, M msg) {
     ++stats_.messages_sent;
+    if (sent_) sent_->inc();
     if (tap_) tap_(from, to);
     auto from_it = nodes_.find(from);
     if (from_it != nodes_.end() && from_it->second.crashed) {
       ++stats_.messages_dropped;
+      ++stats_.dropped_sender_crashed;
+      if (drop_sender_) drop_sender_->inc();
+      trace_drop("drop_sender_crashed", from, to);
       return;
     }
     const Duration lat = latency_.sample(rng_);
@@ -108,12 +135,29 @@ class Network {
 
   void deliver(const NodeId& from, const NodeId& to, const M& msg) {
     auto it = nodes_.find(to);
-    if (it == nodes_.end() || it->second.crashed || !it->second.handler) {
+    if (it == nodes_.end() || !it->second.handler) {
       ++stats_.messages_dropped;
+      ++stats_.dropped_unroutable;
+      if (drop_unroutable_) drop_unroutable_->inc();
+      trace_drop("drop_unroutable", from, to);
+      return;
+    }
+    if (it->second.crashed) {
+      ++stats_.messages_dropped;
+      ++stats_.dropped_receiver_crashed;
+      if (drop_receiver_) drop_receiver_->inc();
+      trace_drop("drop_receiver_crashed", from, to);
       return;
     }
     ++stats_.messages_delivered;
+    if (delivered_) delivered_->inc();
     it->second.handler(from, msg);
+  }
+
+  void trace_drop(const char* name, const NodeId& from, const NodeId& to) {
+    if (!obs_ || !obs_->tracer().enabled(obs::Category::kNet)) return;
+    obs_->tracer().record(sim_.now(), obs::Category::kNet, name,
+                          to_string(from), 0, 0, to_string(to));
   }
 
   Simulator& sim_;
@@ -123,6 +167,12 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, Time> last_delivery_;
   NetworkStats stats_;
   SendTap tap_;
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* sent_ = nullptr;
+  obs::Counter* delivered_ = nullptr;
+  obs::Counter* drop_sender_ = nullptr;
+  obs::Counter* drop_receiver_ = nullptr;
+  obs::Counter* drop_unroutable_ = nullptr;
 };
 
 }  // namespace qopt::sim

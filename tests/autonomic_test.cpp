@@ -37,7 +37,7 @@ TEST(AutonomicTest, ConvergesToLargeWForReadHeavyTail) {
   ASSERT_TRUE(cluster.am()->converged());
   // 95% reads -> oracle picks W=5 (R=1) for the tail.
   EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{1, 5}));
-  EXPECT_GE(cluster.am()->stats().tail_reconfigs, 1u);
+  EXPECT_GE(cluster.obs().registry().counter_value("am.tail_reconfigs"), 1u);
   EXPECT_TRUE(cluster.checker().clean());
 }
 
@@ -59,7 +59,7 @@ TEST(AutonomicTest, HotspotObjectsGetPerObjectOverrides) {
   cluster.set_workload(workload::ycsb_b(5000));
   cluster.enable_autotuning(fast_tuning());
   cluster.run_for(seconds(40));
-  EXPECT_GT(cluster.am()->stats().objects_tuned, 0u);
+  EXPECT_GT(cluster.obs().registry().counter_value("am.objects_tuned"), 0u);
   EXPECT_GT(cluster.rm().config().overrides.size(), 0u);
   // Every installed override must be strict.
   for (const auto& [oid, q] : cluster.rm().config().overrides) {
@@ -76,9 +76,9 @@ TEST(AutonomicTest, StopsFineGrainWhenImprovementFades) {
   ASSERT_TRUE(cluster.am()->converged());
   // Convergence implies rounds stopped triggering fine-grain reconfigs;
   // steady rounds continue but tuned-object count stabilizes.
-  const std::uint64_t tuned = cluster.am()->stats().objects_tuned;
+  const std::uint64_t tuned = cluster.obs().registry().counter_value("am.objects_tuned");
   cluster.run_for(seconds(20));
-  EXPECT_LE(cluster.am()->stats().objects_tuned, tuned + 4)
+  EXPECT_LE(cluster.obs().registry().counter_value("am.objects_tuned"), tuned + 4)
       << "fine-grain tuning kept churning after convergence";
 }
 
@@ -157,9 +157,9 @@ TEST(AutonomicTest, StopHaltsRounds) {
   cluster.enable_autotuning(fast_tuning());
   cluster.run_for(seconds(10));
   cluster.am()->stop();
-  const std::uint64_t rounds = cluster.am()->stats().rounds;
+  const std::uint64_t rounds = cluster.obs().registry().counter_value("am.rounds");
   cluster.run_for(seconds(20));
-  EXPECT_EQ(cluster.am()->stats().rounds, rounds);
+  EXPECT_EQ(cluster.obs().registry().counter_value("am.rounds"), rounds);
 }
 
 TEST(AutonomicTest, LatencyKpiAlsoConverges) {

@@ -57,7 +57,7 @@ TEST(ClusterTest, PreloadMakesReadsFindData) {
   cluster.run_for(seconds(1));
   EXPECT_GT(cluster.metrics().total_reads(), 0u);
   for (std::uint32_t i = 0; i < 2; ++i) {
-    EXPECT_EQ(cluster.proxy(i).stats().not_found_reads, 0u);
+    EXPECT_EQ(cluster.obs().registry().counter_value(obs::instrument_name("proxy", i, "not_found_reads")), 0u);
   }
 }
 
@@ -110,10 +110,10 @@ TEST(ClusterTest, PerProxyWorkloadAssignment) {
   cluster.set_workload_for_proxy(
       1, std::make_shared<workload::BasicWorkload>(reads));
   cluster.run_for(seconds(1));
-  EXPECT_EQ(cluster.proxy(0).stats().client_reads, 0u);
-  EXPECT_GT(cluster.proxy(0).stats().client_writes, 0u);
-  EXPECT_EQ(cluster.proxy(1).stats().client_writes, 0u);
-  EXPECT_GT(cluster.proxy(1).stats().client_reads, 0u);
+  EXPECT_EQ(cluster.obs().registry().counter_value(obs::instrument_name("proxy", 0, "client_reads")), 0u);
+  EXPECT_GT(cluster.obs().registry().counter_value(obs::instrument_name("proxy", 0, "client_writes")), 0u);
+  EXPECT_EQ(cluster.obs().registry().counter_value(obs::instrument_name("proxy", 1, "client_writes")), 0u);
+  EXPECT_GT(cluster.obs().registry().counter_value(obs::instrument_name("proxy", 1, "client_reads")), 0u);
 }
 
 TEST(ClusterTest, StopClientsHaltsTraffic) {

@@ -133,7 +133,7 @@ TEST_P(FailureSchedule, FalseSuspicionsAndCrashesAreSafe) {
   cluster.run_for(seconds(3));
   expect_clean(cluster);
   // Liveness: reconfigurations terminated despite suspicions.
-  EXPECT_EQ(cluster.rm().stats().reconfigurations_completed, 6u);
+  EXPECT_EQ(cluster.obs().registry().counter_value("rm.reconfigurations_completed"), 6u);
   EXPECT_FALSE(cluster.rm().busy());
 }
 
@@ -159,7 +159,7 @@ TEST_P(AutotunedChurn, SelfTuningNeverViolatesConsistency) {
   cluster.enable_autotuning(options);
   cluster.run_for(seconds(70));
   expect_clean(cluster);
-  EXPECT_GT(cluster.rm().stats().reconfigurations_completed, 0u);
+  EXPECT_GT(cluster.obs().registry().counter_value("rm.reconfigurations_completed"), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, AutotunedChurn,
@@ -186,7 +186,7 @@ TEST_P(StorageCrash, QuorumSurvivesMinorityStorageFailure) {
   cluster.reconfigure({4, 2});
   cluster.run_for(seconds(3));
   expect_clean(cluster);
-  EXPECT_EQ(cluster.rm().stats().reconfigurations_completed, 1u);
+  EXPECT_EQ(cluster.obs().registry().counter_value("rm.reconfigurations_completed"), 1u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StorageCrash,
@@ -238,7 +238,7 @@ TEST_P(HeartbeatChurn, OrganicSuspicionsNeverViolateConsistency) {
   }
   cluster.run_for(seconds(3));
   expect_clean(cluster);
-  EXPECT_EQ(cluster.rm().stats().reconfigurations_completed, 6u);
+  EXPECT_EQ(cluster.obs().registry().counter_value("rm.reconfigurations_completed"), 6u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HeartbeatChurn,

@@ -64,11 +64,11 @@ Fingerprint run_scenario(std::uint64_t seed, bool autotune, bool heartbeat,
   fp.reads = cluster.metrics().total_reads();
   fp.writes = cluster.metrics().total_writes();
   fp.messages = cluster.network_stats().messages_sent;
-  fp.reconfigs = cluster.rm().stats().reconfigurations_completed;
+  fp.reconfigs = cluster.obs().registry().counter_value("rm.reconfigurations_completed");
   fp.cfno = cluster.rm().config().cfno;
   fp.overrides = cluster.rm().config().overrides.size();
   for (std::uint32_t i = 0; i < 3; ++i) {
-    fp.nacks += cluster.proxy(i).stats().nacks_received;
+    fp.nacks += cluster.obs().registry().counter_value(obs::instrument_name("proxy", i, "nacks_received"));
   }
   return fp;
 }

@@ -77,7 +77,7 @@ TEST(HeartbeatTest, ReconfigurationDuringOrganicFalseSuspicionIsSafe) {
   cluster.reconfigure({4, 2}, [&](bool success) { ok = success; });
   cluster.run_for(seconds(3));
   EXPECT_TRUE(ok);
-  EXPECT_GE(cluster.rm().stats().epoch_changes, 1u);
+  EXPECT_GE(cluster.obs().registry().counter_value("rm.epoch_changes"), 1u);
   EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig{4, 2}));
   cluster.proxy(0).set_heartbeats_paused(false);
   cluster.run_for(seconds(2));

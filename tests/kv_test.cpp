@@ -244,7 +244,9 @@ TEST_F(StorageFixture, OlderWriteDiscardedButAcked) {
   EXPECT_EQ(proxy_inbox.size(), 2u);  // both acked
   EXPECT_TRUE(std::holds_alternative<StorageWriteResp>(proxy_inbox[1]));
   EXPECT_EQ(node->peek(7)->value, 2u);
-  EXPECT_EQ(node->stats().writes_discarded, 1u);
+  EXPECT_EQ(node->observability().registry().counter_value(
+                obs::instrument_name("storage", 0, "writes_discarded")),
+            1u);
 }
 
 TEST_F(StorageFixture, EqualTimestampHigherCfnoRefreshesTag) {
@@ -283,7 +285,9 @@ TEST_F(StorageFixture, StaleEpochGetsNack) {
     }
   }
   EXPECT_TRUE(got_nack);
-  EXPECT_EQ(node->stats().nacks_sent, 1u);
+  EXPECT_EQ(node->observability().registry().counter_value(
+                obs::instrument_name("storage", 0, "nacks_sent")),
+            1u);
 }
 
 TEST_F(StorageFixture, CurrentEpochOperationsServed) {

@@ -38,7 +38,7 @@ TEST(ProtocolEdgeTest, ReconfigQueuedDuringSuspicionDrivenEpochChange) {
   cluster.run_for(seconds(10));
   EXPECT_EQ(completed, 3);
   EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{4, 2}));
-  EXPECT_GE(cluster.rm().stats().epoch_changes, 2u);
+  EXPECT_GE(cluster.obs().registry().counter_value("rm.epoch_changes"), 2u);
   EXPECT_TRUE(cluster.checker().clean());
 }
 
@@ -53,7 +53,7 @@ TEST(ProtocolEdgeTest, BackToBackSuspicionsOfDifferentProxies) {
   cluster.inject_false_suspicion(1, seconds(2));
   cluster.reconfigure({1, 5});
   cluster.run_for(seconds(5));
-  EXPECT_EQ(cluster.rm().stats().reconfigurations_completed, 2u);
+  EXPECT_EQ(cluster.obs().registry().counter_value("rm.reconfigurations_completed"), 2u);
   // Both proxies converged to the final configuration.
   EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig{1, 5}));
   EXPECT_EQ(cluster.proxy(1).default_quorum(), (kv::QuorumConfig{1, 5}));
@@ -96,8 +96,8 @@ TEST(ProtocolEdgeTest, WritebacksInvisibleToMonitoringAndClients) {
   std::uint64_t repairs = 0;
   std::uint64_t writebacks = 0;
   for (std::uint32_t i = 0; i < 2; ++i) {
-    repairs += cluster.proxy(i).stats().repair_reads;
-    writebacks += cluster.proxy(i).stats().writebacks;
+    repairs += cluster.obs().registry().counter_value(obs::instrument_name("proxy", i, "repair_reads"));
+    writebacks += cluster.obs().registry().counter_value(obs::instrument_name("proxy", i, "writebacks"));
   }
   EXPECT_GT(repairs, 0u) << "scenario failed to trigger read repair";
   EXPECT_GT(writebacks, 0u);
@@ -124,7 +124,7 @@ TEST(ProtocolEdgeTest, StorageWriteNackAlsoResynchronizes) {
   cluster.inject_false_suspicion(0, seconds(3));
   cluster.reconfigure({2, 4});
   cluster.run_for(seconds(5));
-  EXPECT_GE(cluster.proxy(0).stats().nacks_received, 1u);
+  EXPECT_GE(cluster.obs().registry().counter_value(obs::instrument_name("proxy", 0, "nacks_received")), 1u);
   EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig{2, 4}));
   // The falsely suspected proxy's clients never stalled.
   EXPECT_GT(cluster.client(0).ops_completed(), 100u);

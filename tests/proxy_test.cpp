@@ -9,6 +9,7 @@
 #include "kv/placement.hpp"
 #include "kv/storage_node.hpp"
 #include "kv/wire.hpp"
+#include "obs/obs.hpp"
 #include "proxy/proxy.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -28,6 +29,7 @@ struct ProxyHarness : ::testing::Test {
   sim::Simulator sim;
   Net net{sim, sim::LatencyModel{microseconds(100), 0}, Rng(1)};
   kv::Placement placement{kStorage, kReplication, 0};
+  obs::Observability telemetry;  // shared by the proxy and all storage nodes
   std::vector<std::unique_ptr<kv::StorageNode>> storage;
   std::unique_ptr<Proxy> proxy;
   std::vector<Message> client_inbox;
@@ -39,12 +41,14 @@ struct ProxyHarness : ::testing::Test {
     client_inbox.clear();
     rm_inbox.clear();
     storage.clear();
+    telemetry.registry().reset();
     kv::ServiceTimes service;
     service.read_jitter = 0;
     service.write_jitter = 0;
     for (std::uint32_t i = 0; i < kStorage; ++i) {
       storage.push_back(std::make_unique<kv::StorageNode>(
-          sim, net, sim::storage_id(i), service, 2, Rng(100 + i)));
+          sim, net, sim::storage_id(i), service, 2, Rng(100 + i),
+          &telemetry));
       kv::StorageNode* raw = storage.back().get();
       net.register_node(sim::storage_id(i),
                         [raw](const sim::NodeId& from, const Message& m) {
@@ -54,7 +58,7 @@ struct ProxyHarness : ::testing::Test {
     ProxyOptions options;
     options.initial = initial;
     proxy = std::make_unique<Proxy>(sim, net, sim::proxy_id(0), placement,
-                                    options);
+                                    options, &telemetry);
     net.register_node(sim::proxy_id(0),
                       [this](const sim::NodeId& from, const Message& m) {
                         proxy->on_message(from, m);
@@ -98,9 +102,18 @@ struct ProxyHarness : ::testing::Test {
     install(epno, cfno, std::move(change));
   }
 
+  /// Registry value of the proxy's `proxy.0.<field>` counter.
+  std::uint64_t proxy_metric(const char* field) const {
+    return telemetry.registry().counter_value(
+        obs::instrument_name("proxy", 0, field));
+  }
+
   std::uint64_t total_reads_served() const {
     std::uint64_t total = 0;
-    for (const auto& node : storage) total += node->stats().reads_served;
+    for (std::uint32_t i = 0; i < kStorage; ++i) {
+      total += telemetry.registry().counter_value(
+          obs::instrument_name("storage", i, "reads_served"));
+    }
     return total;
   }
 
@@ -149,7 +162,7 @@ TEST_F(ProxyHarness, ReadOfUnknownObjectNotFound) {
   sim.run();
   const auto& resp = std::get<kv::ClientReadResp>(client_inbox.at(0));
   EXPECT_FALSE(resp.found);
-  EXPECT_EQ(proxy->stats().not_found_reads, 1u);
+  EXPECT_EQ(proxy_metric("not_found_reads"), 1u);
 }
 
 TEST_F(ProxyHarness, NewQuorumAckedAndConfirmedSwitchesConfig) {
@@ -229,13 +242,13 @@ TEST_F(ProxyHarness, ReadRepairUsesHistoricalReadQuorum) {
   sim.run();
   EXPECT_EQ(proxy->cfno(), 1u);
   install_global(0, 2, {1, 5});
-  const auto repairs_before = proxy->stats().repair_reads;
+  const auto repairs_before = proxy_metric("repair_reads");
   client_read(7, 3);
   sim.run();
   const auto& resp = std::get<kv::ClientReadResp>(client_inbox.back());
   ASSERT_TRUE(resp.found);
   EXPECT_EQ(resp.version.value, 222u) << "stale version returned";
-  EXPECT_GE(proxy->stats().repair_reads, repairs_before);
+  EXPECT_GE(proxy_metric("repair_reads"), repairs_before);
 }
 
 TEST_F(ProxyHarness, RepairedValueWrittenBackUnderCurrentConfig) {
@@ -247,13 +260,13 @@ TEST_F(ProxyHarness, RepairedValueWrittenBackUnderCurrentConfig) {
   install_global(0, 2, {1, 5});
   client_read(7, 3);
   sim.run();
-  EXPECT_GE(proxy->stats().writebacks, 1u);
+  EXPECT_GE(proxy_metric("writebacks"), 1u);
   // After the write-back (W=5), the fresh value lives on all replicas with
   // the current cfno: a later R=1 read needs no repair.
-  const auto repairs = proxy->stats().repair_reads;
+  const auto repairs = proxy_metric("repair_reads");
   client_read(7, 4);
   sim.run();
-  EXPECT_EQ(proxy->stats().repair_reads, repairs);
+  EXPECT_EQ(proxy_metric("repair_reads"), repairs);
   const auto& resp = std::get<kv::ClientReadResp>(client_inbox.back());
   EXPECT_EQ(resp.version.value, 222u);
 }
@@ -276,8 +289,8 @@ TEST_F(ProxyHarness, NackResynchronizesAndRetries) {
   // re-executed; the client still gets exactly one reply.
   ASSERT_EQ(client_inbox.size(), 1u);
   EXPECT_TRUE(std::holds_alternative<kv::ClientWriteResp>(client_inbox[0]));
-  EXPECT_GE(proxy->stats().nacks_received, 1u);
-  EXPECT_EQ(proxy->stats().op_retries, 1u);
+  EXPECT_GE(proxy_metric("nacks_received"), 1u);
+  EXPECT_EQ(proxy_metric("op_retries"), 1u);
   EXPECT_EQ(proxy->epoch(), 3u);
   EXPECT_EQ(proxy->default_quorum(), (QuorumConfig{4, 2}));
   EXPECT_EQ(replicas_holding(7), 2u);  // retried with W=2

@@ -37,7 +37,7 @@ TEST(ReconfigTest, GlobalReconfigurationCompletes) {
     EXPECT_EQ(cluster.proxy(i).default_quorum(), (kv::QuorumConfig{4, 2}));
     EXPECT_FALSE(cluster.proxy(i).in_transition());
   }
-  EXPECT_EQ(cluster.rm().stats().epoch_changes, 0u);
+  EXPECT_EQ(cluster.obs().registry().counter_value("rm.epoch_changes"), 0u);
 }
 
 TEST(ReconfigTest, InvalidChangeRejected) {
@@ -46,7 +46,7 @@ TEST(ReconfigTest, InvalidChangeRejected) {
   cluster.reconfigure({2, 3}, [&](bool success) { ok = success; });  // 2+3=5
   cluster.run_for(seconds(1));
   EXPECT_FALSE(ok);
-  EXPECT_EQ(cluster.rm().stats().rejected_invalid, 1u);
+  EXPECT_EQ(cluster.obs().registry().counter_value("rm.rejected_invalid"), 1u);
   EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{1, 5}));
 }
 
@@ -110,7 +110,7 @@ TEST(ReconfigTest, CrashedProxyTriggersEpochChangeAndCompletes) {
   cluster.reconfigure({4, 2}, [&](bool success) { ok = success; });
   cluster.run_for(seconds(5));
   EXPECT_TRUE(ok) << "reconfiguration must terminate despite a crashed proxy";
-  EXPECT_GE(cluster.rm().stats().epoch_changes, 1u);
+  EXPECT_GE(cluster.obs().registry().counter_value("rm.epoch_changes"), 1u);
   // Live proxies reach the new configuration.
   EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig{4, 2}));
   EXPECT_EQ(cluster.proxy(1).default_quorum(), (kv::QuorumConfig{4, 2}));
@@ -132,10 +132,10 @@ TEST(ReconfigTest, FalselySuspectedProxyRecoversViaNack) {
   cluster.reconfigure({4, 2}, [&](bool success) { ok = success; });
   cluster.run_for(seconds(10));
   EXPECT_TRUE(ok);
-  EXPECT_GE(cluster.rm().stats().epoch_changes, 1u);
+  EXPECT_GE(cluster.obs().registry().counter_value("rm.epoch_changes"), 1u);
   EXPECT_EQ(cluster.proxy(2).default_quorum(), (kv::QuorumConfig{4, 2}))
       << "falsely suspected proxy failed to resynchronize";
-  EXPECT_GE(cluster.proxy(2).stats().nacks_received, 1u);
+  EXPECT_GE(cluster.obs().registry().counter_value(obs::instrument_name("proxy", 2, "nacks_received")), 1u);
   EXPECT_TRUE(cluster.checker().clean());
   // Clients of the suspected proxy kept completing operations.
   EXPECT_GT(cluster.client(4).ops_completed(), 0u);
@@ -157,7 +157,7 @@ TEST(ReconfigTest, ReconfigurationUnderLoadPreservesConsistency) {
   EXPECT_TRUE(cluster.checker().clean())
       << cluster.checker().violations().size() << " violations";
   EXPECT_GT(cluster.checker().reads_checked(), 1000u);
-  EXPECT_EQ(cluster.rm().stats().reconfigurations_completed, 4u);
+  EXPECT_EQ(cluster.obs().registry().counter_value("rm.reconfigurations_completed"), 4u);
 }
 
 TEST(ReconfigTest, NonBlockingDuringReconfiguration) {
@@ -199,7 +199,7 @@ TEST(ReconfigTest, ManyReconfigurationsAccumulateHistory) {
   }
   cluster.run_for(seconds(5));
   EXPECT_EQ(cluster.rm().config().cfno, 10u);
-  EXPECT_EQ(cluster.rm().stats().reconfigurations_completed, 10u);
+  EXPECT_EQ(cluster.obs().registry().counter_value("rm.reconfigurations_completed"), 10u);
   // History covers every installed configuration (prunable per the paper).
   EXPECT_GE(cluster.rm().config().read_q_history.size(), 10u);
 }

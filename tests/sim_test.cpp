@@ -177,6 +177,9 @@ TEST_F(NetFixture, CrashedReceiverDropsInFlight) {
   sim.run();
   EXPECT_EQ(received, 0);
   EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().dropped_receiver_crashed, 1u);
+  EXPECT_EQ(net.stats().dropped_sender_crashed, 0u);
+  EXPECT_EQ(net.stats().dropped_unroutable, 0u);
 }
 
 TEST_F(NetFixture, CrashedSenderCannotSend) {
@@ -190,6 +193,8 @@ TEST_F(NetFixture, CrashedSenderCannotSend) {
   net.send(client_id(0), proxy_id(0), "x");
   sim.run();
   EXPECT_EQ(received, 0);
+  EXPECT_EQ(net.stats().dropped_sender_crashed, 1u);
+  EXPECT_EQ(net.stats().dropped_receiver_crashed, 0u);
 }
 
 TEST_F(NetFixture, BroadcastReachesAllTargets) {
@@ -219,6 +224,39 @@ TEST_F(NetFixture, UnregisteredTargetCountsAsDropped) {
   net.send(client_id(0), proxy_id(9), "x");
   sim.run();
   EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().dropped_unroutable, 1u);
+}
+
+TEST_F(NetFixture, DropReasonsSumToTotalAndMirrorIntoRegistry) {
+  obs::Observability telemetry;
+  net.bind_observability(&telemetry);
+  net.register_node(proxy_id(0), [](const NodeId&, const std::string&) {});
+  net.register_node(client_id(0), [](const NodeId&, const std::string&) {});
+
+  net.send(client_id(0), proxy_id(9), "unroutable");
+  net.send(client_id(0), proxy_id(0), "in flight when receiver dies");
+  net.set_crashed(proxy_id(0));
+  net.set_crashed(client_id(0));
+  net.send(client_id(0), proxy_id(0), "sender dead");
+  sim.run();
+
+  const NetworkStats& stats = net.stats();
+  EXPECT_EQ(stats.dropped_unroutable, 1u);
+  EXPECT_EQ(stats.dropped_receiver_crashed, 1u);
+  EXPECT_EQ(stats.dropped_sender_crashed, 1u);
+  EXPECT_EQ(stats.messages_dropped, stats.dropped_sender_crashed +
+                                        stats.dropped_receiver_crashed +
+                                        stats.dropped_unroutable);
+  EXPECT_EQ(stats.messages_sent, 3u);
+  EXPECT_EQ(stats.messages_delivered, 0u);
+
+  // Registry mirrors count only what happened after binding.
+  const obs::MetricRegistry& reg = telemetry.registry();
+  EXPECT_EQ(reg.counter_value("net.messages_sent"), 3u);
+  EXPECT_EQ(reg.counter_value("net.dropped.unroutable"), 1u);
+  EXPECT_EQ(reg.counter_value("net.dropped.receiver_crashed"), 1u);
+  EXPECT_EQ(reg.counter_value("net.dropped.sender_crashed"), 1u);
+  EXPECT_EQ(reg.counter_value("net.messages_delivered"), 0u);
 }
 
 // -------------------------------------------------------- failure detector

@@ -52,7 +52,7 @@ TEST_P(TopologyMatrix, EveryStrictQuorumWorks) {
     cluster.run_for(seconds(1));
     EXPECT_EQ(cluster.rm().config().default_q.write_q, w);
   }
-  EXPECT_EQ(cluster.rm().stats().reconfigurations_completed,
+  EXPECT_EQ(cluster.obs().registry().counter_value("rm.reconfigurations_completed"),
             static_cast<std::uint64_t>(replication));
   EXPECT_TRUE(cluster.checker().clean());
 }
