@@ -46,7 +46,8 @@ int main() {
               "decision tree (10-fold CV)", 100 * tree_cv.accuracy(),
               100 * tree_cv.within_one_accuracy());
   std::printf("%-36s %11.1f%% %11.1f%%\n", "linear rule (write-ratio only)",
-              100 * rule_exact / n, 100 * rule_within_one / n);
+              100 * static_cast<double>(rule_exact) / n,
+              100 * static_cast<double>(rule_within_one) / n);
 
   std::printf("\nconfusion matrix (rows=measured optimal W, cols=predicted, "
               "10-fold CV):\n      ");

@@ -7,9 +7,9 @@
 //
 // Examples:
 //   ./build/examples/qopt_cli --workload ycsb-b --read-q 1 --write-q 5
-//   ./build/examples/qopt_cli --workload sweep --write-ratio 0.7 \
+//   ./build/examples/qopt_cli --workload sweep --write-ratio 0.7
 //       --object-bytes 65536 --autotune --duration 120
-//   ./build/examples/qopt_cli --workload ycsb-a --autotune \
+//   ./build/examples/qopt_cli --workload ycsb-a --autotune
 //       --crash-proxy 2 --crash-at 30 --csv
 #include <cstdio>
 #include <memory>

@@ -1,11 +1,35 @@
 #!/usr/bin/env bash
-# Builds the whole tree under ASan+UBSan and runs the test suite.
-# Usage: scripts/sanitize.sh [extra ctest args...]
+# Builds the whole tree under sanitizers and runs the test suite.
+#
+# Usage: scripts/sanitize.sh [preset...] [-- extra ctest args...]
+#   scripts/sanitize.sh                 # asan-ubsan and tsan, in sequence
+#   scripts/sanitize.sh asan-ubsan      # address+UB only
+#   scripts/sanitize.sh tsan            # thread sanitizer only
+#   scripts/sanitize.sh tsan -- -R smr  # forward args to ctest
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
 
-cmake --preset asan-ubsan
-cmake --build --preset asan-ubsan -j "$jobs"
-ctest --preset asan-ubsan -j "$jobs" "$@"
+presets=()
+ctest_args=()
+parsing_presets=1
+for arg in "$@"; do
+  if [[ "$arg" == "--" ]]; then
+    parsing_presets=0
+  elif [[ $parsing_presets -eq 1 ]]; then
+    presets+=("$arg")
+  else
+    ctest_args+=("$arg")
+  fi
+done
+if [[ ${#presets[@]} -eq 0 ]]; then
+  presets=(asan-ubsan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==== sanitize: ${preset} ===="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  ctest --preset "$preset" -j "$jobs" "${ctest_args[@]+"${ctest_args[@]}"}"
+done

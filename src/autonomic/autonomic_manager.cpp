@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <unordered_set>
 
 namespace qopt::autonomic {
 
@@ -136,9 +137,11 @@ int AutonomicManager::predict(std::uint64_t reads, std::uint64_t writes,
 }
 
 void AutonomicManager::process_round() {
-  // ---- merge the per-proxy reports (Algorithm 1 lines 8-9).
-  std::unordered_map<ObjectId, ObjectStats> merged_topk_map;
-  std::unordered_map<ObjectId, std::uint64_t> candidate_counts;
+  // ---- merge the per-proxy reports (Algorithm 1 lines 8-9). Ordered maps:
+  // the weighted-average merge below is order-sensitive floating-point
+  // arithmetic, and both results feed quorum decisions.
+  std::map<ObjectId, ObjectStats> merged_topk_map;
+  std::map<ObjectId, std::uint64_t> candidate_counts;
   TailStats tail;
   double tail_size_weight = 0;
   double kpi_throughput = 0;
@@ -206,12 +209,8 @@ void AutonomicManager::process_round() {
   std::vector<ObjectStats> merged_topk;
   merged_topk.reserve(merged_topk_map.size());
   for (auto& [oid, object_stats] : merged_topk_map) {
-    merged_topk.push_back(object_stats);
+    merged_topk.push_back(object_stats);  // already in oid order
   }
-  std::sort(merged_topk.begin(), merged_topk.end(),
-            [](const ObjectStats& a, const ObjectStats& b) {
-              return a.oid < b.oid;  // deterministic processing order
-            });
 
   std::vector<TopKReport> candidates;
   candidates.reserve(candidate_counts.size());
@@ -307,7 +306,7 @@ void AutonomicManager::finish_fine_grain(const TailStats& tail) {
   mode_ = Mode::kSteady;
   steady_baseline_.reset();
   steady_baseline_.add(last_kpi_);
-  last_tail_prediction_ = QuorumConfig{0, 0};
+  last_tail_prediction_.reset();
   last_object_prediction_.clear();
   emit("fine-grain optimization converged after round " +
        std::to_string(round_));
@@ -369,7 +368,7 @@ void AutonomicManager::process_steady(
     mode_ = Mode::kFineGrain;
     improvements_.clear();
     have_kpi_ = false;
-    last_tail_prediction_ = QuorumConfig{0, 0};
+    last_tail_prediction_.reset();
     last_object_prediction_.clear();
     broadcast_new_topk({});
     schedule_next_round(false);
@@ -416,7 +415,7 @@ void AutonomicManager::process_steady(
     }
     last_tail_prediction_ = tail_target;
   } else {
-    last_tail_prediction_ = QuorumConfig{0, 0};
+    last_tail_prediction_.reset();
   }
 
   // ---- choose the next rotating monitored subset among tuned objects.

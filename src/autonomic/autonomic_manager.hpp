@@ -24,9 +24,10 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <optional>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "autonomic/filters.hpp"
@@ -148,8 +149,9 @@ class AutonomicManager {
   std::uint64_t round_ = 0;
   std::uint64_t generation_ = 0;  // invalidates stale timers across stop()
 
-  // Round gathering.
-  std::unordered_map<std::uint32_t, kv::RoundStatsMsg> reports_;
+  // Round gathering, ordered by proxy index: report merging accumulates
+  // floating-point sums, so the merge order is part of the result.
+  std::map<std::uint32_t, kv::RoundStatsMsg> reports_;
   bool gathering_ = false;
 
   // Monitored hotspot set (sent in the last NEWTOPK).
@@ -161,7 +163,9 @@ class AutonomicManager {
   std::deque<double> improvements_;
   MovingAverage steady_baseline_;
   std::size_t steady_rotation_ = 0;
-  kv::QuorumConfig last_tail_prediction_{0, 0};  // steady-mode hysteresis
+  // Steady-mode hysteresis; empty when the previous round made no
+  // prediction.
+  std::optional<kv::QuorumConfig> last_tail_prediction_;
   std::unordered_map<kv::ObjectId, kv::QuorumConfig> last_object_prediction_;
 
   // Robust signal processing over the autonomic loop's inputs.

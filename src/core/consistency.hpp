@@ -12,8 +12,7 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_map>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -94,17 +93,11 @@ class ConsistencyChecker {
   std::uint64_t new_old_inversions() const noexcept { return inversions_; }
 
  private:
-  struct ClientObjectHash {
-    std::size_t operator()(
-        const std::pair<std::uint32_t, kv::ObjectId>& key) const noexcept {
-      return std::hash<std::uint64_t>{}(
-          (static_cast<std::uint64_t>(key.first) << 48) ^ key.second);
-    }
-  };
-
-  std::unordered_map<kv::ObjectId, kv::Timestamp> freshest_;
-  std::unordered_map<std::pair<std::uint32_t, kv::ObjectId>, kv::Timestamp,
-                     ClientObjectHash>
+  // Ordered maps so any future export of the checker's state (diagnostic
+  // dumps of per-object freshness, per-client observations) enumerates
+  // deterministically; the checker is off the simulator's hot path.
+  std::map<kv::ObjectId, kv::Timestamp> freshest_;
+  std::map<std::pair<std::uint32_t, kv::ObjectId>, kv::Timestamp>
       last_observed_;
   std::vector<Violation> violations_;
   std::uint64_t reads_checked_ = 0;

@@ -1,7 +1,7 @@
 #include "kv/replicator.hpp"
 
+#include <map>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace qopt::kv {
 
@@ -24,11 +24,13 @@ void Replicator::sweep() {
   ++stats_.sweeps;
 
   // Build the freshest-version map across all live replicas (the daemon's
-  // hash comparison pass).
-  std::unordered_map<ObjectId, Version> freshest;
+  // hash comparison pass). Ordered map: the repair loop below is throttled
+  // by max_repairs_per_sweep, so *which* objects get repaired this sweep
+  // depends on iteration order.
+  std::map<ObjectId, Version> freshest;
   for (const StorageNode* node : nodes_) {
     if (node->crashed()) continue;
-    for (const auto& [oid, version] : node->contents()) {
+    for (const auto& [oid, version] : node->sorted_contents()) {
       auto [it, inserted] = freshest.try_emplace(oid, version);
       if (!inserted && (version.ts > it->second.ts ||
                         (version.ts == it->second.ts &&

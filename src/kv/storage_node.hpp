@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -74,9 +75,12 @@ class StorageNode {
     store_[oid] = version;
   }
 
-  /// Full store contents (anti-entropy sweep / diagnostics).
-  const std::unordered_map<ObjectId, Version>& contents() const noexcept {
-    return store_;
+  /// Full store contents as an oid-ordered snapshot (anti-entropy sweep /
+  /// diagnostics). The live store is a hash map for the hot path; exposing
+  /// it directly would leak implementation-defined iteration order into the
+  /// replicator's repair schedule.
+  std::map<ObjectId, Version> sorted_contents() const {
+    return {store_.begin(), store_.end()};
   }
 
   /// Anti-entropy push from the replicator daemon: pays write service time

@@ -25,7 +25,6 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -187,7 +186,9 @@ class Proxy {
   std::uint64_t lepno_ = 0;
   std::uint64_t lcfno_ = 0;
   kv::QuorumConfig default_q_;
-  std::unordered_map<kv::ObjectId, kv::QuorumConfig> overrides_;
+  // Ordered: reconfiguration paths iterate the override table, and the
+  // iteration order feeds protocol decisions (read-quorum history).
+  std::map<kv::ObjectId, kv::QuorumConfig> overrides_;
   bool in_transition_ = false;
   kv::QuorumChange pending_change_;
   std::uint64_t pending_cfno_ = 0;
@@ -200,8 +201,9 @@ class Proxy {
   std::uint64_t drain_cfno_ = 0;
   sim::NodeId drain_reply_to_;
 
-  // In-flight operations.
-  std::unordered_map<std::uint64_t, PendingOp> ops_;
+  // In-flight operations, ordered by op id: the NEWQ drain walks this table,
+  // so iteration must follow issue order, not hash order.
+  std::map<std::uint64_t, PendingOp> ops_;
   std::uint64_t next_op_id_ = 1;
   std::uint64_t write_seq_ = 0;
 
@@ -214,7 +216,9 @@ class Proxy {
     double size_sum = 0;
     std::uint64_t size_count = 0;
   };
-  std::unordered_map<kv::ObjectId, ObjCounters> monitored_stats_;
+  // Ordered: per-object rows are exported verbatim into RoundStatsMsg, so
+  // iteration order is part of the wire payload the AM consumes.
+  std::map<kv::ObjectId, ObjCounters> monitored_stats_;
   ObjCounters tail_;
   std::uint64_t round_ops_completed_ = 0;
   double round_latency_sum_ms_ = 0;

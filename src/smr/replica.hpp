@@ -27,7 +27,6 @@
 #include <functional>
 #include <map>
 #include <set>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 

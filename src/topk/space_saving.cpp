@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 
 namespace qopt::topk {
 
@@ -125,8 +126,10 @@ void SpaceSaving::merge(const SpaceSaving& other) {
     other_min = other.slots_[other.heap_[0]].count;
   }
 
-  std::unordered_map<std::uint64_t, TopKEntry> merged;
-  merged.reserve(slots_.size() + other.slots_.size());
+  // Ordered map: the merged entries are re-ranked below with a count/key
+  // tiebreak, and equal-count runs must enter the sort in key order for the
+  // result to be independent of hash layout.
+  std::map<std::uint64_t, TopKEntry> merged;
   for (const Slot& slot : slots_) {
     merged[slot.key] = TopKEntry{slot.key, slot.count, slot.error};
   }

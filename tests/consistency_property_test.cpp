@@ -62,9 +62,9 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, ReconfigPingPong,
     ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6, 7, 8),
                        ::testing::Values(0.1, 0.5, 0.9)),
-    [](const auto& info) {
-      return "seed" + std::to_string(std::get<0>(info.param)) + "_w" +
-             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) + "_w" +
+             std::to_string(static_cast<int>(std::get<1>(param_info.param) * 100));
     });
 
 // --------------------------------------------------- per-object churn

@@ -107,12 +107,12 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(false, true, false, true),
                       std::make_tuple(true, false, true, false),
                       std::make_tuple(true, true, true, true)),
-    [](const auto& info) {
+    [](const auto& param_info) {
       std::string name;
-      name += std::get<0>(info.param) ? "tune" : "static";
-      name += std::get<1>(info.param) ? "_hb" : "";
-      name += std::get<2>(info.param) ? "_ae" : "";
-      name += std::get<3>(info.param) ? "_fail" : "";
+      name += std::get<0>(param_info.param) ? "tune" : "static";
+      name += std::get<1>(param_info.param) ? "_hb" : "";
+      name += std::get<2>(param_info.param) ? "_ae" : "";
+      name += std::get<3>(param_info.param) ? "_fail" : "";
       return name;
     });
 

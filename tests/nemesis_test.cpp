@@ -94,9 +94,9 @@ INSTANTIATE_TEST_SUITE_P(
     Seeds, NemesisChaos,
     ::testing::Combine(::testing::Range<std::uint64_t>(1, 9),
                        ::testing::Bool()),
-    [](const auto& info) {
-      return "seed" + std::to_string(std::get<0>(info.param)) +
-             (std::get<1>(info.param) ? "_hb" : "_oracle");
+    [](const auto& param_info) {
+      return "seed" + std::to_string(std::get<0>(param_info.param)) +
+             (std::get<1>(param_info.param) ? "_hb" : "_oracle");
     });
 
 }  // namespace

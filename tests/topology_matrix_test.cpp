@@ -104,10 +104,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(Topology{3, 5, 1}, Topology{3, 9, 3},
                       Topology{5, 7, 2}, Topology{5, 16, 4},
                       Topology{7, 9, 2}, Topology{9, 12, 3}),
-    [](const auto& info) {
-      return "n" + std::to_string(std::get<0>(info.param)) + "_s" +
-             std::to_string(std::get<1>(info.param)) + "_p" +
-             std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      return "n" + std::to_string(std::get<0>(param_info.param)) + "_s" +
+             std::to_string(std::get<1>(param_info.param)) + "_p" +
+             std::to_string(std::get<2>(param_info.param));
     });
 
 // ---------------------------------------------------- inserting workload

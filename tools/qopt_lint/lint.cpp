@@ -1,0 +1,585 @@
+#include "qopt_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace qopt::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// ------------------------------------------------------------ annotations
+
+struct LineAnnotations {
+  std::map<std::size_t, std::set<std::string>> allows;  // line -> rules
+  std::map<std::size_t, int> quorum_n;                  // line -> N
+  std::vector<Finding> findings;                        // bare-allow
+};
+
+LineAnnotations scan_annotations(const std::string& path,
+                                 const std::vector<std::string>& lines) {
+  LineAnnotations out;
+  static const std::regex allow_re(
+      R"(qopt-lint:\s*allow\(([A-Za-z0-9_-]+)\)(.*))");
+  static const std::regex quorum_re(
+      R"(qopt-lint:\s*quorum\(n\s*=\s*(\d+)\))");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t lineno = i + 1;
+    std::smatch m;
+    if (std::regex_search(lines[i], m, allow_re)) {
+      std::string justification = m[2].str();
+      // Strip leading punctuation/space; anything left is a justification.
+      const auto first = justification.find_first_not_of(" \t:—-");
+      if (first == std::string::npos) {
+        out.findings.push_back(
+            {path, lineno, "bare-allow",
+             "allow(" + m[1].str() +
+                 ") without a justification; write `// qopt-lint: allow(" +
+                 m[1].str() + ") <why this is safe>`"});
+      } else {
+        // The suppression covers its own line and the next one, so it can
+        // sit on a comment line above the code it exempts.
+        out.allows[lineno].insert(m[1].str());
+        out.allows[lineno + 1].insert(m[1].str());
+      }
+    }
+    if (std::regex_search(lines[i], m, quorum_re)) {
+      out.quorum_n[lineno] = std::stoi(m[1].str());
+      out.quorum_n[lineno + 1] = out.quorum_n[lineno];
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------- comment / literal stripping
+
+/// Replaces comments and string/char literal contents with spaces, keeping
+/// byte offsets and line structure intact.
+std::string strip_comments_and_literals(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // Raw strings: skip to the matching delimiter without escape
+          // handling.
+          if (i > 0 && src[i - 1] == 'R') {
+            std::size_t paren = src.find('(', i);
+            if (paren != std::string::npos) {
+              const std::string delim =
+                  ")" + src.substr(i + 1, paren - i - 1) + "\"";
+              std::size_t end = src.find(delim, paren);
+              if (end == std::string::npos) end = src.size();
+              for (std::size_t j = i + 1;
+                   j < std::min(end + delim.size() - 1, src.size()); ++j) {
+                if (out[j] != '\n') out[j] = ' ';
+              }
+              i = std::min(end + delim.size() - 1, src.size() - 1);
+              break;
+            }
+          }
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::size_t line_of_offset(const std::string& text, std::size_t offset) {
+  return static_cast<std::size_t>(
+             std::count(text.begin(),
+                        text.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(offset, text.size())),
+                        '\n')) +
+         1;
+}
+
+/// Matches the `<...>` template argument list starting at `open` (which must
+/// point at '<'); returns the offset one past the closing '>', or npos.
+std::size_t match_angle_brackets(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '<') {
+      ++depth;
+    } else if (text[i] == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (text[i] == ';' || text[i] == '{') {
+      return std::string::npos;  // not a template argument list after all
+    }
+  }
+  return std::string::npos;
+}
+
+std::string read_identifier(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  // Skip ref/pointer/const decorations between the template and the name.
+  for (;;) {
+    if (pos < text.size() && (text[pos] == '&' || text[pos] == '*')) {
+      ++pos;
+      continue;
+    }
+    if (text.compare(pos, 5, "const") == 0 &&
+        (pos + 5 >= text.size() || !is_ident_char(text[pos + 5]))) {
+      pos += 5;
+      continue;
+    }
+    if (pos < text.size() &&
+        std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  std::string ident;
+  while (pos < text.size() && is_ident_char(text[pos])) {
+    ident += text[pos++];
+  }
+  if (!ident.empty() && std::isdigit(static_cast<unsigned char>(ident[0]))) {
+    return {};
+  }
+  return ident;
+}
+
+std::vector<std::string> identifiers_in(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (is_ident_char(text[i]) &&
+        !std::isdigit(static_cast<unsigned char>(text[i]))) {
+      std::string ident;
+      while (i < text.size() && is_ident_char(text[i])) ident += text[i++];
+      out.push_back(ident);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+bool allowed(const LineAnnotations& ann, std::size_t line,
+             const std::string& rule) {
+  auto it = ann.allows.find(line);
+  return it != ann.allows.end() && it->second.count(rule) > 0;
+}
+
+// ------------------------------------------------------------- the rules
+
+void check_wall_clock(const std::string& path, const std::string& stripped,
+                      const LineAnnotations& ann,
+                      std::vector<Finding>& findings) {
+  // All randomness and time in src/util/rng is *sourcing* the deterministic
+  // streams; the checker itself is exempt there.
+  if (path.find("src/util/rng") != std::string::npos) return;
+  struct Pattern {
+    std::regex re;
+    const char* what;
+  };
+  static const std::vector<Pattern> patterns = {
+      {std::regex(R"((^|[^\w])(std\s*::\s*)?(chrono\s*::\s*)?)"
+                  R"((system_clock|steady_clock|high_resolution_clock)\b)"),
+       "wall-clock source; use the simulator's virtual clock (qopt::Time)"},
+      {std::regex(R"((^|[^\w])(std\s*::\s*)?random_device\b)"),
+       "ambient randomness; seed a qopt::Rng instead"},
+      {std::regex(
+           R"((^|[^\w])(srand|gettimeofday|clock_gettime|timespec_get|localtime|gmtime|mktime|strftime)\s*\()"),
+       "wall-clock/libc randomness API; use qopt::Rng / virtual time"},
+      {std::regex(R"((^|[^\w])rand\s*\(\s*\))"),
+       "rand() is non-deterministic across platforms; use qopt::Rng"},
+      {std::regex(R"((^|[^.\w])(std\s*::\s*)?time\s*\(\s*(nullptr|NULL|0|\)))"),
+       "time() reads the wall clock; use the simulator's virtual clock"},
+  };
+  const std::vector<std::string> lines = split_lines(stripped);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t lineno = i + 1;
+    for (const Pattern& pattern : patterns) {
+      if (std::regex_search(lines[i], pattern.re)) {
+        if (!allowed(ann, lineno, "wall-clock")) {
+          findings.push_back({path, lineno, "wall-clock", pattern.what});
+        }
+        break;
+      }
+    }
+  }
+}
+
+/// Names declared with an unordered type in `stripped` — variables, data
+/// members, and functions returning (references to) unordered containers.
+void collect_unordered_names(const std::string& stripped,
+                             std::set<std::string>& unordered_names) {
+  for (const char* token : {"unordered_map", "unordered_set",
+                            "unordered_multimap", "unordered_multiset"}) {
+    const std::string needle = token;
+    std::size_t pos = 0;
+    while ((pos = stripped.find(needle, pos)) != std::string::npos) {
+      const std::size_t end = pos + needle.size();
+      if ((pos > 0 && is_ident_char(stripped[pos - 1])) ||
+          (end < stripped.size() && is_ident_char(stripped[end]))) {
+        pos = end;
+        continue;  // substring of a longer identifier
+      }
+      std::size_t after = end;
+      while (after < stripped.size() &&
+             std::isspace(static_cast<unsigned char>(stripped[after]))) {
+        ++after;
+      }
+      if (after < stripped.size() && stripped[after] == '<') {
+        const std::size_t close = match_angle_brackets(stripped, after);
+        if (close != std::string::npos) {
+          std::size_t cursor = close;
+          const std::string name = read_identifier(stripped, cursor);
+          if (!name.empty()) unordered_names.insert(name);
+        }
+      }
+      pos = end;
+    }
+  }
+}
+
+void check_unordered_iter(const std::string& path,
+                          const std::string& stripped,
+                          const std::string& header_stripped,
+                          const LineAnnotations& ann,
+                          std::vector<Finding>& findings) {
+  // Pass 1: unordered declarations from this file and its companion header
+  // (members are declared in the .hpp but iterated in the .cpp).
+  std::set<std::string> unordered_names;
+  collect_unordered_names(stripped, unordered_names);
+  collect_unordered_names(header_stripped, unordered_names);
+  if (unordered_names.empty()) return;
+
+  // Pass 2: `for` statements whose header mentions one of those names —
+  // range-fors over the container, and iterator loops via .begin()/.end().
+  std::size_t pos = 0;
+  while ((pos = stripped.find("for", pos)) != std::string::npos) {
+    if ((pos > 0 && is_ident_char(stripped[pos - 1])) ||
+        (pos + 3 < stripped.size() && is_ident_char(stripped[pos + 3]))) {
+      pos += 3;
+      continue;
+    }
+    std::size_t open = pos + 3;
+    while (open < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[open]))) {
+      ++open;
+    }
+    if (open >= stripped.size() || stripped[open] != '(') {
+      pos += 3;
+      continue;
+    }
+    int depth = 0;
+    std::size_t close = open;
+    std::size_t colon = std::string::npos;
+    bool classic = false;
+    for (std::size_t i = open; i < stripped.size(); ++i) {
+      const char c = stripped[i];
+      if (c == '(') {
+        ++depth;
+      } else if (c == ')') {
+        if (--depth == 0) {
+          close = i;
+          break;
+        }
+      } else if (depth == 1 && c == ';') {
+        classic = true;
+      } else if (depth == 1 && c == ':' && colon == std::string::npos &&
+                 !classic && (i == 0 || stripped[i - 1] != ':') &&
+                 (i + 1 >= stripped.size() || stripped[i + 1] != ':')) {
+        colon = i;
+      }
+    }
+    if (close == open) break;  // unbalanced; stop scanning
+    const std::size_t lineno = line_of_offset(stripped, pos);
+    std::string range_expr;
+    if (!classic && colon != std::string::npos) {
+      range_expr = stripped.substr(colon + 1, close - colon - 1);
+    } else if (classic) {
+      // Iterator loop: only flag when the header walks the container.
+      const std::string header = stripped.substr(open, close - open + 1);
+      if (header.find(".begin") != std::string::npos ||
+          header.find("->begin") != std::string::npos ||
+          header.find("cbegin") != std::string::npos) {
+        range_expr = header;
+      }
+    }
+    if (!range_expr.empty()) {
+      for (const std::string& ident : identifiers_in(range_expr)) {
+        if (unordered_names.count(ident) > 0) {
+          if (!allowed(ann, lineno, "unordered-iter")) {
+            findings.push_back(
+                {path, lineno, "unordered-iter",
+                 "iteration over unordered container `" + ident +
+                     "`: hash order is implementation-defined and breaks "
+                     "same-seed determinism; iterate a std::map or a "
+                     "sorted-key snapshot instead"});
+          }
+          break;
+        }
+      }
+    }
+    pos = close;
+  }
+}
+
+void check_pointer_key(const std::string& path, const std::string& stripped,
+                       const LineAnnotations& ann,
+                       std::vector<Finding>& findings) {
+  for (const char* token : {"map", "set", "multimap", "multiset"}) {
+    const std::string needle = token;
+    std::size_t pos = 0;
+    while ((pos = stripped.find(needle, pos)) != std::string::npos) {
+      const std::size_t end = pos + needle.size();
+      if ((pos > 0 && is_ident_char(stripped[pos - 1])) ||
+          (end < stripped.size() && is_ident_char(stripped[end]))) {
+        pos = end;
+        continue;  // unordered_map, bitset, reset(), ...
+      }
+      std::size_t after = end;
+      while (after < stripped.size() &&
+             std::isspace(static_cast<unsigned char>(stripped[after]))) {
+        ++after;
+      }
+      if (after >= stripped.size() || stripped[after] != '<') {
+        pos = end;
+        continue;
+      }
+      const std::size_t close = match_angle_brackets(stripped, after);
+      if (close == std::string::npos) {
+        pos = end;
+        continue;
+      }
+      // First template argument: up to a top-level comma (or the end).
+      int depth = 0;
+      std::size_t key_end = close - 1;
+      for (std::size_t i = after; i < close; ++i) {
+        if (stripped[i] == '<' || stripped[i] == '(') ++depth;
+        if (stripped[i] == '>' || stripped[i] == ')') --depth;
+        if (stripped[i] == ',' && depth == 1) {
+          key_end = i;
+          break;
+        }
+      }
+      std::string key = stripped.substr(after + 1, key_end - after - 1);
+      while (!key.empty() &&
+             std::isspace(static_cast<unsigned char>(key.back()))) {
+        key.pop_back();
+      }
+      if (!key.empty() && key.back() == '*') {
+        const std::size_t lineno = line_of_offset(stripped, pos);
+        if (!allowed(ann, lineno, "pointer-key")) {
+          findings.push_back(
+              {path, lineno, "pointer-key",
+               "ordered container keyed by a pointer (`" + key +
+                   "`): address order differs run to run; key by a stable "
+                   "id instead"});
+        }
+      }
+      pos = close;
+    }
+  }
+}
+
+void check_quorum_literal(const std::string& path,
+                          const std::string& stripped,
+                          const LineAnnotations& ann,
+                          std::vector<Finding>& findings) {
+  static const std::regex literal_re(
+      R"(QuorumConfig\s*([A-Za-z_]\w*\s*)?\{\s*(-?\d+)\s*,\s*(-?\d+)\s*\})");
+  const std::vector<std::string> lines = split_lines(stripped);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t lineno = i + 1;
+    auto begin =
+        std::sregex_iterator(lines[i].begin(), lines[i].end(), literal_re);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const int r = std::stoi((*it)[2].str());
+      const int w = std::stoi((*it)[3].str());
+      if (allowed(ann, lineno, "quorum-literal")) continue;
+      if (r < 1 || w < 1) {
+        findings.push_back(
+            {path, lineno, "quorum-literal",
+             "QuorumConfig{" + std::to_string(r) + ", " + std::to_string(w) +
+                 "}: quorum sizes must be >= 1 (encode 'no quorum' as "
+                 "std::optional, not a {0,0} sentinel)"});
+        continue;
+      }
+      const auto n_it = ann.quorum_n.find(lineno);
+      if (n_it != ann.quorum_n.end()) {
+        const int n = n_it->second;
+        if (r + w <= n || r > n || w > n) {
+          findings.push_back(
+              {path, lineno, "quorum-literal",
+               "QuorumConfig{" + std::to_string(r) + ", " +
+                   std::to_string(w) + "} violates the strict-quorum " +
+                   "invariant for n=" + std::to_string(n) +
+                   " (need r + w > n with r, w <= n)"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const std::string& header_source) {
+  std::vector<Finding> findings;
+  const std::vector<std::string> raw_lines = split_lines(source);
+  LineAnnotations ann = scan_annotations(path, raw_lines);
+  findings.insert(findings.end(), ann.findings.begin(), ann.findings.end());
+  const std::string stripped = strip_comments_and_literals(source);
+  const std::string header_stripped =
+      header_source.empty() ? std::string{}
+                            : strip_comments_and_literals(header_source);
+  check_wall_clock(path, stripped, ann, findings);
+  check_unordered_iter(path, stripped, header_stripped, ann, findings);
+  check_pointer_key(path, stripped, ann, findings);
+  check_quorum_literal(path, stripped, ann, findings);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{path, 0, "io", "cannot read file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  std::string header_source;
+  namespace fs = std::filesystem;
+  const fs::path p(path);
+  const std::string ext = p.extension().string();
+  if (ext == ".cpp" || ext == ".cc") {
+    for (const char* header_ext : {".hpp", ".h"}) {
+      fs::path header = p;
+      header.replace_extension(header_ext);
+      std::ifstream header_in(header, std::ios::binary);
+      if (header_in) {
+        std::ostringstream header_buffer;
+        header_buffer << header_in.rdbuf();
+        header_source = header_buffer.str();
+        break;
+      }
+    }
+  }
+  return lint_source(path, buffer.str(), header_source);
+}
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h") {
+          files.push_back(it->path().string());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+}  // namespace qopt::lint

@@ -1,0 +1,67 @@
+// qopt-lint — project-specific determinism & protocol-invariant checker.
+//
+// A token/regex-level source scanner (no LLVM dependency) enforcing the
+// simulator's correctness discipline at lint time instead of at replay time:
+//
+//   wall-clock      no real-time or ambient-randomness source outside
+//                   src/util/rng (system_clock, time(), rand(),
+//                   std::random_device, ...): all time is virtual, all
+//                   randomness flows through qopt::Rng.
+//   unordered-iter  no iteration over std::unordered_map/unordered_set:
+//                   hash-table iteration order is implementation-defined, so
+//                   anything it feeds (trace/report/CSV output, protocol
+//                   decisions, floating-point accumulation) silently loses
+//                   the same-seed byte-identical guarantee. Order must flow
+//                   through std::map or sorted-key snapshots.
+//   pointer-key     no std::map/std::set (or multi- variants) keyed by a
+//                   pointer: address order changes run to run.
+//   quorum-literal  every QuorumConfig{r, w} literal must satisfy r >= 1 and
+//                   w >= 1; with an explicit replication annotation
+//                   `// qopt-lint: quorum(n=N)` the strict-quorum invariant
+//                   r + w > n (and r, w <= n) is checked too.
+//   bare-allow      a `// qopt-lint: allow(<rule>)` suppression without a
+//                   justification after the closing parenthesis.
+//
+// Suppression: `// qopt-lint: allow(<rule>) <justification>` disables <rule>
+// on its own line and the next line. The justification is mandatory.
+//
+// Comments and string/character literals are stripped before rule matching,
+// so prose mentioning rand() (or this file's own patterns) never trips the
+// checker.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace qopt::lint {
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Lints an in-memory source buffer; `path` is used for reporting and for
+/// the wall-clock allowlist (src/util/rng is exempt). `header_source` is an
+/// optional companion-header buffer scanned for container *declarations*
+/// only (so a .cpp iterating a member declared in its .hpp is caught); it
+/// is not itself linted.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const std::string& header_source = {});
+
+/// Reads and lints a file; a read failure is reported as an `io` finding.
+/// For a .cpp/.cc file, the sibling .hpp/.h with the same stem (if any) is
+/// loaded as the companion header.
+std::vector<Finding> lint_file(const std::string& path);
+
+/// Expands files and directories (recursively) into the C++ sources to lint
+/// (.cpp/.cc/.hpp/.h); explicit file arguments are taken as-is.
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths);
+
+/// One "file:line: [rule] message" diagnostic line.
+std::string format_finding(const Finding& finding);
+
+}  // namespace qopt::lint
