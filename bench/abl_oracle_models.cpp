@@ -8,10 +8,16 @@
 #include <cstdio>
 #include <memory>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "core/experiment.hpp"
 #include "ml/boosting.hpp"
 #include "ml/cross_validation.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "oracle/oracle.hpp"
+#include "util/time.hpp"
 
 namespace {
 

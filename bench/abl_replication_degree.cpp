@@ -7,8 +7,11 @@
 // space a larger N offers.
 #include <cstdio>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
+#include "util/time.hpp"
 
 namespace {
 

@@ -7,8 +7,10 @@
 // reaction time, reconfiguration count, and converged throughput.
 #include <cstdio>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "util/time.hpp"
 
 int main() {
   using namespace qopt;

@@ -9,8 +9,13 @@
 #include <cmath>
 #include <cstdio>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "oracle/oracle.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
 
 namespace {
 

@@ -11,6 +11,7 @@
 
 #include "bench/bench_common.hpp"
 #include "topk/space_saving.hpp"
+#include "util/rng.hpp"
 #include "workload/workload.hpp"
 
 int main() {

@@ -9,8 +9,10 @@
 #include <cstdio>
 #include <string>
 
+#include "core/cluster.hpp"
 #include "core/experiment.hpp"
 #include "obs/report.hpp"
+#include "util/time.hpp"
 
 namespace qopt::bench {
 

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
+#include "kv/types.hpp"
+#include "workload/workload.hpp"
 
 int main() {
   using namespace qopt;

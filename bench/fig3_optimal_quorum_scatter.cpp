@@ -10,6 +10,7 @@
 #include <map>
 
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
 
 int main() {
   using namespace qopt;

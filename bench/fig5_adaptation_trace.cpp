@@ -11,8 +11,11 @@
 #include <string>
 #include <vector>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "util/time.hpp"
+#include "workload/workload.hpp"
 
 int main() {
   using namespace qopt;

@@ -12,8 +12,11 @@
 #include <memory>
 #include <vector>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
+#include "util/time.hpp"
 
 namespace {
 

@@ -7,8 +7,10 @@
 // impair scalability.
 #include <cstdio>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "util/time.hpp"
 
 namespace {
 

@@ -5,7 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "kv/placement.hpp"
+#include "ml/dataset.hpp"
 #include "ml/decision_tree.hpp"
+#include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "topk/space_saving.hpp"

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
 #include "util/stats.hpp"
 
 int main() {

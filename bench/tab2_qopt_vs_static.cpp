@@ -10,8 +10,12 @@
 #include <memory>
 #include <vector>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "core/experiment.hpp"
+#include "oracle/oracle.hpp"
+#include "util/time.hpp"
 
 int main() {
   using namespace qopt;

@@ -5,7 +5,9 @@
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/experiment.hpp"
 #include "ml/cross_validation.hpp"
+#include "ml/dataset.hpp"
 #include "oracle/oracle.hpp"
 
 int main() {

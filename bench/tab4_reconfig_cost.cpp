@@ -7,6 +7,8 @@
 
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
+#include "util/time.hpp"
 
 namespace {
 

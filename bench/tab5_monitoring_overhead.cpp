@@ -8,8 +8,11 @@
 // monitoring tax; we also report the per-round control-message budget.
 #include <cstdio>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "sim/ids.hpp"
+#include "util/time.hpp"
 
 namespace {
 

@@ -9,8 +9,11 @@
 // configuration.
 #include <cstdio>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
+#include "util/time.hpp"
 
 namespace {
 

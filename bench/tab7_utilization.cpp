@@ -6,6 +6,7 @@
 
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "workload/workload.hpp"
 
 namespace {
 

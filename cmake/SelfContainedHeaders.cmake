@@ -1,0 +1,31 @@
+# Self-contained-header verification (part of the qopt_arch tentpole; see
+# docs/STATIC_ANALYSIS.md).
+#
+# For every public header under src/ and tools/, plus bench/bench_common.hpp,
+# a one-line TU `#include "<header>"` is generated into the build tree and
+# compiled into the qopt_header_checks OBJECT library (a member of ALL), so
+# a header that silently leans on its includer's context fails the ordinary
+# tier-1 build. configure_file only rewrites TUs whose content changed, so
+# re-configuring does not trigger rebuilds.
+function(qopt_add_header_checks)
+  file(GLOB_RECURSE _qopt_src_headers RELATIVE ${CMAKE_SOURCE_DIR}/src
+       CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/src/*.hpp)
+  file(GLOB_RECURSE _qopt_tool_headers RELATIVE ${CMAKE_SOURCE_DIR}/tools
+       CONFIGURE_DEPENDS ${CMAKE_SOURCE_DIR}/tools/*.hpp)
+  set(_qopt_headers ${_qopt_src_headers} ${_qopt_tool_headers}
+      bench/bench_common.hpp)
+
+  set(_tus "")
+  foreach(header IN LISTS _qopt_headers)
+    set(QOPT_CHECK_HEADER ${header})
+    string(REPLACE "/" "_" _tu_stem ${header})
+    string(REGEX REPLACE "\\.hpp$" "" _tu_stem ${_tu_stem})
+    set(_tu ${CMAKE_BINARY_DIR}/header_checks/check_${_tu_stem}.cpp)
+    configure_file(${CMAKE_SOURCE_DIR}/cmake/header_check.cpp.in ${_tu} @ONLY)
+    list(APPEND _tus ${_tu})
+  endforeach()
+
+  add_library(qopt_header_checks OBJECT ${_tus})
+  target_include_directories(qopt_header_checks PRIVATE
+      ${CMAKE_SOURCE_DIR}/src ${CMAKE_SOURCE_DIR}/tools ${CMAKE_SOURCE_DIR})
+endfunction()

@@ -6,7 +6,9 @@
 // Build & run:   ./build/examples/daily_cycle
 #include <cstdio>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
+#include "util/time.hpp"
 #include "workload/workload.hpp"
 
 int main() {

@@ -7,7 +7,9 @@
 // Build & run:   ./build/examples/multi_tenant_store
 #include <cstdio>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
+#include "util/time.hpp"
 #include "workload/workload.hpp"
 
 int main() {

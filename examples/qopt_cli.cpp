@@ -15,11 +15,13 @@
 #include <memory>
 #include <string>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
 #include "core/nemesis.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
 #include "util/flags.hpp"
+#include "util/time.hpp"
 #include "workload/trace.hpp"
 #include "workload/workload.hpp"
 

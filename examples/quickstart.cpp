@@ -5,8 +5,10 @@
 // Build & run:   ./build/examples/quickstart
 #include <cstdio>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
 #include "core/experiment.hpp"
+#include "util/time.hpp"
 #include "workload/workload.hpp"
 
 int main() {

@@ -8,8 +8,10 @@
 // Build & run:   ./build/examples/replicated_control_plane
 #include <cstdio>
 
+#include "kv/types.hpp"
 #include "sim/simulator.hpp"
 #include "smr/group.hpp"
+#include "smr/messages.hpp"
 
 int main() {
   using namespace qopt;

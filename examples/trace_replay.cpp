@@ -8,6 +8,7 @@
 #include <filesystem>
 
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
 #include "workload/trace.hpp"
 #include "workload/workload.hpp"
 

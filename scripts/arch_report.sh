@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the qopt_arch architecture scan and regenerates the module-graph
+# exports (build/module_graph.dot, build/module_graph.json).
+#
+# Usage: scripts/arch_report.sh [--suppressions]
+#   scripts/arch_report.sh                  # scan + exports; exit 1 on findings
+#   scripts/arch_report.sh --suppressions   # also list every justified allow
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target qopt_arch >/dev/null
+
+./build/tools/qopt_arch \
+  --manifest docs/ARCHITECTURE.toml --root . \
+  --dot build/module_graph.dot --json build/module_graph.json \
+  "$@" \
+  src tools tests bench examples
+
+echo "module graph: build/module_graph.dot build/module_graph.json"

@@ -1,4 +1,14 @@
 #include "autonomic/autonomic_manager.hpp"
+#include "kv/types.hpp"
+#include "kv/wire.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "oracle/oracle.hpp"
+#include "reconfig/reconfig_manager.hpp"
+#include "sim/failure_detector.hpp"
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
 
 #include <algorithm>
 #include <cmath>

@@ -34,6 +34,7 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/registry.hpp"
 #include "oracle/oracle.hpp"
 #include "reconfig/reconfig_manager.hpp"
 #include "sim/failure_detector.hpp"
@@ -41,6 +42,7 @@
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
+#include "util/time.hpp"
 
 namespace qopt::autonomic {
 

@@ -1,4 +1,12 @@
 #include "core/client.hpp"
+#include "core/consistency.hpp"
+#include "core/metrics.hpp"
+#include "kv/wire.hpp"
+#include "proxy/proxy.hpp"
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace qopt {
 

@@ -9,11 +9,13 @@
 
 #include "core/consistency.hpp"
 #include "core/metrics.hpp"
+#include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/time.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

@@ -1,4 +1,22 @@
+#include "autonomic/autonomic_manager.hpp"
+#include "core/client.hpp"
 #include "core/cluster.hpp"
+#include "kv/replicator.hpp"
+#include "kv/storage_node.hpp"
+#include "kv/types.hpp"
+#include "kv/wire.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "oracle/oracle.hpp"
+#include "proxy/proxy.hpp"
+#include "reconfig/reconfig_manager.hpp"
+#include "sim/heartbeat.hpp"
+#include "sim/ids.hpp"
+#include "sim/network.hpp"
+#include "util/histogram.hpp"
+#include "util/time.hpp"
+#include "workload/workload.hpp"
 
 #include <stdexcept>
 

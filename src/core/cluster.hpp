@@ -38,10 +38,10 @@
 #include "reconfig/reconfig_manager.hpp"
 #include "sim/failure_detector.hpp"
 #include "sim/heartbeat.hpp"
-#include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/time.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

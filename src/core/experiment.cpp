@@ -1,4 +1,10 @@
+#include "core/cluster.hpp"
 #include "core/experiment.hpp"
+#include "kv/types.hpp"
+#include "ml/dataset.hpp"
+#include "obs/report.hpp"
+#include "oracle/oracle.hpp"
+#include "util/time.hpp"
 
 #include <algorithm>
 #include <cstdio>

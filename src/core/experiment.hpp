@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
 #include "ml/dataset.hpp"
 #include "oracle/oracle.hpp"
+#include "util/time.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

@@ -1,4 +1,6 @@
 #include "core/metrics.hpp"
+#include "proxy/proxy.hpp"
+#include "util/time.hpp"
 
 #include <algorithm>
 

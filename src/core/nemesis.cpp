@@ -1,4 +1,7 @@
+#include "core/cluster.hpp"
 #include "core/nemesis.hpp"
+#include "kv/types.hpp"
+#include "util/time.hpp"
 
 #include <algorithm>
 #include <array>

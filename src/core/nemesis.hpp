@@ -12,6 +12,7 @@
 
 #include "core/cluster.hpp"
 #include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace qopt {
 

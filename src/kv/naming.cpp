@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "kv/types.hpp"
 #include "util/rng.hpp"
 
 namespace qopt::kv {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "kv/types.hpp"
 #include "util/rng.hpp"
 
 namespace qopt::kv {

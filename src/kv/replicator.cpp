@@ -1,4 +1,8 @@
+#include "kv/placement.hpp"
 #include "kv/replicator.hpp"
+#include "kv/storage_node.hpp"
+#include "kv/types.hpp"
+#include "sim/simulator.hpp"
 
 #include <map>
 #include <stdexcept>

@@ -18,7 +18,7 @@
 #include "kv/placement.hpp"
 #include "kv/storage_node.hpp"
 #include "sim/simulator.hpp"
-#include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace qopt::kv {
 

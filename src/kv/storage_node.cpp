@@ -1,4 +1,13 @@
+#include "kv/service_model.hpp"
 #include "kv/storage_node.hpp"
+#include "kv/types.hpp"
+#include "kv/wire.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace qopt::kv {
 

@@ -22,9 +22,11 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/registry.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace qopt::kv {
 

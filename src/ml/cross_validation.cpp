@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
 #include "util/rng.hpp"
 
 namespace qopt::ml {

@@ -1,3 +1,4 @@
+#include "ml/dataset.hpp"
 #include "ml/decision_tree.hpp"
 
 #include <algorithm>

@@ -1,4 +1,5 @@
 #include "obs/registry.hpp"
+#include "util/histogram.hpp"
 
 #include <cstdio>
 

@@ -1,4 +1,5 @@
 #include "obs/trace.hpp"
+#include "util/time.hpp"
 
 namespace qopt::obs {
 

@@ -1,3 +1,6 @@
+#include "ml/boosting.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
 #include "oracle/oracle.hpp"
 
 #include <cmath>

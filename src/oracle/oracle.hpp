@@ -16,6 +16,7 @@
 
 #include "kv/types.hpp"
 #include "ml/boosting.hpp"
+#include "ml/dataset.hpp"
 #include "ml/decision_tree.hpp"
 
 namespace qopt::oracle {

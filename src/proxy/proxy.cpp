@@ -1,4 +1,13 @@
+#include "kv/placement.hpp"
+#include "kv/types.hpp"
+#include "kv/wire.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "proxy/proxy.hpp"
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "topk/space_saving.hpp"
+#include "util/time.hpp"
 
 #include <algorithm>
 #include <cassert>

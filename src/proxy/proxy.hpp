@@ -33,10 +33,14 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "topk/space_saving.hpp"
+#include "util/histogram.hpp"
+#include "util/time.hpp"
 
 #include <memory>
 #include <string>

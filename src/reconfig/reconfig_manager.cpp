@@ -1,4 +1,12 @@
+#include "kv/types.hpp"
+#include "kv/wire.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "reconfig/reconfig_manager.hpp"
+#include "sim/failure_detector.hpp"
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
 
 #include <algorithm>
 

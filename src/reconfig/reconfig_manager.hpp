@@ -31,10 +31,13 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/failure_detector.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/time.hpp"
 
 namespace qopt::reconfig {
 

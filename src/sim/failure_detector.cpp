@@ -1,4 +1,7 @@
 #include "sim/failure_detector.hpp"
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
 
 namespace qopt::sim {
 

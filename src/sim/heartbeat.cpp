@@ -1,4 +1,8 @@
+#include "sim/failure_detector.hpp"
 #include "sim/heartbeat.hpp"
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
 
 namespace qopt::sim {
 

@@ -17,6 +17,8 @@
 #include <utility>
 
 #include "obs/obs.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/ids.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"

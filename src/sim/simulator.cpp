@@ -1,4 +1,5 @@
 #include "sim/simulator.hpp"
+#include "util/time.hpp"
 
 #include <utility>
 

@@ -1,4 +1,9 @@
+#include "kv/types.hpp"
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
 #include "smr/group.hpp"
+#include "smr/messages.hpp"
+#include "smr/replica.hpp"
 
 #include <algorithm>
 

@@ -14,7 +14,10 @@
 #include "sim/failure_detector.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "smr/messages.hpp"
 #include "smr/replica.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace qopt::smr {
 

@@ -1,3 +1,7 @@
+#include "sim/failure_detector.hpp"
+#include "sim/ids.hpp"
+#include "sim/simulator.hpp"
+#include "smr/messages.hpp"
 #include "smr/replica.hpp"
 
 #include <algorithm>

@@ -1,4 +1,7 @@
+#include "util/rng.hpp"
+#include "util/time.hpp"
 #include "workload/trace.hpp"
+#include "workload/workload.hpp"
 
 #include <fstream>
 #include <sstream>

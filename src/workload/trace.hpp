@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "util/rng.hpp"
+#include "util/time.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt::workload {

@@ -1,3 +1,6 @@
+#include "kv/types.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
 #include "workload/workload.hpp"
 
 #include <cmath>

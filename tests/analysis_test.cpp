@@ -1,0 +1,135 @@
+// tools/analysis shared-framework tests: the tokenizer (comment/literal
+// stripping), the file walker, and the justified-suppression grammar that
+// qopt_lint and qopt_arch both build on. The tokenizer cases pin the
+// behaviour qopt_lint relied on before the refactor, plus the digit-
+// separator handling qopt_arch's symbol map depends on.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/source.hpp"
+#include "analysis/suppress.hpp"
+
+namespace {
+
+using qopt::analysis::scan_annotations;
+using qopt::analysis::split_lines;
+using qopt::analysis::strip_comments_and_literals;
+
+// ------------------------------------------------------------ tokenizer
+
+TEST(AnalysisTest, StripBlanksCommentsAndLiteralBodies) {
+  const std::string src =
+      "int a = 1; // trailing rand()\n"
+      "/* block time(nullptr) */ int b = 2;\n"
+      "const char* s = \"system_clock in prose\";\n";
+  const std::string out = strip_comments_and_literals(src);
+  ASSERT_EQ(out.size(), src.size());  // offsets are preserved
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("time"), std::string::npos);
+  EXPECT_EQ(out.find("system_clock"), std::string::npos);
+  EXPECT_NE(out.find("int a = 1;"), std::string::npos);
+  EXPECT_NE(out.find("int b = 2;"), std::string::npos);
+  // The string's delimiters survive, its body does not.
+  EXPECT_NE(out.find("const char* s = \""), std::string::npos);
+}
+
+TEST(AnalysisTest, StripHandlesEscapesRawStringsAndCharLiterals) {
+  const std::string src =
+      "const char* a = \"esc \\\" quote\"; int x = 1;\n"
+      "const char* r = R\"(raw \" contents)\"; int y = 2;\n"
+      "char c = '\\''; int z = 3;\n";
+  const std::string out = strip_comments_and_literals(src);
+  EXPECT_NE(out.find("int x = 1;"), std::string::npos) << out;
+  EXPECT_NE(out.find("int y = 2;"), std::string::npos) << out;
+  EXPECT_NE(out.find("int z = 3;"), std::string::npos) << out;
+  EXPECT_EQ(out.find("raw"), std::string::npos);
+}
+
+TEST(AnalysisTest, DigitSeparatorIsNotACharLiteral) {
+  // Regression: `8'000` once opened a char-literal state that swallowed
+  // everything to the next apostrophe, hiding entire files from the
+  // symbol map.
+  const std::string src =
+      "constexpr int kOps = 8'000;\n"
+      "Cluster cluster(config);\n";
+  const std::string out = strip_comments_and_literals(src);
+  EXPECT_NE(out.find("Cluster cluster(config);"), std::string::npos) << out;
+}
+
+TEST(AnalysisTest, SplitLinesAndLineOfOffsetAgree) {
+  const std::string text = "one\ntwo\nthree";
+  const auto lines = split_lines(text);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "one");
+  EXPECT_EQ(lines[2], "three");
+  EXPECT_EQ(qopt::analysis::line_of_offset(text, 0), 1u);
+  EXPECT_EQ(qopt::analysis::line_of_offset(text, 4), 2u);
+  EXPECT_EQ(qopt::analysis::line_of_offset(text, text.size() - 1), 3u);
+}
+
+// ---------------------------------------------------------- file walker
+
+TEST(AnalysisTest, WalkerSkipsFixtureDirectories) {
+  // tests/arch_fixtures holds deliberately-broken .hpp/.cpp files; the
+  // `*_fixtures` skip is what keeps them out of the tree-wide scans.
+  const auto files =
+      qopt::analysis::collect_sources({std::string(QOPT_SOURCE_ROOT) +
+                                       "/tests"});
+  EXPECT_FALSE(files.empty());
+  for (const std::string& f : files) {
+    EXPECT_EQ(f.find("_fixtures"), std::string::npos) << f;
+  }
+}
+
+// --------------------------------------------------------- suppressions
+
+TEST(AnalysisTest, JustifiedAllowRecordsSuppressionForTwoLines) {
+  const auto ann = scan_annotations(
+      "qopt-arch", "f.cpp",
+      split_lines("// qopt-arch: allow(unused-include) vendor umbrella\n"
+                  "#include \"a/b.hpp\"\n"));
+  EXPECT_TRUE(ann.findings.empty());
+  EXPECT_TRUE(qopt::analysis::allowed(ann, 1, "unused-include"));
+  EXPECT_TRUE(qopt::analysis::allowed(ann, 2, "unused-include"));
+  EXPECT_FALSE(qopt::analysis::allowed(ann, 3, "unused-include"));
+  EXPECT_FALSE(qopt::analysis::allowed(ann, 2, "missing-include"));
+  ASSERT_EQ(ann.suppressions.size(), 1u);
+  EXPECT_EQ(qopt::analysis::format_suppression(ann.suppressions[0]),
+            "qopt-arch:unused-include:f.cpp:1: vendor umbrella");
+}
+
+TEST(AnalysisTest, BareAllowIsAFindingNotASuppression) {
+  const auto ann = scan_annotations(
+      "qopt-lint", "f.cpp", split_lines("// qopt-lint: allow(wall-clock)\n"));
+  ASSERT_EQ(ann.findings.size(), 1u);
+  EXPECT_EQ(ann.findings[0].rule, "bare-allow");
+  EXPECT_TRUE(ann.suppressions.empty());
+  EXPECT_FALSE(qopt::analysis::allowed(ann, 1, "wall-clock"));
+}
+
+TEST(AnalysisTest, ToolTagsDoNotCrossTalk) {
+  const auto ann = scan_annotations(
+      "qopt-arch", "f.cpp",
+      split_lines("// qopt-lint: allow(wall-clock) replay tooling\n"));
+  EXPECT_TRUE(ann.allows.empty());
+  EXPECT_TRUE(ann.findings.empty());
+  EXPECT_TRUE(ann.suppressions.empty());
+}
+
+TEST(AnalysisTest, QuorumAnnotationReportsInUnifiedFormat) {
+  const auto ann = scan_annotations(
+      "qopt-lint", "f.cpp",
+      split_lines("// qopt-lint: quorum(n=5)\n"
+                  "kv::QuorumConfig q{3, 3};\n"));
+  ASSERT_EQ(ann.suppressions.size(), 1u);
+  EXPECT_EQ(qopt::analysis::format_suppression(ann.suppressions[0]),
+            "qopt-lint:quorum:f.cpp:1: n=5");
+  EXPECT_EQ(ann.quorum_n.at(1), 5);
+  EXPECT_EQ(ann.quorum_n.at(2), 5);
+}
+
+}  // namespace

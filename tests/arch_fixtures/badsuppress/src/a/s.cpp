@@ -1,0 +1,7 @@
+// Fixture: one bare allow (a finding in itself, suppresses nothing) and
+// one justified allow (suppresses the unused-include on its line).
+// qopt-arch: allow(unused-include)
+#include "a/tt.hpp"
+#include "a/uu.hpp"  // qopt-arch: allow(unused-include) kept for ABI reasons
+
+int suppress_entry() { return 0; }

@@ -1,0 +1,6 @@
+// Fixture: unused header behind a *bare* allow (which must not suppress).
+#pragma once
+
+struct Tt {
+  int v = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: unused header behind a *justified* allow (which suppresses).
+#pragma once
+
+struct Uu {
+  int v = 0;
+};

@@ -1,0 +1,3 @@
+#include "high/top.hpp"
+
+Top make_top() { return Top{}; }

@@ -1,0 +1,8 @@
+// Fixture: upper module, legally depending downward on low.
+#pragma once
+
+#include "low/base.hpp"
+
+struct Top {
+  Base base;
+};

@@ -1,0 +1,6 @@
+// Fixture: foundation module of the clean two-layer tree.
+#pragma once
+
+struct Base {
+  int v = 0;
+};

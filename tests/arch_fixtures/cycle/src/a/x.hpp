@@ -1,0 +1,8 @@
+// Fixture: one half of a deliberate file-level include cycle.
+#pragma once
+
+#include "a/y.hpp"
+
+struct CycleX {
+  CycleY* peer = nullptr;
+};

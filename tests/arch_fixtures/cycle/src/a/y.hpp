@@ -1,0 +1,8 @@
+// Fixture: the other half of the cycle.
+#pragma once
+
+#include "a/x.hpp"
+
+struct CycleY {
+  CycleX* peer = nullptr;
+};

@@ -1,0 +1,6 @@
+// Fixture: the uniquely-owning header of `Sprocket`.
+#pragma once
+
+struct Sprocket {
+  int v = 0;
+};

@@ -1,0 +1,4 @@
+// Fixture: umbrella header that deliberately re-exports types.hpp.
+#pragma once
+
+#include "a/types.hpp"  // qopt-arch: export

@@ -1,0 +1,5 @@
+// Fixture: reaches `Sprocket` through the umbrella, which counts as a
+// direct include thanks to the export marker.
+#include "a/umbrella.hpp"
+
+int sprocket_value(const Sprocket& s) { return s.v; }

@@ -1,0 +1,5 @@
+// Fixture: header without `#pragma once`.
+
+struct NoGuard {
+  int v = 0;
+};

@@ -1,0 +1,8 @@
+// Fixture: every include-spelling mistake in one file.
+#include <h/noguard.hpp>
+#include <vector>
+
+#include "../h/noguard.hpp"
+#include "no/such/header.hpp"
+
+int style_entry(const NoGuard& g) { return g.v; }

@@ -1,0 +1,6 @@
+// Fixture: top-layer header (the illegal target of util's include).
+#pragma once
+
+struct HighThing {
+  int weight = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: lives in a module the manifest does not declare.
+#pragma once
+
+struct StrayThing {
+  int id = 0;
+};

@@ -1,0 +1,8 @@
+// Fixture: a foundation-layer header reaching *upward* into core.
+#pragma once
+
+#include "core/high.hpp"
+
+struct LowThing {
+  HighThing* owner = nullptr;
+};

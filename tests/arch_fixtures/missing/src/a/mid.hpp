@@ -1,0 +1,6 @@
+// Fixture: middleman that leaks `Widget` transitively to its includers.
+#pragma once
+
+#include "a/types.hpp"
+
+using WidgetRef = Widget&;

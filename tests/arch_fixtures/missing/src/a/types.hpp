@@ -1,0 +1,6 @@
+// Fixture: the uniquely-owning header of `Widget`.
+#pragma once
+
+struct Widget {
+  int v = 0;
+};

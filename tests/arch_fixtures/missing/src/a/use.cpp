@@ -1,0 +1,4 @@
+// Fixture: names `Widget` but only reaches types.hpp through mid.hpp.
+#include "a/mid.hpp"
+
+int widget_value(const Widget& w) { return w.v; }

@@ -1,0 +1,6 @@
+// Fixture: middleman that leaks `Gadget` transitively.
+#pragma once
+
+#include "a/types.hpp"
+
+using GadgetRef = Gadget&;

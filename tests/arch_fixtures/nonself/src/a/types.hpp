@@ -1,0 +1,6 @@
+// Fixture: the uniquely-owning header of `Gadget`.
+#pragma once
+
+struct Gadget {
+  int v = 0;
+};

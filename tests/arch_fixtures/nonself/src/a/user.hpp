@@ -1,0 +1,10 @@
+// Fixture: a *header* that names `Gadget` without including its owner —
+// it compiles only inside a TU that happens to pull types.hpp in first,
+// i.e. it is not self-contained.
+#pragma once
+
+#include "a/mid.hpp"
+
+struct Holder {
+  Gadget* g = nullptr;
+};

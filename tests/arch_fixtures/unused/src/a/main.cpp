@@ -1,0 +1,4 @@
+// Fixture: includes a header and uses nothing from it.
+#include "a/used.hpp"
+
+int fixture_entry() { return 0; }

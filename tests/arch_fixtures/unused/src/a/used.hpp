@@ -1,0 +1,6 @@
+// Fixture: header whose only symbol the includer never mentions.
+#pragma once
+
+struct UnusedThing {
+  int v = 0;
+};

@@ -3,7 +3,10 @@
 // steady-state drift handling, and workload-change restarts.
 #include <gtest/gtest.h>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
+#include "util/time.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

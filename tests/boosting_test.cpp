@@ -5,6 +5,7 @@
 #include "ml/boosting.hpp"
 #include "ml/cross_validation.hpp"
 #include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
 #include "util/rng.hpp"
 
 namespace qopt::ml {

@@ -8,7 +8,10 @@
 #include <cstdint>
 #include <tuple>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
+#include "util/rng.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

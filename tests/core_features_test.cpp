@@ -6,7 +6,12 @@
 #include <filesystem>
 
 #include "core/cluster.hpp"
+#include "core/consistency.hpp"
 #include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "kv/replicator.hpp"
+#include "kv/types.hpp"
+#include "ml/dataset.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

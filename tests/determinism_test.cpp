@@ -6,7 +6,9 @@
 
 #include <tuple>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
+#include "kv/replicator.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

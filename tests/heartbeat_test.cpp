@@ -4,7 +4,9 @@
 // indulgence holds under it end to end.
 #include <gtest/gtest.h>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

@@ -9,8 +9,11 @@
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
+#include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace qopt::kv {
 namespace {

@@ -5,6 +5,7 @@
 
 #include "core/cluster.hpp"
 #include "kv/naming.hpp"
+#include "kv/types.hpp"
 #include "workload/trace.hpp"
 #include "workload/workload.hpp"
 

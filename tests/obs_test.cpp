@@ -11,6 +11,7 @@
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
+#include "util/histogram.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

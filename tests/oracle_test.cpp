@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "kv/types.hpp"
 #include "ml/dataset.hpp"
 #include "oracle/oracle.hpp"
 #include "util/rng.hpp"

@@ -6,6 +6,7 @@
 
 #include "core/cluster.hpp"
 #include "kv/storage_node.hpp"
+#include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "proxy/proxy.hpp"
 #include "workload/workload.hpp"

@@ -7,12 +7,16 @@
 #include <vector>
 
 #include "kv/placement.hpp"
+#include "kv/service_model.hpp"
 #include "kv/storage_node.hpp"
+#include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
 #include "proxy/proxy.hpp"
+#include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
 
 namespace qopt::proxy {
 namespace {

@@ -1,0 +1,279 @@
+// qopt_arch's own test suite: every rule must fire on a fixture tree that
+// contains a known violation, stay silent on clean trees, and honour the
+// shared justified-suppression grammar. Fixture trees live under
+// tests/arch_fixtures/<case>/src/...; the shared file walker skips any
+// directory ending in `_fixtures`, so the tree-wide qopt_arch_tree and
+// qopt_lint_tree ctests never see the deliberately-broken files.
+//
+// The two real-tree tests at the bottom are the acceptance criteria: the
+// repository itself scans clean against docs/ARCHITECTURE.toml, and every
+// edge the manifest allows is load-bearing (deleting any single one makes
+// the scan fail).
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "qopt_arch/arch.hpp"
+
+namespace {
+
+using qopt::arch::Finding;
+using qopt::arch::Manifest;
+using qopt::arch::Tree;
+
+std::string fixture_root(const std::string& name) {
+  return std::string(QOPT_ARCH_FIXTURE_DIR) + "/" + name;
+}
+
+/// Loads `tests/arch_fixtures/<name>/src` and analyzes it against an
+/// inline manifest body (the `[layers]`/`[modules.*]` sections).
+std::vector<Finding> analyze_fixture(const std::string& name,
+                                     const std::string& manifest_text) {
+  const Tree tree = qopt::arch::load_tree(fixture_root(name), {"src"});
+  EXPECT_TRUE(tree.errors.empty()) << "fixture tree failed to load: " << name;
+  const Manifest manifest =
+      qopt::arch::parse_manifest("test.toml", manifest_text);
+  return qopt::arch::analyze(tree, manifest);
+}
+
+std::map<std::string, int> count_by_rule(const std::vector<Finding>& fs) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : fs) ++counts[f.rule];
+  return counts;
+}
+
+bool has_finding(const std::vector<Finding>& fs, const std::string& rule,
+                 const std::string& file, std::size_t line) {
+  return std::any_of(fs.begin(), fs.end(), [&](const Finding& f) {
+    return f.rule == rule && f.file == file && f.line == line;
+  });
+}
+
+std::string describe(const std::vector<Finding>& fs) {
+  std::string out;
+  for (const Finding& f : fs) out += qopt::analysis::format_finding(f) + "\n";
+  return out;
+}
+
+constexpr const char* kSingleModuleA =
+    "[layers]\norder = [\"a\"]\n[modules.a]\ndeps = []\n";
+
+// ------------------------------------------------------------- manifest
+
+TEST(QoptArchTest, ManifestParsesOrderAndDeps) {
+  const Manifest m = qopt::arch::parse_manifest("m.toml",
+                                                "# comment\n"
+                                                "[layers]\n"
+                                                "order = [\n"
+                                                "  \"util\",  # low\n"
+                                                "  \"core\",\n"
+                                                "]\n"
+                                                "[modules.util]\n"
+                                                "deps = []\n"
+                                                "[modules.core]\n"
+                                                "deps = [\"util\"]\n");
+  EXPECT_TRUE(m.errors.empty()) << describe(m.errors);
+  ASSERT_EQ(m.order.size(), 2u);
+  EXPECT_EQ(m.order[0], "util");
+  EXPECT_EQ(m.order[1], "core");
+  EXPECT_TRUE(m.deps.at("util").empty());
+  EXPECT_EQ(m.deps.at("core").count("util"), 1u);
+}
+
+TEST(QoptArchTest, ManifestRejectsUpwardAndUnknownDeps) {
+  // core dep on itself, util dep on a *higher* layer, dep on a module that
+  // does not exist, and a module declared but missing from the order.
+  const Manifest m = qopt::arch::parse_manifest(
+      "m.toml",
+      "[layers]\norder = [\"util\", \"core\"]\n"
+      "[modules.util]\ndeps = [\"core\", \"ghost\"]\n"
+      "[modules.core]\ndeps = [\"core\"]\n"
+      "[modules.stray]\ndeps = []\n");
+  const Tree empty_tree;
+  const auto findings = qopt::arch::check_layering(empty_tree, m);
+  const auto counts = count_by_rule(findings);
+  EXPECT_EQ(counts.at("manifest"), 4) << describe(findings);
+}
+
+TEST(QoptArchTest, ManifestOrderMustNameDeclaredModulesOnce) {
+  const Manifest m = qopt::arch::parse_manifest(
+      "m.toml",
+      "[layers]\norder = [\"util\", \"util\", \"phantom\"]\n"
+      "[modules.util]\ndeps = []\n");
+  const Tree empty_tree;
+  const auto findings = qopt::arch::check_layering(empty_tree, m);
+  const auto counts = count_by_rule(findings);
+  // duplicate `util` + undeclared `phantom`.
+  EXPECT_EQ(counts.at("manifest"), 2) << describe(findings);
+}
+
+// ------------------------------------------------------------- layering
+
+TEST(QoptArchTest, ForbiddenEdgeAndUnknownModuleFixture) {
+  const auto findings = analyze_fixture(
+      "layering",
+      "[layers]\norder = [\"util\", \"core\"]\n"
+      "[modules.util]\ndeps = []\n"
+      "[modules.core]\ndeps = [\"util\"]\n");
+  const auto counts = count_by_rule(findings);
+  EXPECT_EQ(counts.at("forbidden-edge"), 1) << describe(findings);
+  EXPECT_EQ(counts.at("unknown-module"), 1) << describe(findings);
+  EXPECT_EQ(counts.size(), 2u) << describe(findings);
+  EXPECT_TRUE(has_finding(findings, "forbidden-edge", "src/util/low.hpp", 4));
+  EXPECT_TRUE(has_finding(findings, "unknown-module", "src/rogue/stray.hpp", 1));
+}
+
+TEST(QoptArchTest, IncludeCycleFixtureReportsTheCycleOnce) {
+  const auto findings = analyze_fixture("cycle", kSingleModuleA);
+  const auto counts = count_by_rule(findings);
+  EXPECT_EQ(counts.at("include-cycle"), 1) << describe(findings);
+  EXPECT_EQ(counts.size(), 1u) << describe(findings);
+  EXPECT_NE(findings[0].message.find("src/a/x.hpp -> src/a/y.hpp"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+// -------------------------------------------------------------- hygiene
+
+TEST(QoptArchTest, HygieneFixtureFlagsGuardStyleAndRelativeIncludes) {
+  const auto findings = analyze_fixture(
+      "hygiene", "[layers]\norder = [\"h\"]\n[modules.h]\ndeps = []\n");
+  EXPECT_TRUE(has_finding(findings, "pragma-once", "src/h/noguard.hpp", 1));
+  EXPECT_TRUE(has_finding(findings, "include-style", "src/h/style.cpp", 2))
+      << describe(findings);  // in-repo header spelled with <...>
+  EXPECT_TRUE(has_finding(findings, "relative-include", "src/h/style.cpp", 5));
+  EXPECT_TRUE(has_finding(findings, "include-style", "src/h/style.cpp", 6))
+      << describe(findings);  // quoted include that resolves nowhere
+  const auto counts = count_by_rule(findings);
+  EXPECT_EQ(counts.at("pragma-once"), 1);
+  EXPECT_EQ(counts.at("include-style"), 2);
+  EXPECT_EQ(counts.at("relative-include"), 1);
+  EXPECT_EQ(counts.size(), 3u) << describe(findings);
+}
+
+// ------------------------------------------------------------ IWYU-lite
+
+TEST(QoptArchTest, UnusedIncludeFixture) {
+  const auto findings = analyze_fixture("unused", kSingleModuleA);
+  const auto counts = count_by_rule(findings);
+  EXPECT_EQ(counts.at("unused-include"), 1) << describe(findings);
+  EXPECT_EQ(counts.size(), 1u) << describe(findings);
+  EXPECT_TRUE(has_finding(findings, "unused-include", "src/a/main.cpp", 2));
+}
+
+TEST(QoptArchTest, MissingIncludeFixtureFlagsTheTransitiveLeak) {
+  const auto findings = analyze_fixture("missing", kSingleModuleA);
+  const auto counts = count_by_rule(findings);
+  EXPECT_EQ(counts.at("missing-include"), 1) << describe(findings);
+  EXPECT_EQ(counts.size(), 1u) << describe(findings);
+  ASSERT_TRUE(has_finding(findings, "missing-include", "src/a/use.cpp", 4));
+  EXPECT_NE(findings[0].message.find("`Widget`"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/a/types.hpp"), std::string::npos);
+}
+
+TEST(QoptArchTest, NonSelfContainedHeaderIsCalledOut) {
+  const auto findings = analyze_fixture("nonself", kSingleModuleA);
+  ASSERT_EQ(findings.size(), 1u) << describe(findings);
+  EXPECT_EQ(findings[0].rule, "missing-include");
+  EXPECT_EQ(findings[0].file, "src/a/user.hpp");
+  EXPECT_NE(findings[0].message.find("not self-contained"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(QoptArchTest, ExportMarkerMakesUmbrellaIncludesDirect) {
+  const auto findings = analyze_fixture("exportmark", kSingleModuleA);
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+// --------------------------------------------------------- suppressions
+
+TEST(QoptArchTest, BareAllowIsAFindingAndDoesNotSuppress) {
+  const auto findings = analyze_fixture("badsuppress", kSingleModuleA);
+  const auto counts = count_by_rule(findings);
+  EXPECT_EQ(counts.at("bare-allow"), 1) << describe(findings);
+  EXPECT_EQ(counts.at("unused-include"), 1) << describe(findings);
+  EXPECT_EQ(counts.size(), 2u) << describe(findings);
+  // The justified allow on the uu.hpp include suppressed that finding.
+  EXPECT_TRUE(has_finding(findings, "unused-include", "src/a/s.cpp", 4));
+}
+
+TEST(QoptArchTest, SuppressionsReportInUnifiedFormat) {
+  const Tree tree = qopt::arch::load_tree(fixture_root("badsuppress"), {"src"});
+  const auto sups = qopt::arch::suppressions(tree);
+  ASSERT_EQ(sups.size(), 1u);
+  EXPECT_EQ(qopt::analysis::format_suppression(sups[0]),
+            "qopt-arch:unused-include:src/a/s.cpp:5: kept for ABI reasons");
+}
+
+// -------------------------------------------------------------- exports
+
+TEST(QoptArchTest, ModuleGraphExportsAreDeterministic) {
+  const Tree tree = qopt::arch::load_tree(fixture_root("clean"), {"src"});
+  const Manifest manifest = qopt::arch::parse_manifest(
+      "m.toml",
+      "[layers]\norder = [\"low\", \"high\"]\n"
+      "[modules.low]\ndeps = []\n"
+      "[modules.high]\ndeps = [\"low\"]\n");
+  EXPECT_TRUE(qopt::arch::analyze(tree, manifest).empty())
+      << describe(qopt::arch::analyze(tree, manifest));
+
+  const std::string dot = qopt::arch::export_dot(tree, manifest);
+  EXPECT_EQ(dot, qopt::arch::export_dot(tree, manifest));
+  EXPECT_NE(dot.find("\"high\" -> \"low\" [label=\"1\"]"), std::string::npos)
+      << dot;
+  EXPECT_NE(dot.find("\"low\" [label=\"low\\nlayer 0\"]"), std::string::npos)
+      << dot;
+
+  const std::string json = qopt::arch::export_json(tree, manifest);
+  EXPECT_EQ(json, qopt::arch::export_json(tree, manifest));
+  EXPECT_NE(json.find("{\"from\": \"high\", \"to\": \"low\", "
+                      "\"includes\": 1}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"files\": 3"), std::string::npos) << json;
+}
+
+// ------------------------------------------------------- the real tree
+
+TEST(QoptArchTest, RepositoryScansCleanAgainstItsManifest) {
+  const std::string root = QOPT_SOURCE_ROOT;
+  const Manifest manifest =
+      qopt::arch::load_manifest(root + "/docs/ARCHITECTURE.toml");
+  EXPECT_TRUE(manifest.errors.empty()) << describe(manifest.errors);
+  const Tree tree = qopt::arch::load_tree(
+      root, {"src", "tools", "tests", "bench", "examples"});
+  const auto findings = qopt::arch::analyze(tree, manifest);
+  EXPECT_TRUE(findings.empty()) << describe(findings);
+}
+
+TEST(QoptArchTest, EveryAllowedEdgeIsLoadBearing) {
+  // Deleting any single allowed edge from the manifest must make the tree
+  // scan fail: the manifest documents reality, with no slack that would
+  // let an architecture violation hide behind an unused allowance.
+  const std::string root = QOPT_SOURCE_ROOT;
+  const Manifest manifest =
+      qopt::arch::load_manifest(root + "/docs/ARCHITECTURE.toml");
+  const Tree tree = qopt::arch::load_tree(
+      root, {"src", "tools", "tests", "bench", "examples"});
+  ASSERT_TRUE(qopt::arch::check_layering(tree, manifest).empty());
+
+  for (const auto& [module, deps] : manifest.deps) {
+    for (const std::string& dep : deps) {
+      Manifest pruned = manifest;
+      pruned.deps[module].erase(dep);
+      const auto findings = qopt::arch::check_layering(tree, pruned);
+      EXPECT_FALSE(findings.empty())
+          << "edge " << module << " -> " << dep
+          << " is allowed by docs/ARCHITECTURE.toml but exercised by no "
+             "include; delete it from the manifest";
+      for (const Finding& f : findings) {
+        EXPECT_EQ(f.rule, "forbidden-edge") << qopt::analysis::format_finding(f);
+      }
+    }
+  }
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

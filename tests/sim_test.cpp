@@ -3,10 +3,14 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
+#include "obs/registry.hpp"
 #include "sim/failure_detector.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace qopt::sim {
 namespace {

@@ -3,8 +3,12 @@
 // for removing Q-OPT's control-plane single points of failure.
 #include <gtest/gtest.h>
 
+#include "kv/types.hpp"
+#include "sim/ids.hpp"
 #include "sim/simulator.hpp"
 #include "smr/group.hpp"
+#include "smr/messages.hpp"
+#include "smr/replica.hpp"
 #include "util/rng.hpp"
 
 namespace qopt::smr {

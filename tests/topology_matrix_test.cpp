@@ -5,7 +5,10 @@
 
 #include <tuple>
 
+#include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
+#include "kv/types.hpp"
+#include "util/rng.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {

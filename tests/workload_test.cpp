@@ -3,6 +3,7 @@
 #include <map>
 #include <vector>
 
+#include "kv/types.hpp"
 #include "util/rng.hpp"
 #include "workload/workload.hpp"
 

@@ -1,0 +1,238 @@
+#include "analysis/source.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace qopt::analysis {
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string strip_comments_and_literals(const std::string& src) {
+  std::string out = src;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          // Raw strings: skip to the matching delimiter without escape
+          // handling.
+          if (i > 0 && src[i - 1] == 'R') {
+            std::size_t paren = src.find('(', i);
+            if (paren != std::string::npos) {
+              const std::string delim =
+                  ")" + src.substr(i + 1, paren - i - 1) + "\"";
+              std::size_t end = src.find(delim, paren);
+              if (end == std::string::npos) end = src.size();
+              for (std::size_t j = i + 1;
+                   j < std::min(end + delim.size() - 1, src.size()); ++j) {
+                if (out[j] != '\n') out[j] = ' ';
+              }
+              i = std::min(end + delim.size() - 1, src.size() - 1);
+              break;
+            }
+          }
+          state = State::kString;
+        } else if (c == '\'') {
+          // Digit separator (8'000), not a char literal: an alnum on both
+          // sides. (A prefixed literal like u8'1' would be misread, but the
+          // tree has none and the lint rules only ever *ignore* more text.)
+          const bool separator =
+              i > 0 && std::isalnum(static_cast<unsigned char>(src[i - 1])) &&
+              std::isalnum(static_cast<unsigned char>(next));
+          if (!separator) state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') {
+            if (i + 1 < out.size()) out[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type start = 0;
+  while (start <= text.size()) {
+    const auto end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::size_t line_of_offset(const std::string& text, std::size_t offset) {
+  return static_cast<std::size_t>(
+             std::count(text.begin(),
+                        text.begin() + static_cast<std::ptrdiff_t>(
+                                           std::min(offset, text.size())),
+                        '\n')) +
+         1;
+}
+
+std::size_t match_angle_brackets(const std::string& text, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '<') {
+      ++depth;
+    } else if (text[i] == '>') {
+      if (--depth == 0) return i + 1;
+    } else if (text[i] == ';' || text[i] == '{') {
+      return std::string::npos;  // not a template argument list after all
+    }
+  }
+  return std::string::npos;
+}
+
+std::string read_identifier(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+  // Skip ref/pointer/const decorations between the template and the name.
+  for (;;) {
+    if (pos < text.size() && (text[pos] == '&' || text[pos] == '*')) {
+      ++pos;
+      continue;
+    }
+    if (text.compare(pos, 5, "const") == 0 &&
+        (pos + 5 >= text.size() || !is_ident_char(text[pos + 5]))) {
+      pos += 5;
+      continue;
+    }
+    if (pos < text.size() &&
+        std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+      continue;
+    }
+    break;
+  }
+  std::string ident;
+  while (pos < text.size() && is_ident_char(text[pos])) {
+    ident += text[pos++];
+  }
+  if (!ident.empty() && std::isdigit(static_cast<unsigned char>(ident[0]))) {
+    return {};
+  }
+  return ident;
+}
+
+std::vector<std::string> identifiers_in(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    if (is_ident_char(text[i]) &&
+        !std::isdigit(static_cast<unsigned char>(text[i]))) {
+      std::string ident;
+      while (i < text.size() && is_ident_char(text[i])) ident += text[i++];
+      out.push_back(ident);
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& path : paths) {
+    std::error_code ec;
+    if (fs::is_directory(path, ec)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_directory() &&
+            it->path().filename().string().ends_with("_fixtures")) {
+          it.disable_recursion_pending();
+          continue;
+        }
+        if (!it->is_regular_file()) continue;
+        const std::string ext = it->path().extension().string();
+        if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h") {
+          files.push_back(it->path().string());
+        }
+      }
+    } else {
+      files.push_back(path);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace qopt::analysis

@@ -1,0 +1,64 @@
+// Shared source-handling layer for the project's static-analysis tools
+// (qopt_lint, qopt_arch). Everything here is dependency-free (no LLVM):
+// a comment/literal-stripping state machine, small token helpers, and the
+// file walker that expands directories into the C++ sources to scan.
+//
+// The tools share one Finding shape so their diagnostics (and suppression
+// summaries, see suppress.hpp) render identically.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace qopt::analysis {
+
+/// One diagnostic from any analysis tool.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// One "file:line: [rule] message" diagnostic line.
+std::string format_finding(const Finding& finding);
+
+/// True for [A-Za-z0-9_].
+bool is_ident_char(char c);
+
+/// Replaces comments and string/char literal contents (including raw
+/// strings) with spaces, keeping byte offsets and line structure intact, so
+/// token/regex rules never match prose or quoted text.
+std::string strip_comments_and_literals(const std::string& src);
+
+/// Splits on '\n'; a trailing newline yields a final empty line, matching
+/// 1-based line numbering of the underlying buffer.
+std::vector<std::string> split_lines(const std::string& text);
+
+/// 1-based line containing byte `offset`.
+std::size_t line_of_offset(const std::string& text, std::size_t offset);
+
+/// Matches the `<...>` template argument list starting at `open` (which must
+/// point at '<'); returns the offset one past the closing '>', or npos.
+std::size_t match_angle_brackets(const std::string& text, std::size_t open);
+
+/// Reads the identifier following `pos`, skipping whitespace and
+/// ref/pointer/const decorations; advances `pos`. Returns {} when the next
+/// token is not an identifier.
+std::string read_identifier(const std::string& text, std::size_t& pos);
+
+/// Every maximal identifier token in `text`, in order of appearance.
+std::vector<std::string> identifiers_in(const std::string& text);
+
+/// Expands files and directories (recursively) into the C++ sources to scan
+/// (.cpp/.cc/.hpp/.h), sorted and deduplicated; explicit file arguments are
+/// taken as-is. Directories named `*_fixtures` are skipped: they hold
+/// deliberately-broken inputs for the analysis tools' own tests.
+std::vector<std::string> collect_sources(
+    const std::vector<std::string>& paths);
+
+/// Reads a whole file; returns false on I/O failure.
+bool read_file(const std::string& path, std::string& out);
+
+}  // namespace qopt::analysis

@@ -1,0 +1,223 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/suppress.hpp"
+#include "qopt_arch/arch.hpp"
+
+namespace qopt::arch {
+
+namespace {
+
+using qopt::analysis::allowed;
+
+void report(std::vector<Finding>& findings, const SourceFile& file,
+            std::size_t line, const std::string& rule,
+            const std::string& message) {
+  if (!allowed(file.ann, line, rule)) {
+    findings.push_back({file.rel, line, rule, message});
+  }
+}
+
+// ----------------------------------------------------- manifest validity
+
+void check_manifest(const Manifest& m, std::vector<Finding>& findings) {
+  findings.insert(findings.end(), m.errors.begin(), m.errors.end());
+
+  std::map<std::string, std::size_t> rank;
+  for (std::size_t i = 0; i < m.order.size(); ++i) {
+    const std::string& name = m.order[i];
+    if (m.deps.find(name) == m.deps.end()) {
+      findings.push_back({m.path, 0, "manifest",
+                          "layers.order names undeclared module `" + name +
+                              "` (no [modules." + name + "] section)"});
+    }
+    if (!rank.emplace(name, i).second) {
+      findings.push_back({m.path, 0, "manifest",
+                          "module `" + name +
+                              "` appears twice in layers.order"});
+    }
+  }
+  for (const auto& [name, deps] : m.deps) {
+    const auto self = rank.find(name);
+    if (self == rank.end()) {
+      findings.push_back({m.path, 0, "manifest",
+                          "module `" + name +
+                              "` is declared but missing from layers.order"});
+      continue;
+    }
+    for (const std::string& dep : deps) {
+      if (dep == name) {
+        findings.push_back({m.path, 0, "manifest",
+                            "module `" + name +
+                                "` lists itself as a dep (self-edges are "
+                                "implicit)"});
+        continue;
+      }
+      const auto it = rank.find(dep);
+      if (it == rank.end()) {
+        findings.push_back({m.path, 0, "manifest",
+                            "module `" + name + "` depends on `" + dep +
+                                "`, which is not in layers.order"});
+      } else if (it->second >= self->second) {
+        // Strictly-lower ranks make the allowed-edge relation a DAG by
+        // construction; any cycle in deps necessarily trips this.
+        findings.push_back({m.path, 0, "manifest",
+                            "module `" + name + "` depends on `" + dep +
+                                "`, which is not a lower layer — the deps "
+                                "relation must follow layers.order (cycles "
+                                "are impossible to order)"});
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- file-level cycles
+
+/// DFS over resolved include edges; every distinct cycle is reported once,
+/// at the include line that closes it (in the lexicographically-first file
+/// on the cycle, thanks to sorted iteration).
+void check_file_cycles(const Tree& tree, std::vector<Finding>& findings) {
+  enum class Color { kWhite, kGray, kBlack };
+  std::vector<Color> color(tree.files.size(), Color::kWhite);
+  std::vector<std::size_t> stack;
+  std::set<std::string> seen_cycles;
+
+  // Recursive lambda via explicit stack of (node, next-include-index).
+  std::vector<std::pair<std::size_t, std::size_t>> frames;
+  for (std::size_t start = 0; start < tree.files.size(); ++start) {
+    if (color[start] != Color::kWhite) continue;
+    frames.push_back({start, 0});
+    color[start] = Color::kGray;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      auto& [node, next] = frames.back();
+      const SourceFile& file = tree.files[node];
+      if (next >= file.includes.size()) {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const Include& inc = file.includes[next++];
+      if (inc.resolved.empty()) continue;
+      const std::size_t target = tree.index.at(inc.resolved);
+      if (color[target] == Color::kGray) {
+        // Back edge: stack from `target` to `node` is the cycle.
+        const auto begin =
+            std::find(stack.begin(), stack.end(), target);
+        std::vector<std::string> names;
+        for (auto it = begin; it != stack.end(); ++it) {
+          names.push_back(tree.files[*it].rel);
+        }
+        // Canonical form: rotate so the smallest member leads, so the same
+        // cycle found from different entry points is reported once.
+        const auto min_it = std::min_element(names.begin(), names.end());
+        std::rotate(names.begin(), min_it, names.end());
+        std::string key;
+        std::string pretty;
+        for (const std::string& n : names) {
+          key += n + ";";
+          pretty += n + " -> ";
+        }
+        pretty += names.front();
+        if (seen_cycles.insert(key).second) {
+          report(findings, file, inc.line, "include-cycle",
+                 "include cycle: " + pretty);
+        }
+      } else if (color[target] == Color::kWhite) {
+        color[target] = Color::kGray;
+        stack.push_back(target);
+        frames.push_back({target, 0});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> check_layering(const Tree& tree,
+                                    const Manifest& manifest) {
+  std::vector<Finding> findings;
+  check_manifest(manifest, findings);
+
+  for (const SourceFile& file : tree.files) {
+    const auto deps_it = manifest.deps.find(file.module);
+    if (file.module.empty() || deps_it == manifest.deps.end()) {
+      report(findings, file, 1, "unknown-module",
+             "file belongs to module `" + file.module +
+                 "`, which is not declared in " + manifest.path);
+      continue;
+    }
+    for (const Include& inc : file.includes) {
+      if (inc.resolved.empty() || inc.module == file.module) continue;
+      if (deps_it->second.count(inc.module) == 0) {
+        report(findings, file, inc.line, "forbidden-edge",
+               "module `" + file.module + "` may not include `" +
+                   inc.resolved + "` (module `" + inc.module +
+                   "`): edge not allowed by " + manifest.path);
+      }
+    }
+  }
+
+  check_file_cycles(tree, findings);
+  return findings;
+}
+
+std::vector<Finding> check_hygiene(const Tree& tree) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : tree.files) {
+    if (file.is_header && !file.has_pragma_once) {
+      report(findings, file, 1, "pragma-once",
+             "header lacks `#pragma once` (the tree-wide include-guard "
+             "convention)");
+    }
+    for (const Include& inc : file.includes) {
+      if (inc.spelled.starts_with("./") || inc.spelled.find("../") !=
+                                               std::string::npos) {
+        report(findings, file, inc.line, "relative-include",
+               "relative include `" + inc.spelled +
+                   "`: spell project includes from a source root, e.g. "
+                   "\"module/header.hpp\"");
+        continue;
+      }
+      if (!inc.angled && inc.resolved.empty()) {
+        report(findings, file, inc.line, "include-style",
+               "quoted include `" + inc.spelled +
+                   "` does not resolve to an in-repo header; system and "
+                   "third-party headers use <...>, project headers are "
+                   "spelled from a source root");
+      } else if (inc.angled && !inc.resolved.empty()) {
+        report(findings, file, inc.line, "include-style",
+               "project header `" + inc.resolved +
+                   "` included with <...>; use \"" + inc.spelled + "\"");
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> analyze(const Tree& tree, const Manifest& manifest) {
+  std::vector<Finding> findings = tree.errors;
+  for (const SourceFile& file : tree.files) {
+    findings.insert(findings.end(), file.ann.findings.begin(),
+                    file.ann.findings.end());
+  }
+  for (auto&& batch :
+       {check_layering(tree, manifest), check_hygiene(tree),
+        check_symbols(tree)}) {
+    findings.insert(findings.end(), batch.begin(), batch.end());
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+  return findings;
+}
+
+}  // namespace qopt::arch

@@ -1,0 +1,325 @@
+// unused-include / missing-include: a generated symbol->header map for
+// in-repo headers drives both directions of IWYU-lite.
+//
+// Symbol extraction is token-level and deliberately conservative: the map
+// keeps type names (class/struct/union/enum), alias targets (`using X =`),
+// constexpr constants, and function-ish names (identifier directly followed
+// by `(` with a type-like token before it). Extraction noise — a name
+// declared in several headers, or picked up from an inline call — simply
+// removes the symbol from the *uniquely owned* set that missing-include
+// requires, so imprecision degrades toward silence, not false findings.
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/source.hpp"
+#include "analysis/suppress.hpp"
+#include "qopt_arch/arch.hpp"
+
+namespace qopt::arch {
+
+namespace {
+
+using qopt::analysis::allowed;
+using qopt::analysis::is_ident_char;
+using qopt::analysis::line_of_offset;
+
+const std::set<std::string>& keyword_stoplist() {
+  static const std::set<std::string> kKeywords = {
+      "if",       "for",      "while",    "switch",   "return", "sizeof",
+      "catch",    "new",      "delete",   "throw",    "else",   "do",
+      "case",     "alignof",  "decltype", "noexcept", "assert", "defined",
+      "operator", "static_assert",        "this",     "co_await"};
+  return kKeywords;
+}
+
+/// Namespace qualifiers whose members are never in-repo symbols.
+const std::set<std::string>& foreign_namespaces() {
+  static const std::set<std::string> kForeign = {"std", "fs", "chrono",
+                                                 "testing", "benchmark"};
+  return kForeign;
+}
+
+std::string erase_template_params(std::string text) {
+  // `template <class T, typename U>` would otherwise register T and U as
+  // declared type names. One level of nesting is enough for this tree.
+  static const std::regex template_re(R"(template\s*<[^<>]*>)");
+  return std::regex_replace(text, template_re, " ");
+}
+
+/// First identifier of the `a::b::c` chain ending right before `pos`
+/// (which points at the start of the final identifier).
+std::string qualifier_root(const std::string& text, std::size_t pos) {
+  std::string root;
+  std::size_t cursor = pos;
+  while (cursor >= 2 && text[cursor - 1] == ':' && text[cursor - 2] == ':') {
+    std::size_t begin = cursor - 2;
+    while (begin > 0 && is_ident_char(text[begin - 1])) --begin;
+    if (begin == cursor - 2) break;  // leading `::` — global qualifier
+    root = text.substr(begin, cursor - 2 - begin);
+    cursor = begin;
+  }
+  return root;
+}
+
+/// Type-like symbol names (class/struct/union/enum, `using X =` aliases,
+/// constexpr constants) in a stripped source buffer. These are the
+/// high-confidence names missing-include is allowed to key on: a mention
+/// of one is a real use, never a member access on some other type.
+std::set<std::string> extract_type_symbols(const std::string& stripped_raw) {
+  const std::string stripped = erase_template_params(stripped_raw);
+  std::set<std::string> out;
+
+  static const std::regex decl_re(
+      R"(\b(?:class|struct|union|enum\s+class|enum\s+struct|enum)\s+([A-Za-z_]\w*))");
+  static const std::regex using_re(R"(\busing\s+([A-Za-z_]\w*)\s*=)");
+  static const std::regex constexpr_re(
+      R"(\bconstexpr\b[^=;(){}<>]*[\s&*]([A-Za-z_]\w*)\s*=)");
+  for (const auto* re : {&decl_re, &using_re, &constexpr_re}) {
+    for (std::sregex_iterator it(stripped.begin(), stripped.end(), *re), end;
+         it != end; ++it) {
+      const std::string name = (*it)[1].str();
+      if (name.size() > 1) out.insert(name);
+    }
+  }
+  return out;
+}
+
+/// Declared/owned symbol names in a stripped source buffer: the type-like
+/// set plus function-ish names. Used for the unused-include direction,
+/// where over-extraction only makes the rule quieter (a member call like
+/// `reg.counter_value(...)` counts as using the registry header).
+std::set<std::string> extract_symbols(const std::string& stripped_raw) {
+  const std::string stripped = erase_template_params(stripped_raw);
+  std::set<std::string> out = extract_type_symbols(stripped_raw);
+
+  // Function-ish names: identifier directly followed by '(', preceded (after
+  // skipping spaces) by a type-like token ending in an identifier char, '>',
+  // '&', '*' or '::'. Skips member access (`.x(`, `->x(`), keywords, and
+  // anything qualified into a foreign namespace.
+  for (std::size_t i = 0; i < stripped.size(); ++i) {
+    if (!is_ident_char(stripped[i]) ||
+        std::isdigit(static_cast<unsigned char>(stripped[i])) ||
+        (i > 0 && is_ident_char(stripped[i - 1]))) {
+      continue;
+    }
+    std::size_t end = i;
+    while (end < stripped.size() && is_ident_char(stripped[end])) ++end;
+    std::size_t after = end;
+    while (after < stripped.size() && stripped[after] == ' ') ++after;
+    if (after >= stripped.size() || stripped[after] != '(') {
+      i = end;
+      continue;
+    }
+    const std::string name = stripped.substr(i, end - i);
+    std::size_t before = i;
+    while (before > 0 && (stripped[before - 1] == ' ' ||
+                          stripped[before - 1] == '\n')) {
+      --before;
+    }
+    const char prev = before > 0 ? stripped[before - 1] : '\0';
+    const bool arrow = prev == '>' && before >= 2 && stripped[before - 2] == '-';
+    const bool typed_before =
+        (is_ident_char(prev) || prev == '>' || prev == '&' || prev == '*' ||
+         prev == ':') &&
+        !arrow && prev != '.';
+    if (!typed_before || name.size() <= 1 ||
+        keyword_stoplist().count(name) > 0) {
+      i = end;
+      continue;
+    }
+    if (prev == ':') {
+      const std::string root = qualifier_root(stripped, i);
+      if (root.empty() || foreign_namespaces().count(root) > 0) {
+        i = end;
+        continue;
+      }
+    }
+    out.insert(name);
+    i = end;
+  }
+  return out;
+}
+
+/// Identifier mentions in a stripped buffer (every maximal token).
+std::set<std::string> extract_mentions(const std::string& stripped) {
+  std::set<std::string> out;
+  for (const std::string& ident : analysis::identifiers_in(stripped)) {
+    out.insert(ident);
+  }
+  return out;
+}
+
+/// True when `header` is the companion of `source` (same directory + stem).
+bool is_companion(const std::string& source_rel, const std::string& header_rel) {
+  const auto stem = [](const std::string& rel) {
+    const std::size_t dot = rel.rfind('.');
+    return dot == std::string::npos ? rel : rel.substr(0, dot);
+  };
+  return stem(source_rel) == stem(header_rel);
+}
+
+/// Transitive in-repo include closure of `rel` (including itself).
+std::set<std::string> transitive_closure(const Tree& tree,
+                                         const std::string& rel) {
+  std::set<std::string> seen;
+  std::vector<std::string> worklist{rel};
+  while (!worklist.empty()) {
+    const std::string current = worklist.back();
+    worklist.pop_back();
+    if (!seen.insert(current).second) continue;
+    const auto it = tree.index.find(current);
+    if (it == tree.index.end()) continue;
+    for (const Include& inc : tree.files[it->second].includes) {
+      if (!inc.resolved.empty()) worklist.push_back(inc.resolved);
+    }
+  }
+  return seen;
+}
+
+/// Direct includes of `file`, expanded through `// qopt-arch: export`
+/// edges: including an umbrella counts as including what it re-exports.
+std::set<std::string> direct_includes(const Tree& tree,
+                                      const SourceFile& file) {
+  std::set<std::string> out;
+  std::vector<std::string> exported_from;
+  for (const Include& inc : file.includes) {
+    if (inc.resolved.empty()) continue;
+    out.insert(inc.resolved);
+    exported_from.push_back(inc.resolved);
+  }
+  while (!exported_from.empty()) {
+    const std::string rel = exported_from.back();
+    exported_from.pop_back();
+    const auto it = tree.index.find(rel);
+    if (it == tree.index.end()) continue;
+    for (const Include& inc : tree.files[it->second].includes) {
+      if (inc.exported && !inc.resolved.empty() &&
+          out.insert(inc.resolved).second) {
+        exported_from.push_back(inc.resolved);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Finding> check_symbols(const Tree& tree) {
+  std::vector<Finding> findings;
+
+  // Symbol ownership across all in-repo headers. unused-include keys on the
+  // broad set (types + function-ish names); missing-include keys only on the
+  // type-like set, where a mention is unambiguous.
+  std::map<std::string, std::set<std::string>> owned;  // header rel -> syms
+  std::map<std::string, std::vector<std::string>> owners;  // type sym -> hdrs
+  for (const SourceFile& file : tree.files) {
+    if (!file.is_header) continue;
+    owned[file.rel] = extract_symbols(file.stripped);
+    for (const std::string& sym : extract_type_symbols(file.stripped)) {
+      owners[sym].push_back(file.rel);
+    }
+  }
+
+  for (const SourceFile& file : tree.files) {
+    const std::set<std::string> mentions = extract_mentions(file.stripped);
+    const std::set<std::string> declared = extract_symbols(file.stripped);
+    const std::set<std::string> direct = direct_includes(tree, file);
+    const std::set<std::string> reachable = transitive_closure(tree, file.rel);
+
+    // unused-include: nothing from the include's whole transitive provide
+    // set is mentioned.
+    for (const Include& inc : file.includes) {
+      if (inc.resolved.empty()) continue;
+      if (inc.exported) continue;  // umbrella re-export: unused by design
+      if (!file.is_header && is_companion(file.rel, inc.resolved)) continue;
+      bool used = false;
+      for (const std::string& provider :
+           transitive_closure(tree, inc.resolved)) {
+        const auto it = owned.find(provider);
+        if (it == owned.end()) continue;
+        for (const std::string& sym : it->second) {
+          if (mentions.count(sym) > 0) {
+            used = true;
+            break;
+          }
+        }
+        if (used) break;
+      }
+      if (!used && !allowed(file.ann, inc.line, "unused-include")) {
+        findings.push_back(
+            {file.rel, inc.line, "unused-include",
+             "includes `" + inc.resolved +
+                 "` but mentions nothing it (or anything it includes) "
+                 "declares; drop the include or mark it "
+                 "`// qopt-arch: export`"});
+      }
+    }
+
+    // missing-include: a uniquely-owned type symbol is mentioned and its
+    // owner is reached only transitively — a transitive-include leak. The
+    // reachability requirement keeps name coincidences out: if the owner
+    // is not in the file's include closure at all, the mention must refer
+    // to something else (the TU compiles). In a header this is also the
+    // static not-self-contained signal.
+    std::map<std::string, std::vector<std::string>> missing;  // owner -> syms
+    for (const std::string& sym : mentions) {
+      if (declared.count(sym) > 0) continue;
+      const auto it = owners.find(sym);
+      if (it == owners.end() || it->second.size() != 1) continue;
+      const std::string& owner = it->second.front();
+      if (owner == file.rel || is_companion(file.rel, owner)) continue;
+      if (direct.count(owner) > 0) continue;
+      if (reachable.count(owner) == 0) continue;
+      missing[owner].push_back(sym);
+    }
+    for (const auto& [owner, syms] : missing) {
+      // Anchor at the first mention of the first (alphabetical) symbol.
+      std::size_t offset = std::string::npos;
+      for (std::size_t pos = 0; pos < file.stripped.size(); ++pos) {
+        if (!is_ident_char(file.stripped[pos]) ||
+            (pos > 0 && is_ident_char(file.stripped[pos - 1]))) {
+          continue;
+        }
+        std::size_t end = pos;
+        while (end < file.stripped.size() &&
+               is_ident_char(file.stripped[end])) {
+          ++end;
+        }
+        if (std::find(syms.begin(), syms.end(),
+                      file.stripped.substr(pos, end - pos)) != syms.end()) {
+          offset = pos;
+          break;
+        }
+        pos = end;
+      }
+      const std::size_t line =
+          offset == std::string::npos
+              ? 1
+              : line_of_offset(file.stripped, offset);
+      std::string named = "`" + syms.front() + "`";
+      if (syms.size() > 1) {
+        named += " (and " + std::to_string(syms.size() - 1) + " more)";
+      }
+      if (!allowed(file.ann, line, "missing-include")) {
+        findings.push_back(
+            {file.rel, line, "missing-include",
+             "mentions " + named + " from `" + owner +
+                 "` without including it directly (transitive includes are "
+                 "not a contract" +
+                 std::string(file.is_header
+                                 ? "; a header relying on them is not "
+                                   "self-contained"
+                                 : "") +
+                 ")"});
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace qopt::arch

@@ -1,0 +1,136 @@
+#include <algorithm>
+#include <filesystem>
+#include <regex>
+#include <string>
+#include <vector>
+
+#include "analysis/source.hpp"
+#include "analysis/suppress.hpp"
+#include "qopt_arch/arch.hpp"
+
+namespace qopt::arch {
+
+namespace {
+
+std::string to_slashes(std::string s) {
+  std::replace(s.begin(), s.end(), '\\', '/');
+  return s;
+}
+
+/// Root-relative, '/'-separated path of `path` under `root`; empty when the
+/// file is outside the root.
+std::string relativize(const std::string& root, const std::string& path) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path rel = fs::relative(path, root, ec);
+  if (ec) return {};
+  const std::string s = to_slashes(rel.generic_string());
+  if (s.empty() || s == "." || s.starts_with("..")) return {};
+  return s;
+}
+
+/// First path component, with the `src/` and `tools/` prefixes stripped so
+/// `src/kv/...` -> "kv" and `tools/analysis/...` -> "analysis".
+std::string module_of(const std::string& rel) {
+  std::string r = rel;
+  for (const char* prefix : {"src/", "tools/"}) {
+    if (r.starts_with(prefix)) {
+      r = r.substr(std::string(prefix).size());
+      break;
+    }
+  }
+  const std::size_t slash = r.find('/');
+  if (slash == std::string::npos) return {};  // file directly at a root
+  return r.substr(0, slash);
+}
+
+void parse_includes(SourceFile& file, const std::vector<std::string>& lines) {
+  static const std::regex include_re(
+      R"(^\s*#\s*include\s*(["<])([^">]+)([">]))");
+  static const std::regex pragma_once_re(R"(^\s*#\s*pragma\s+once\b)");
+  static const std::regex export_re(R"(qopt-arch:\s*export\b)");
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(lines[i], pragma_once_re)) {
+      file.has_pragma_once = true;
+    }
+    if (std::regex_search(lines[i], m, include_re)) {
+      Include inc;
+      inc.spelled = m[2].str();
+      inc.line = i + 1;
+      inc.angled = m[1].str() == "<";
+      inc.exported = std::regex_search(lines[i], export_re);
+      file.includes.push_back(inc);
+    }
+  }
+}
+
+}  // namespace
+
+Tree load_tree(const std::string& root,
+               const std::vector<std::string>& dirs) {
+  namespace fs = std::filesystem;
+  Tree tree;
+  tree.root = root;
+
+  std::vector<std::string> roots;
+  for (const std::string& dir : dirs) {
+    const fs::path p(dir);
+    roots.push_back(p.is_absolute() ? dir : (fs::path(root) / p).string());
+  }
+  for (const std::string& path : analysis::collect_sources(roots)) {
+    SourceFile file;
+    file.path = path;
+    file.rel = relativize(root, path);
+    if (file.rel.empty()) file.rel = to_slashes(path);
+    file.module = module_of(file.rel);
+    const std::string ext = fs::path(path).extension().string();
+    file.is_header = ext == ".hpp" || ext == ".h";
+
+    std::string source;
+    if (!analysis::read_file(path, source)) {
+      tree.errors.push_back({file.rel, 0, "io", "cannot read file"});
+      continue;
+    }
+    const std::vector<std::string> lines = analysis::split_lines(source);
+    parse_includes(file, lines);
+    file.stripped = analysis::strip_comments_and_literals(source);
+    file.ann = analysis::scan_annotations("qopt-arch", file.rel, lines);
+    tree.files.push_back(std::move(file));
+  }
+
+  std::sort(tree.files.begin(), tree.files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel < b.rel;
+            });
+  for (std::size_t i = 0; i < tree.files.size(); ++i) {
+    tree.index[tree.files[i].rel] = i;
+  }
+
+  // Resolve includes against the loaded tree: root-, src-, tools-relative.
+  for (SourceFile& file : tree.files) {
+    for (Include& inc : file.includes) {
+      for (const std::string& candidate :
+           {inc.spelled, "src/" + inc.spelled, "tools/" + inc.spelled}) {
+        const auto it = tree.index.find(candidate);
+        if (it != tree.index.end()) {
+          inc.resolved = candidate;
+          inc.module = tree.files[it->second].module;
+          break;
+        }
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<qopt::analysis::Suppression> suppressions(const Tree& tree) {
+  std::vector<qopt::analysis::Suppression> out;
+  for (const SourceFile& file : tree.files) {
+    out.insert(out.end(), file.ann.suppressions.begin(),
+               file.ann.suppressions.end());
+  }
+  return out;
+}
+
+}  // namespace qopt::arch

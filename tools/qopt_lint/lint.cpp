@@ -3,253 +3,34 @@
 #include <algorithm>
 #include <cctype>
 #include <filesystem>
-#include <fstream>
-#include <map>
 #include <regex>
 #include <set>
-#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/source.hpp"
+#include "analysis/suppress.hpp"
 
 namespace qopt::lint {
 
 namespace {
 
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
+constexpr const char* kTool = "qopt-lint";
 
-// ------------------------------------------------------------ annotations
-
-struct LineAnnotations {
-  std::map<std::size_t, std::set<std::string>> allows;  // line -> rules
-  std::map<std::size_t, int> quorum_n;                  // line -> N
-  std::vector<Finding> findings;                        // bare-allow
-};
-
-LineAnnotations scan_annotations(const std::string& path,
-                                 const std::vector<std::string>& lines) {
-  LineAnnotations out;
-  static const std::regex allow_re(
-      R"(qopt-lint:\s*allow\(([A-Za-z0-9_-]+)\)(.*))");
-  static const std::regex quorum_re(
-      R"(qopt-lint:\s*quorum\(n\s*=\s*(\d+)\))");
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const std::size_t lineno = i + 1;
-    std::smatch m;
-    if (std::regex_search(lines[i], m, allow_re)) {
-      std::string justification = m[2].str();
-      // Strip leading punctuation/space; anything left is a justification.
-      const auto first = justification.find_first_not_of(" \t:—-");
-      if (first == std::string::npos) {
-        out.findings.push_back(
-            {path, lineno, "bare-allow",
-             "allow(" + m[1].str() +
-                 ") without a justification; write `// qopt-lint: allow(" +
-                 m[1].str() + ") <why this is safe>`"});
-      } else {
-        // The suppression covers its own line and the next one, so it can
-        // sit on a comment line above the code it exempts.
-        out.allows[lineno].insert(m[1].str());
-        out.allows[lineno + 1].insert(m[1].str());
-      }
-    }
-    if (std::regex_search(lines[i], m, quorum_re)) {
-      out.quorum_n[lineno] = std::stoi(m[1].str());
-      out.quorum_n[lineno + 1] = out.quorum_n[lineno];
-    }
-  }
-  return out;
-}
-
-// ------------------------------------------- comment / literal stripping
-
-/// Replaces comments and string/char literal contents with spaces, keeping
-/// byte offsets and line structure intact.
-std::string strip_comments_and_literals(const std::string& src) {
-  std::string out = src;
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c == '"') {
-          // Raw strings: skip to the matching delimiter without escape
-          // handling.
-          if (i > 0 && src[i - 1] == 'R') {
-            std::size_t paren = src.find('(', i);
-            if (paren != std::string::npos) {
-              const std::string delim =
-                  ")" + src.substr(i + 1, paren - i - 1) + "\"";
-              std::size_t end = src.find(delim, paren);
-              if (end == std::string::npos) end = src.size();
-              for (std::size_t j = i + 1;
-                   j < std::min(end + delim.size() - 1, src.size()); ++j) {
-                if (out[j] != '\n') out[j] = ' ';
-              }
-              i = std::min(end + delim.size() - 1, src.size() - 1);
-              break;
-            }
-          }
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out[i] = out[i + 1] = ' ';
-          ++i;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') {
-            if (i + 1 < out.size()) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (next != '\n') {
-            if (i + 1 < out.size()) out[i + 1] = ' ';
-            ++i;
-          }
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string::size_type start = 0;
-  while (start <= text.size()) {
-    const auto end = text.find('\n', start);
-    if (end == std::string::npos) {
-      lines.push_back(text.substr(start));
-      break;
-    }
-    lines.push_back(text.substr(start, end - start));
-    start = end + 1;
-  }
-  return lines;
-}
-
-std::size_t line_of_offset(const std::string& text, std::size_t offset) {
-  return static_cast<std::size_t>(
-             std::count(text.begin(),
-                        text.begin() + static_cast<std::ptrdiff_t>(
-                                           std::min(offset, text.size())),
-                        '\n')) +
-         1;
-}
-
-/// Matches the `<...>` template argument list starting at `open` (which must
-/// point at '<'); returns the offset one past the closing '>', or npos.
-std::size_t match_angle_brackets(const std::string& text, std::size_t open) {
-  int depth = 0;
-  for (std::size_t i = open; i < text.size(); ++i) {
-    if (text[i] == '<') {
-      ++depth;
-    } else if (text[i] == '>') {
-      if (--depth == 0) return i + 1;
-    } else if (text[i] == ';' || text[i] == '{') {
-      return std::string::npos;  // not a template argument list after all
-    }
-  }
-  return std::string::npos;
-}
-
-std::string read_identifier(const std::string& text, std::size_t& pos) {
-  while (pos < text.size() &&
-         std::isspace(static_cast<unsigned char>(text[pos]))) {
-    ++pos;
-  }
-  // Skip ref/pointer/const decorations between the template and the name.
-  for (;;) {
-    if (pos < text.size() && (text[pos] == '&' || text[pos] == '*')) {
-      ++pos;
-      continue;
-    }
-    if (text.compare(pos, 5, "const") == 0 &&
-        (pos + 5 >= text.size() || !is_ident_char(text[pos + 5]))) {
-      pos += 5;
-      continue;
-    }
-    if (pos < text.size() &&
-        std::isspace(static_cast<unsigned char>(text[pos]))) {
-      ++pos;
-      continue;
-    }
-    break;
-  }
-  std::string ident;
-  while (pos < text.size() && is_ident_char(text[pos])) {
-    ident += text[pos++];
-  }
-  if (!ident.empty() && std::isdigit(static_cast<unsigned char>(ident[0]))) {
-    return {};
-  }
-  return ident;
-}
-
-std::vector<std::string> identifiers_in(const std::string& text) {
-  std::vector<std::string> out;
-  std::size_t i = 0;
-  while (i < text.size()) {
-    if (is_ident_char(text[i]) &&
-        !std::isdigit(static_cast<unsigned char>(text[i]))) {
-      std::string ident;
-      while (i < text.size() && is_ident_char(text[i])) ident += text[i++];
-      out.push_back(ident);
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
-
-bool allowed(const LineAnnotations& ann, std::size_t line,
-             const std::string& rule) {
-  auto it = ann.allows.find(line);
-  return it != ann.allows.end() && it->second.count(rule) > 0;
-}
+using analysis::allowed;
+using analysis::Annotations;
+using analysis::identifiers_in;
+using analysis::is_ident_char;
+using analysis::line_of_offset;
+using analysis::match_angle_brackets;
+using analysis::read_identifier;
+using analysis::split_lines;
+using analysis::strip_comments_and_literals;
 
 // ------------------------------------------------------------- the rules
 
 void check_wall_clock(const std::string& path, const std::string& stripped,
-                      const LineAnnotations& ann,
+                      const Annotations& ann,
                       std::vector<Finding>& findings) {
   // All randomness and time in src/util/rng is *sourcing* the deterministic
   // streams; the checker itself is exempt there.
@@ -322,7 +103,7 @@ void collect_unordered_names(const std::string& stripped,
 void check_unordered_iter(const std::string& path,
                           const std::string& stripped,
                           const std::string& header_stripped,
-                          const LineAnnotations& ann,
+                          const Annotations& ann,
                           std::vector<Finding>& findings) {
   // Pass 1: unordered declarations from this file and its companion header
   // (members are declared in the .hpp but iterated in the .cpp).
@@ -404,7 +185,7 @@ void check_unordered_iter(const std::string& path,
 }
 
 void check_pointer_key(const std::string& path, const std::string& stripped,
-                       const LineAnnotations& ann,
+                       const Annotations& ann,
                        std::vector<Finding>& findings) {
   for (const char* token : {"map", "set", "multimap", "multiset"}) {
     const std::string needle = token;
@@ -463,7 +244,7 @@ void check_pointer_key(const std::string& path, const std::string& stripped,
 
 void check_quorum_literal(const std::string& path,
                           const std::string& stripped,
-                          const LineAnnotations& ann,
+                          const Annotations& ann,
                           std::vector<Finding>& findings) {
   static const std::regex literal_re(
       R"(QuorumConfig\s*([A-Za-z_]\w*\s*)?\{\s*(-?\d+)\s*,\s*(-?\d+)\s*\})");
@@ -500,6 +281,22 @@ void check_quorum_literal(const std::string& path,
   }
 }
 
+std::string companion_header_source(const std::string& path) {
+  namespace fs = std::filesystem;
+  const fs::path p(path);
+  const std::string ext = p.extension().string();
+  if (ext != ".cpp" && ext != ".cc") return {};
+  for (const char* header_ext : {".hpp", ".h"}) {
+    fs::path header = p;
+    header.replace_extension(header_ext);
+    std::string header_source;
+    if (analysis::read_file(header.string(), header_source)) {
+      return header_source;
+    }
+  }
+  return {};
+}
+
 }  // namespace
 
 std::vector<Finding> lint_source(const std::string& path,
@@ -507,7 +304,7 @@ std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& header_source) {
   std::vector<Finding> findings;
   const std::vector<std::string> raw_lines = split_lines(source);
-  LineAnnotations ann = scan_annotations(path, raw_lines);
+  Annotations ann = analysis::scan_annotations(kTool, path, raw_lines);
   findings.insert(findings.end(), ann.findings.begin(), ann.findings.end());
   const std::string stripped = strip_comments_and_literals(source);
   const std::string header_stripped =
@@ -526,60 +323,27 @@ std::vector<Finding> lint_source(const std::string& path,
 }
 
 std::vector<Finding> lint_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  std::string source;
+  if (!analysis::read_file(path, source)) {
     return {{path, 0, "io", "cannot read file"}};
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  return lint_source(path, source, companion_header_source(path));
+}
 
-  std::string header_source;
-  namespace fs = std::filesystem;
-  const fs::path p(path);
-  const std::string ext = p.extension().string();
-  if (ext == ".cpp" || ext == ".cc") {
-    for (const char* header_ext : {".hpp", ".h"}) {
-      fs::path header = p;
-      header.replace_extension(header_ext);
-      std::ifstream header_in(header, std::ios::binary);
-      if (header_in) {
-        std::ostringstream header_buffer;
-        header_buffer << header_in.rdbuf();
-        header_source = header_buffer.str();
-        break;
-      }
-    }
-  }
-  return lint_source(path, buffer.str(), header_source);
+std::vector<analysis::Suppression> file_suppressions(const std::string& path) {
+  std::string source;
+  if (!analysis::read_file(path, source)) return {};
+  return analysis::scan_annotations(kTool, path, split_lines(source))
+      .suppressions;
 }
 
 std::vector<std::string> collect_sources(
     const std::vector<std::string>& paths) {
-  namespace fs = std::filesystem;
-  std::vector<std::string> files;
-  for (const std::string& path : paths) {
-    std::error_code ec;
-    if (fs::is_directory(path, ec)) {
-      for (fs::recursive_directory_iterator it(path, ec), end;
-           !ec && it != end; it.increment(ec)) {
-        if (!it->is_regular_file()) continue;
-        const std::string ext = it->path().extension().string();
-        if (ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h") {
-          files.push_back(it->path().string());
-        }
-      }
-    } else {
-      files.push_back(path);
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-  return files;
+  return analysis::collect_sources(paths);
 }
 
 std::string format_finding(const Finding& finding) {
-  return finding.file + ":" + std::to_string(finding.line) + ": [" +
-         finding.rule + "] " + finding.message;
+  return analysis::format_finding(finding);
 }
 
 }  // namespace qopt::lint

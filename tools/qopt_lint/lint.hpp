@@ -25,22 +25,21 @@
 // Suppression: `// qopt-lint: allow(<rule>) <justification>` disables <rule>
 // on its own line and the next line. The justification is mandatory.
 //
-// Comments and string/character literals are stripped before rule matching,
-// so prose mentioning rand() (or this file's own patterns) never trips the
+// The tokenizer (comment/literal stripping), file walker, and suppression
+// grammar are the shared tools/analysis framework, common with qopt_arch;
+// prose mentioning rand() (or this file's own patterns) never trips the
 // checker.
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "analysis/source.hpp"
+#include "analysis/suppress.hpp"
+
 namespace qopt::lint {
 
-struct Finding {
-  std::string file;
-  std::size_t line = 0;  // 1-based
-  std::string rule;
-  std::string message;
-};
+using Finding = qopt::analysis::Finding;
 
 /// Lints an in-memory source buffer; `path` is used for reporting and for
 /// the wall-clock allowlist (src/util/rng is exempt). `header_source` is an
@@ -55,6 +54,10 @@ std::vector<Finding> lint_source(const std::string& path,
 /// For a .cpp/.cc file, the sibling .hpp/.h with the same stem (if any) is
 /// loaded as the companion header.
 std::vector<Finding> lint_file(const std::string& path);
+
+/// Justified suppressions and quorum(n=N) annotations found in a file, in
+/// the unified summary shape shared with qopt_arch (tool tag "qopt-lint").
+std::vector<analysis::Suppression> file_suppressions(const std::string& path);
 
 /// Expands files and directories (recursively) into the C++ sources to lint
 /// (.cpp/.cc/.hpp/.h); explicit file arguments are taken as-is.

@@ -1,17 +1,26 @@
 // qopt_lint CLI — see lint.hpp for the rule set.
 //
-// Usage: qopt_lint [--list-rules] <file-or-dir>...
+// Usage: qopt_lint [--list-rules] [--suppressions] <file-or-dir>...
 // Exit status: 0 when clean, 1 when findings exist, 2 on usage error.
+// --suppressions additionally prints every justified suppression in the
+// unified `tool:rule:file:line: justification` summary shared with
+// qopt_arch.
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "analysis/suppress.hpp"
 #include "qopt_lint/lint.hpp"
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  bool show_suppressions = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--suppressions") {
+      show_suppressions = true;
+      continue;
+    }
     if (arg == "--list-rules") {
       std::printf(
           "wall-clock      real-time / ambient-randomness source outside "
@@ -24,13 +33,17 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: qopt_lint [--list-rules] <file-or-dir>...\n");
+      std::printf(
+          "usage: qopt_lint [--list-rules] [--suppressions] "
+          "<file-or-dir>...\n");
       return 0;
     }
     paths.push_back(arg);
   }
   if (paths.empty()) {
-    std::fprintf(stderr, "usage: qopt_lint [--list-rules] <file-or-dir>...\n");
+    std::fprintf(stderr,
+                 "usage: qopt_lint [--list-rules] [--suppressions] "
+                 "<file-or-dir>...\n");
     return 2;
   }
 
@@ -40,6 +53,14 @@ int main(int argc, char** argv) {
     for (const qopt::lint::Finding& finding : qopt::lint::lint_file(file)) {
       std::printf("%s\n", qopt::lint::format_finding(finding).c_str());
       ++total;
+    }
+  }
+  if (show_suppressions) {
+    for (const std::string& file : files) {
+      for (const qopt::analysis::Suppression& s :
+           qopt::lint::file_suppressions(file)) {
+        std::printf("%s\n", qopt::analysis::format_suppression(s).c_str());
+      }
     }
   }
   if (total > 0) {
