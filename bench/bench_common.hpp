@@ -12,6 +12,7 @@
 #include "core/cluster.hpp"
 #include "core/experiment.hpp"
 #include "obs/report.hpp"
+#include "obs/span_export.hpp"
 #include "util/time.hpp"
 
 namespace qopt::bench {
@@ -68,6 +69,34 @@ inline obs::RunReport run_and_report(Cluster& cluster,
 
 inline void print_report(const obs::RunReport& report) {
   std::fputs(report.render().c_str(), stdout);
+}
+
+/// Writes `content` to `path`; returns false (with a stderr note) on error.
+inline bool write_text_file(const std::string& path,
+                            const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Dumps the cluster's completed span traces as Chrome trace_event JSON
+/// (load in Perfetto / chrome://tracing). Requires span tracing enabled
+/// (`ClusterConfig::span_sample_every > 0`).
+inline bool export_chrome_trace(const Cluster& cluster,
+                                const std::string& path) {
+  return write_text_file(path,
+                         obs::to_chrome_json(cluster.obs().spans().completed()));
+}
+
+/// Same spans as a flat CSV (one row per span).
+inline bool export_span_csv(const Cluster& cluster, const std::string& path) {
+  return write_text_file(path,
+                         obs::to_span_csv(cluster.obs().spans().completed()));
 }
 
 inline void print_header(const std::string& title,

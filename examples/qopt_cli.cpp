@@ -19,6 +19,7 @@
 #include "core/cluster.hpp"
 #include "core/nemesis.hpp"
 #include "obs/report.hpp"
+#include "obs/span_export.hpp"
 #include "obs/trace.hpp"
 #include "util/flags.hpp"
 #include "util/time.hpp"
@@ -39,8 +40,13 @@ void usage() {
       "quorum:     --read-q N --write-q N   (static; default 3/3)\n"
       "            --autotune [--round-window S] [--topk N]\n"
       "run:        --duration S (default 60) --warmup S (default 5)\n"
-      "            --seed N --csv --json --trace-out FILE\n"
+      "            --seed N --csv --json\n"
+      "tracing:    --trace-out FILE   (causal spans, Chrome trace_event JSON\n"
+      "                                — load in Perfetto / chrome://tracing)\n"
+      "            --trace-csv FILE   (same spans as flat CSV)\n"
+      "            --trace-sample N   (every Nth trace per kind; default 1)\n"
       "            --trace-events FILE  (obs tracer JSON, all categories)\n"
+      "            --record-ops FILE  (record the executed workload ops)\n"
       "faults:     --crash-proxy I --crash-storage I --crash-at S\n"
       "            --anti-entropy\n"
       "            --nemesis [--nemesis-interval MS]  (chaos schedule)\n");
@@ -97,10 +103,17 @@ int main(int argc, char** argv) {
   }
 
   std::shared_ptr<workload::RecordingSource> recorder;
-  const std::string trace_out = flags.get_string("trace-out", "");
-  if (!trace_out.empty()) {
+  const std::string record_ops = flags.get_string("record-ops", "");
+  if (!record_ops.empty()) {
     recorder = std::make_shared<workload::RecordingSource>(source);
     source = recorder;
+  }
+
+  const std::string trace_out = flags.get_string("trace-out", "");
+  const std::string trace_csv = flags.get_string("trace-csv", "");
+  if (!trace_out.empty() || !trace_csv.empty()) {
+    config.span_sample_every =
+        static_cast<std::uint32_t>(flags.get_int("trace-sample", 1));
   }
 
   Cluster cluster(config);
@@ -163,9 +176,31 @@ int main(int argc, char** argv) {
   const Time t1 = cluster.now();
 
   if (recorder) {
-    workload::save_trace(trace_out, recorder->trace());
-    std::fprintf(stderr, "trace (%zu ops) written to %s\n",
-                 recorder->trace().size(), trace_out.c_str());
+    workload::save_trace(record_ops, recorder->trace());
+    std::fprintf(stderr, "op trace (%zu ops) written to %s\n",
+                 recorder->trace().size(), record_ops.c_str());
+  }
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& content, const char* what,
+                             std::size_t count) {
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      std::fwrite(content.data(), 1, content.size(), f);
+      std::fclose(f);
+      std::fprintf(stderr, "%zu %s written to %s\n", count, what,
+                   path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    }
+  };
+  if (!trace_out.empty()) {
+    write_file(trace_out, obs::to_chrome_json(cluster.obs().spans().completed()),
+               "traces (Chrome trace)",
+               cluster.obs().spans().completed().size());
+  }
+  if (!trace_csv.empty()) {
+    write_file(trace_csv, obs::to_span_csv(cluster.obs().spans().completed()),
+               "traces (CSV)", cluster.obs().spans().completed().size());
   }
 
   // One consistent summary for every output mode: the cluster-wide report

@@ -39,6 +39,11 @@ Cluster::Cluster(const ClusterConfig& config)
   }
 
   net_.bind_observability(&obs_);
+  obs_.spans().set_limits(config_.span_live_limit,
+                          config_.span_completed_limit);
+  if (config_.span_sample_every > 0) {
+    obs_.spans().enable_all(config_.span_sample_every);
+  }
   // Membership trace: every suspicion-state flip, whatever its origin
   // (oracle FD, heartbeat watcher, injected false suspicion).
   fd_.subscribe([this](const sim::NodeId& node, bool suspected) {
@@ -231,8 +236,8 @@ void Cluster::enable_anti_entropy(const kv::ReplicatorOptions& options) {
   std::vector<kv::StorageNode*> nodes;
   nodes.reserve(storage_.size());
   for (auto& node : storage_) nodes.push_back(node.get());
-  replicator_ = std::make_unique<kv::Replicator>(sim_, placement_,
-                                                 std::move(nodes), options);
+  replicator_ = std::make_unique<kv::Replicator>(
+      sim_, placement_, std::move(nodes), options, &obs_);
   replicator_->start();
 }
 
@@ -323,6 +328,9 @@ obs::RunReport Cluster::report(Time t0, Time t1) const {
 
   r.reads_checked = checker_.reads_checked();
   r.consistency_violations = checker_.violations().size();
+
+  r.traces_completed = reg.counter_value("obs.traces_completed");
+  r.spans_dropped = reg.counter_value("obs.spans_dropped");
 
   r.instruments = reg.snapshot();
   return r;

@@ -73,6 +73,15 @@ struct ClusterConfig {
   /// > 0 enables client proxy failover after this unanswered-for duration.
   Duration client_retry_timeout = 0;
   bool check_consistency = true;
+  /// Causal span tracing: 0 = off (default); N = record every Nth trace of
+  /// each kind (1 = all). Selection is deterministic by trace id.
+  std::uint32_t span_sample_every = 0;
+  /// Hard cap on spans held by live (in-flight) traces; opens beyond it are
+  /// refused and counted in `obs.spans_dropped`.
+  std::size_t span_live_limit = 8192;
+  /// Completed-trace ring size; evictions are counted in
+  /// `obs.traces_evicted`.
+  std::size_t span_completed_limit = 4096;
   std::uint64_t seed = 1;
 };
 

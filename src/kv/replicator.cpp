@@ -2,8 +2,14 @@
 #include "kv/replicator.hpp"
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
+#include "obs/obs.hpp"
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
+#include "sim/ids.hpp"
 #include "sim/simulator.hpp"
+#include "util/time.hpp"
 
+#include <algorithm>
 #include <map>
 #include <stdexcept>
 
@@ -11,9 +17,10 @@ namespace qopt::kv {
 
 Replicator::Replicator(sim::Simulator& sim, const Placement& placement,
                        std::vector<StorageNode*> nodes,
-                       const ReplicatorOptions& options)
+                       const ReplicatorOptions& options,
+                       obs::Observability* obs)
     : sim_(sim), placement_(placement), nodes_(std::move(nodes)),
-      options_(options) {
+      options_(options), obs_(obs) {
   if (nodes_.empty()) throw std::invalid_argument("Replicator: no nodes");
 }
 
@@ -44,6 +51,15 @@ void Replicator::sweep() {
     }
   }
 
+  // One trace per sweep; each repair push is a child span covering the
+  // write service time it induces on the receiving node.
+  const obs::SpanContext sweep_trace =
+      obs_ ? obs_->spans().start_trace(obs::TraceKind::kAntiEntropy,
+                                       "anti_entropy_sweep", "replicator",
+                                       sim_.now())
+           : obs::SpanContext{};
+  Time sweep_end = sim_.now();
+
   // Push the freshest version to stale or missing replicas, throttled.
   std::size_t repairs = 0;
   for (const auto& [oid, version] : freshest) {
@@ -57,12 +73,24 @@ void Replicator::sweep() {
           !held || held->ts < version.ts ||
           (held->ts == version.ts && held->cfno < version.cfno);
       if (stale) {
-        node->replicate_in(oid, version);
+        obs::SpanContext push;
+        if (sweep_trace.valid()) {
+          push = obs_->spans().open_span(
+              sweep_trace, obs::Phase::kRepairPush, "repair_push",
+              sim::to_string(sim::storage_id(replica)), sim_.now());
+        }
+        const Time done = node->replicate_in(oid, version);
+        if (push.valid()) {
+          obs_->spans().close_span(push, done, oid, replica);
+        }
+        sweep_end = std::max(sweep_end, done);
         ++repairs;
         ++stats_.repairs_pushed;
       }
     }
   }
+
+  if (sweep_trace.valid()) obs_->spans().end_trace(sweep_trace, sweep_end);
 
   sim_.after(options_.interval, [this] { sweep(); });
 }

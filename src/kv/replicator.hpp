@@ -17,6 +17,7 @@
 
 #include "kv/placement.hpp"
 #include "kv/storage_node.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/time.hpp"
 
@@ -35,8 +36,11 @@ struct ReplicatorStats {
 
 class Replicator {
  public:
+  /// `obs` (optional) enables per-sweep anti-entropy traces: one root span
+  /// per sweep, one repair-push child per version pushed.
   Replicator(sim::Simulator& sim, const Placement& placement,
-             std::vector<StorageNode*> nodes, const ReplicatorOptions& options);
+             std::vector<StorageNode*> nodes, const ReplicatorOptions& options,
+             obs::Observability* obs = nullptr);
 
   void start();
   void stop() noexcept { running_ = false; }
@@ -53,6 +57,7 @@ class Replicator {
   ReplicatorOptions options_;
   ReplicatorStats stats_;
   bool running_ = false;
+  obs::Observability* obs_ = nullptr;  // nullable: spans off when absent
 };
 
 }  // namespace qopt::kv

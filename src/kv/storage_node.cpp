@@ -3,6 +3,8 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
 #include "obs/trace.hpp"
 #include "sim/ids.hpp"
 #include "sim/simulator.hpp"
@@ -92,6 +94,16 @@ void StorageNode::handle_read(const sim::NodeId& from,
   const auto it = store_.find(req.oid);
   const std::uint64_t size = it != store_.end() ? it->second.size_bytes : 0;
   const Time done = pool_.submit(sim_.now(), service_.read_time(size, rng_));
+  if (req.span.valid()) {
+    // Service interval is known up front, so the span opens and closes here
+    // (no capture in the completion lambda): queueing + disk time attributed
+    // to the originating op's trace.
+    obs::SpanStore& spans = obs_->spans();
+    const obs::SpanContext s =
+        spans.open_span(req.span, obs::Phase::kStorageRead, "storage_read",
+                        node_name_, sim_.now());
+    spans.close_span(s, done, req.oid, self_.index);
+  }
   const ObjectId oid = req.oid;
   const std::uint64_t op_id = req.op_id;
   sim_.at(done, [this, from, oid, op_id] {
@@ -115,6 +127,13 @@ void StorageNode::handle_write(const sim::NodeId& from,
   }
   const Time done = pool_.submit(
       sim_.now(), service_.write_time(req.version.size_bytes, rng_));
+  if (req.span.valid()) {
+    obs::SpanStore& spans = obs_->spans();
+    const obs::SpanContext s =
+        spans.open_span(req.span, obs::Phase::kStorageWrite, "storage_write",
+                        node_name_, sim_.now());
+    spans.close_span(s, done, req.oid, self_.index);
+  }
   sim_.at(done, [this, from, req] {
     if (crashed_) return;
     // Apply-or-discard at service completion: newer timestamps win; an older
@@ -141,8 +160,8 @@ void StorageNode::handle_write(const sim::NodeId& from,
   });
 }
 
-void StorageNode::replicate_in(ObjectId oid, const Version& version) {
-  if (crashed_) return;
+Time StorageNode::replicate_in(ObjectId oid, const Version& version) {
+  if (crashed_) return sim_.now();
   const Time done =
       pool_.submit(sim_.now(), service_.write_time(version.size_bytes, rng_));
   sim_.at(done, [this, oid, version] {
@@ -157,6 +176,7 @@ void StorageNode::replicate_in(ObjectId oid, const Version& version) {
       }
     }
   });
+  return done;
 }
 
 void StorageNode::handle_new_epoch(const sim::NodeId& from,
@@ -169,6 +189,14 @@ void StorageNode::handle_new_epoch(const sim::NodeId& from,
         obs_->tracer().record(sim_.now(), obs::Category::kReconfig,
                               "storage_epoch", node_name_, msg.config.epno,
                               msg.config.cfno);
+      }
+      if (msg.span.valid()) {
+        // Zero-duration adoption marker under the RM's epoch-change span.
+        obs::SpanStore& spans = obs_->spans();
+        const obs::SpanContext s =
+            spans.open_span(msg.span, obs::Phase::kStorageEpoch,
+                            "storage_epoch", node_name_, sim_.now());
+        spans.close_span(s, sim_.now(), msg.config.epno, msg.config.cfno);
       }
     }
     config_ = msg.config;

@@ -27,6 +27,7 @@
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+#include "util/time.hpp"
 
 namespace qopt::kv {
 
@@ -87,8 +88,10 @@ class StorageNode {
 
   /// Anti-entropy push from the replicator daemon: pays write service time
   /// and applies under the normal freshest-wins rule (no epoch check — the
-  /// daemon is internal and only ever moves existing versions).
-  void replicate_in(ObjectId oid, const Version& version);
+  /// daemon is internal and only ever moves existing versions). Returns the
+  /// service-completion time (now when crashed) so the replicator can close
+  /// its repair-push span.
+  Time replicate_in(ObjectId oid, const Version& version);
 
  private:
   void handle_read(const sim::NodeId& from, const StorageReadReq& req);

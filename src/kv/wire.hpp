@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "kv/types.hpp"
+#include "obs/span.hpp"
 #include "util/time.hpp"
 
 namespace qopt::kv {
@@ -45,6 +46,10 @@ struct StorageReadReq {
   ObjectId oid = 0;
   std::uint64_t op_id = 0;
   std::uint64_t epno = 0;
+  /// Causal context of the proxy's per-replica RPC span (zero when the
+  /// originating operation is not sampled); responses need no context — the
+  /// proxy maps replies back through `op_id`.
+  obs::SpanContext span;
 };
 
 struct StorageReadResp {
@@ -58,6 +63,7 @@ struct StorageWriteReq {
   std::uint64_t op_id = 0;
   std::uint64_t epno = 0;
   Version version;  // carries ts and the proxy's cfno tag
+  obs::SpanContext span;  // see StorageReadReq
 };
 
 struct StorageWriteResp {
@@ -78,6 +84,8 @@ struct NewQuorumMsg {  // NEWQ
   std::uint64_t epno = 0;
   std::uint64_t cfno = 0;
   QuorumChange change;
+  /// RM phase-1 span: proxies parent their drain spans under it.
+  obs::SpanContext span;
 };
 
 struct AckNewQuorumMsg {  // ACKNEWQ
@@ -88,6 +96,7 @@ struct AckNewQuorumMsg {  // ACKNEWQ
 struct ConfirmMsg {  // CONFIRM
   std::uint64_t epno = 0;
   std::uint64_t cfno = 0;
+  obs::SpanContext span;  // RM phase-2 span (proxy adoption markers)
 };
 
 struct AckConfirmMsg {  // ACKCONFIRM
@@ -99,6 +108,7 @@ struct AckConfirmMsg {  // ACKCONFIRM
 
 struct NewEpochMsg {  // NEWEP
   FullConfig config;
+  obs::SpanContext span;  // RM epoch-change span (storage adoption markers)
 };
 
 struct AckNewEpochMsg {  // ACKNEWEP

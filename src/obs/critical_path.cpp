@@ -1,0 +1,113 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
+#include "util/time.hpp"
+
+namespace qopt::obs {
+
+Duration TraceBreakdown::phase_sum() const noexcept {
+  Duration sum = 0;
+  for (const Duration d : by_phase) sum += d;
+  return sum;
+}
+
+TraceBreakdown critical_path(const CompletedTrace& trace) {
+  TraceBreakdown out;
+  out.trace_id = trace.trace_id;
+  out.kind = trace.kind;
+  if (trace.spans.empty()) return out;
+
+  const Span& root = trace.spans.front();
+  out.total = root.end - root.start;
+
+  const std::size_t n = trace.spans.size();
+  // Depth via the parent chain; parent_id < span_id by construction, so a
+  // single forward pass suffices.
+  std::vector<std::uint32_t> depth(n, 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::uint32_t parent = trace.spans[i].parent_id;
+    if (parent >= 1 && parent <= i) depth[i] = depth[parent - 1] + 1;
+  }
+
+  // Clamp every span to the root interval; spans that end outside it (a
+  // storage service completing after the op already met its quorum) only
+  // count for the part that overlaps the operation.
+  std::vector<Time> cuts;
+  cuts.reserve(2 * n);
+  for (const Span& span : trace.spans) {
+    const Time s = std::max(span.start, root.start);
+    const Time e = std::min(span.end, root.end);
+    if (e <= s) continue;
+    cuts.push_back(s);
+    cuts.push_back(e);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+    const Time t0 = cuts[c];
+    const Time t1 = cuts[c + 1];
+    // Deepest covering span; ties to the latest start, then the largest id.
+    std::size_t best = 0;  // the root covers every segment
+    for (std::size_t i = 1; i < n; ++i) {
+      const Span& span = trace.spans[i];
+      if (span.start > t0 || span.end < t1) continue;
+      const Span& incumbent = trace.spans[best];
+      if (depth[i] > depth[best] ||
+          (depth[i] == depth[best] &&
+           (span.start > incumbent.start ||
+            (span.start == incumbent.start && i > best)))) {
+        best = i;
+      }
+    }
+    out.by_phase[static_cast<std::size_t>(trace.spans[best].phase)] +=
+        t1 - t0;
+  }
+
+  // Straggler: the proxy annotates each quorum-wait span it closes with the
+  // replica completing the quorum (`a`) and how long after the previous
+  // counted reply it arrived (`b`); surface the worst one.
+  for (const Span& span : trace.spans) {
+    if (span.phase != Phase::kQuorumWait) continue;
+    const auto excess = static_cast<Duration>(span.b);
+    if (!out.has_straggler || excess > out.straggler_excess) {
+      out.has_straggler = true;
+      out.straggler_replica = static_cast<std::uint32_t>(span.a);
+      out.straggler_excess = excess;
+    }
+  }
+  return out;
+}
+
+std::string to_string(const TraceBreakdown& breakdown) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "trace %llu %s %.3f ms =",
+                static_cast<unsigned long long>(breakdown.trace_id),
+                to_string(breakdown.kind), to_millis(breakdown.total));
+  std::string out = buffer;
+  bool first = true;
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    const Duration d = breakdown.by_phase[p];
+    if (d == 0) continue;
+    std::snprintf(buffer, sizeof(buffer), "%s %s %.3f ms",
+                  first ? "" : " +", to_string(static_cast<Phase>(p)),
+                  to_millis(d));
+    out.append(buffer);
+    first = false;
+  }
+  if (breakdown.has_straggler && breakdown.straggler_excess > 0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  " (straggler: storage.%u +%.3f ms)",
+                  breakdown.straggler_replica,
+                  to_millis(breakdown.straggler_excess));
+    out.append(buffer);
+  }
+  return out;
+}
+
+}  // namespace qopt::obs

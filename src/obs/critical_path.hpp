@@ -1,0 +1,52 @@
+// Critical-path analysis over a completed trace.
+//
+// Decomposes a trace's end-to-end latency into per-phase contributions by
+// sweeping the root interval: at every instant the time is attributed to the
+// *deepest* span covering it (ties broken by latest start, then largest span
+// id — i.e. the most recently opened work). Segments are integer
+// nanoseconds, so the phase contributions sum to the root duration exactly:
+// `phase_sum() == total` for every completed trace, no rounding slack.
+//
+// Straggler flagging rides on the quorum-wait span annotations the proxy
+// records (`a` = replica index of the quorum-completing reply, `b` = excess
+// ns it arrived after the previous counted reply).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
+#include "util/time.hpp"
+
+namespace qopt::obs {
+
+struct TraceBreakdown {
+  std::uint64_t trace_id = 0;
+  TraceKind kind = TraceKind::kRead;
+  Duration total = 0;  // root end - root start
+  /// Exclusive time attributed to each phase, indexed by `Phase`.
+  std::array<Duration, kNumPhases> by_phase{};
+
+  /// Straggler info from the slowest quorum wait of the trace (reads may
+  /// have two: first phase and repair phase).
+  bool has_straggler = false;
+  std::uint32_t straggler_replica = 0;
+  Duration straggler_excess = 0;
+
+  Duration phase_sum() const noexcept;
+  Duration phase(Phase p) const noexcept {
+    return by_phase[static_cast<std::size_t>(p)];
+  }
+};
+
+/// Analyzes one completed trace. Safe on any trace the SpanStore produced
+/// (balanced by construction); an empty trace yields a zero breakdown.
+TraceBreakdown critical_path(const CompletedTrace& trace);
+
+/// One human-readable line: "trace 42 read 4.213 ms = quorum_wait 3.1 ms +
+/// storage_read 0.9 ms + ..." (phases with zero contribution omitted).
+std::string to_string(const TraceBreakdown& breakdown);
+
+}  // namespace qopt::obs

@@ -1,10 +1,11 @@
-// Observability bundle: one MetricRegistry + one Tracer, shared by every
-// component of a deployment. `qopt::Cluster` owns one and threads it through
-// the network, proxies, storage nodes, RM and AM; stand-alone component
-// tests construct their own and pass a pointer.
+// Observability bundle: one MetricRegistry + one Tracer + one SpanStore,
+// shared by every component of a deployment. `qopt::Cluster` owns one and
+// threads it through the network, proxies, storage nodes, RM and AM;
+// stand-alone component tests construct their own and pass a pointer.
 #pragma once
 
 #include "obs/registry.hpp"
+#include "obs/span_store.hpp"
 #include "obs/trace.hpp"
 
 namespace qopt::obs {
@@ -15,10 +16,14 @@ class Observability {
   const MetricRegistry& registry() const noexcept { return registry_; }
   Tracer& tracer() noexcept { return tracer_; }
   const Tracer& tracer() const noexcept { return tracer_; }
+  SpanStore& spans() noexcept { return spans_; }
+  const SpanStore& spans() const noexcept { return spans_; }
 
  private:
+  // Registry first: the span store mirrors its counters there.
   MetricRegistry registry_;
   Tracer tracer_;
+  SpanStore spans_{&registry_};
 };
 
 }  // namespace qopt::obs

@@ -88,6 +88,8 @@ std::string RunReport::to_json() const {
   field(out, "dropped_unroutable", dropped_unroutable);
   field(out, "reads_checked", reads_checked);
   field(out, "consistency_violations", consistency_violations);
+  field(out, "traces_completed", traces_completed);
+  field(out, "spans_dropped", spans_dropped);
   out.append(",\"instruments\":");
   out.append(instruments.to_json());
   out.push_back('}');
@@ -162,13 +164,23 @@ std::string RunReport::render() const {
                 static_cast<unsigned long long>(consistency_violations),
                 static_cast<unsigned long long>(reads_checked));
   out.append(line);
+  if (traces_completed > 0 || spans_dropped > 0) {
+    std::snprintf(line, sizeof(line),
+                  "tracing             %llu traces completed, %llu spans "
+                  "dropped\n",
+                  static_cast<unsigned long long>(traces_completed),
+                  static_cast<unsigned long long>(spans_dropped));
+    out.append(line);
+  }
   return out;
 }
 
 std::string RunReport::csv_header() {
-  return "ops_s,ops,reads,writes,read_p50_ms,read_p99_ms,write_p50_ms,"
-         "write_p99_ms,read_q,write_q,overrides,reconfigs,epoch_changes,"
-         "messages_sent,messages_dropped,violations";
+  // Percentile columns mirror to_json()/render(): p50/p95/p99 for both
+  // directions, in that order.
+  return "ops_s,ops,reads,writes,read_p50_ms,read_p95_ms,read_p99_ms,"
+         "write_p50_ms,write_p95_ms,write_p99_ms,read_q,write_q,overrides,"
+         "reconfigs,epoch_changes,messages_sent,messages_dropped,violations";
 }
 
 std::string RunReport::csv_row() const {
@@ -183,9 +195,13 @@ std::string RunReport::csv_row() const {
   out.push_back(',');
   out.append(fmt("%.3f", read_latency.p50_ms));
   out.push_back(',');
+  out.append(fmt("%.3f", read_latency.p95_ms));
+  out.push_back(',');
   out.append(fmt("%.3f", read_latency.p99_ms));
   out.push_back(',');
   out.append(fmt("%.3f", write_latency.p50_ms));
+  out.push_back(',');
+  out.append(fmt("%.3f", write_latency.p95_ms));
   out.push_back(',');
   out.append(fmt("%.3f", write_latency.p99_ms));
   out.push_back(',');

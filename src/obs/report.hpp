@@ -68,6 +68,10 @@ struct RunReport {
   std::uint64_t reads_checked = 0;
   std::uint64_t consistency_violations = 0;
 
+  // ---- span tracing (zero when tracing is off)
+  std::uint64_t traces_completed = 0;
+  std::uint64_t spans_dropped = 0;
+
   /// Full registry dump (every per-component instrument, ordered by name).
   Snapshot instruments;
 

@@ -2,6 +2,8 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
 #include "obs/trace.hpp"
 #include "proxy/proxy.hpp"
 #include "sim/ids.hpp"
@@ -61,6 +63,10 @@ Proxy::Proxy(sim::Simulator& sim, Net& net, sim::NodeId self,
       &reg.histogram(obs::instrument_name("proxy", i, "read_latency_ns"));
   ins_.write_latency_ns =
       &reg.histogram(obs::instrument_name("proxy", i, "write_latency_ns"));
+  ins_.quorum_wait_ns =
+      &reg.histogram(obs::instrument_name("proxy", i, "quorum_wait_ns"));
+  ins_.straggler_excess_ns =
+      &reg.histogram(obs::instrument_name("proxy", i, "straggler_excess_ns"));
 }
 
 ProxyStats Proxy::stats() const {
@@ -87,7 +93,16 @@ void Proxy::trace(obs::Category category, const char* name, std::uint64_t a,
 void Proxy::crash() {
   crashed_ = true;
   net_.set_crashed(self_);
+  // End in-flight traces so the span store's live set stays bounded; their
+  // open spans are force-closed at the crash instant.
+  for (auto& [id, op] : ops_) {
+    if (op.trace_ctx.valid()) obs_->spans().end_trace(op.trace_ctx, sim_.now());
+  }
   ops_.clear();
+  if (drain_span_.valid()) {
+    obs_->spans().close_span(drain_span_, sim_.now());
+    drain_span_ = obs::SpanContext{};
+  }
 }
 
 void Proxy::enable_heartbeats(sim::NodeId target, Duration interval) {
@@ -160,9 +175,9 @@ void Proxy::on_message(const sim::NodeId& from, const Message& msg) {
         } else if constexpr (std::is_same_v<T, kv::ClientWriteReq>) {
           handle_client_write(from, m);
         } else if constexpr (std::is_same_v<T, kv::StorageReadResp>) {
-          handle_read_reply(m);
+          handle_read_reply(from, m);
         } else if constexpr (std::is_same_v<T, kv::StorageWriteResp>) {
-          handle_write_reply(m);
+          handle_write_reply(from, m);
         } else if constexpr (std::is_same_v<T, kv::EpochNack>) {
           handle_nack(m);
         } else if constexpr (std::is_same_v<T, kv::NewQuorumMsg>) {
@@ -186,9 +201,14 @@ void Proxy::handle_client_read(const sim::NodeId& from,
   trace(obs::Category::kOp, "read_start", req.oid);
   const Time arrival = sim_.now();
   const Time ready = pool_.submit(arrival, options_.op_cost);
-  sim_.at(ready, [this, from, req, arrival] {
-    if (crashed_) return;
-    start_read(req.oid, from, req.req_id, arrival);
+  const obs::SpanContext trace_ctx =
+      begin_op_trace(obs::TraceKind::kRead, "read", arrival, ready);
+  sim_.at(ready, [this, from, req, arrival, trace_ctx] {
+    if (crashed_) {
+      obs_->spans().end_trace(trace_ctx, sim_.now());
+      return;
+    }
+    start_read(req.oid, from, req.req_id, arrival, trace_ctx);
   });
 }
 
@@ -198,20 +218,26 @@ void Proxy::handle_client_write(const sim::NodeId& from,
   trace(obs::Category::kOp, "write_start", req.oid);
   const Time arrival = sim_.now();
   const Time ready = pool_.submit(arrival, options_.op_cost);
-  sim_.at(ready, [this, from, req, arrival] {
-    if (crashed_) return;
+  const obs::SpanContext trace_ctx =
+      begin_op_trace(obs::TraceKind::kWrite, "write", arrival, ready);
+  sim_.at(ready, [this, from, req, arrival, trace_ctx] {
+    if (crashed_) {
+      obs_->spans().end_trace(trace_ctx, sim_.now());
+      return;
+    }
     Version version;
     version.ts = kv::Timestamp{sim_.now(), self_.index, ++write_seq_};
     version.cfno = lcfno_;
     version.value = req.value;
     version.size_bytes = req.size_bytes;
     start_write(req.oid, version, from, req.req_id, arrival,
-                PendingOp::Kind::kWrite);
+                PendingOp::Kind::kWrite, trace_ctx);
   });
 }
 
 void Proxy::start_read(ObjectId oid, sim::NodeId client,
-                       std::uint64_t client_req, Time start_time) {
+                       std::uint64_t client_req, Time start_time,
+                       obs::SpanContext trace_ctx) {
   const std::uint64_t op_id = next_op_id_++;
   PendingOp op;
   op.kind = PendingOp::Kind::kRead;
@@ -219,13 +245,14 @@ void Proxy::start_read(ObjectId oid, sim::NodeId client,
   op.client = client;
   op.client_req = client_req;
   op.start_time = start_time;
+  op.trace_ctx = trace_ctx;
   ops_.emplace(op_id, std::move(op));
   launch_op(op_id);
 }
 
 void Proxy::start_write(ObjectId oid, Version version, sim::NodeId client,
                         std::uint64_t client_req, Time start_time,
-                        PendingOp::Kind kind) {
+                        PendingOp::Kind kind, obs::SpanContext trace_ctx) {
   const std::uint64_t op_id = next_op_id_++;
   PendingOp op;
   op.kind = kind;
@@ -234,6 +261,7 @@ void Proxy::start_write(ObjectId oid, Version version, sim::NodeId client,
   op.client_req = client_req;
   op.write_version = version;
   op.start_time = start_time;
+  op.trace_ctx = trace_ctx;
   ops_.emplace(op_id, std::move(op));
   launch_op(op_id);
 }
@@ -256,6 +284,13 @@ void Proxy::launch_op(std::uint64_t op_id) {
               op.replica_order.end());
   const QuorumConfig q = effective_quorum(op.oid);
   op.needed = op.kind == PendingOp::Kind::kRead ? q.read_q : q.write_q;
+  op.wait_start = sim_.now();
+  op.prev_reply_at = 0;
+  op.last_reply_at = 0;
+  op.last_replica = 0;
+  op.wait_span =
+      obs_->spans().open_span(op.trace_ctx, obs::Phase::kQuorumWait,
+                              "quorum_wait", node_name_, sim_.now());
   contact_replicas(op_id, op, op.needed);
   arm_fallback(op_id);
 }
@@ -263,17 +298,29 @@ void Proxy::launch_op(std::uint64_t op_id) {
 void Proxy::contact_replicas(std::uint64_t op_id, PendingOp& op, int upto) {
   const int limit =
       std::min(upto, static_cast<int>(op.replica_order.size()));
+  const bool is_read = op.kind == PendingOp::Kind::kRead;
   for (; op.contacted < limit; ++op.contacted) {
-    const sim::NodeId target =
-        sim::storage_id(op.replica_order[static_cast<std::size_t>(
-            op.contacted)]);
-    if (op.kind == PendingOp::Kind::kRead) {
+    const std::uint32_t replica =
+        op.replica_order[static_cast<std::size_t>(op.contacted)];
+    const sim::NodeId target = sim::storage_id(replica);
+    // The RPC span travels in the request so the storage node can attribute
+    // its service time to this operation; replica_order holds each replica
+    // once, so the rpc_spans key is unique.
+    obs::SpanContext rpc;
+    if (op.wait_span.valid()) {
+      rpc = obs_->spans().open_span(
+          op.wait_span,
+          is_read ? obs::Phase::kReplicaRead : obs::Phase::kReplicaWrite,
+          is_read ? "replica_read" : "replica_write", node_name_, sim_.now());
+      if (rpc.valid()) op.rpc_spans[replica] = rpc;
+    }
+    if (is_read) {
       net_.send(self_, target,
-                kv::StorageReadReq{op.oid, op_id, op.epno_used});
+                kv::StorageReadReq{op.oid, op_id, op.epno_used, rpc});
     } else {
       net_.send(self_, target,
                 kv::StorageWriteReq{op.oid, op_id, op.epno_used,
-                                    op.write_version});
+                                    op.write_version, rpc});
     }
   }
 }
@@ -295,13 +342,72 @@ void Proxy::arm_fallback(std::uint64_t op_id) {
   });
 }
 
+// ------------------------------------------------------------- span layer
+
+obs::SpanContext Proxy::begin_op_trace(obs::TraceKind kind, const char* name,
+                                       Time arrival, Time ready) {
+  obs::SpanStore& spans = obs_->spans();
+  const obs::SpanContext trace_ctx =
+      spans.start_trace(kind, name, node_name_, arrival);
+  if (trace_ctx.valid()) {
+    const obs::SpanContext queue = spans.open_span(
+        trace_ctx, obs::Phase::kProxyQueue, "proxy_queue", node_name_,
+        arrival);
+    spans.close_span(queue, ready);
+  }
+  return trace_ctx;
+}
+
+void Proxy::note_reply(PendingOp& op, std::uint32_t replica) {
+  op.prev_reply_at = op.last_reply_at;
+  op.last_reply_at = sim_.now();
+  op.last_replica = replica;
+  auto it = op.rpc_spans.find(replica);
+  if (it != op.rpc_spans.end()) {
+    obs_->spans().close_span(it->second, sim_.now(), op.oid, replica);
+    op.rpc_spans.erase(it);
+  }
+}
+
+void Proxy::on_quorum_satisfied(PendingOp& op) {
+  const Time now = sim_.now();
+  // Straggler tax: how long the quorum-completing reply trailed the
+  // previous one. Zero when a single reply sufficed.
+  const Duration excess = (op.received >= 2 && op.prev_reply_at > 0)
+                              ? op.last_reply_at - op.prev_reply_at
+                              : 0;
+  if (!op.repair) {
+    ins_.quorum_wait_ns->record(static_cast<double>(now - op.wait_start));
+    ins_.straggler_excess_ns->record(static_cast<double>(excess));
+  }
+  if (op.wait_span.valid()) {
+    obs_->spans().close_span(op.wait_span, now, op.last_replica,
+                             static_cast<std::uint64_t>(excess));
+    op.wait_span = obs::SpanContext{};
+  }
+}
+
+void Proxy::abort_op_spans(PendingOp& op, Time at) {
+  obs::SpanStore& spans = obs_->spans();
+  for (const auto& [replica, ctx] : op.rpc_spans) {
+    spans.close_span(ctx, at, op.oid, replica);
+  }
+  op.rpc_spans.clear();
+  if (op.wait_span.valid()) {
+    spans.close_span(op.wait_span, at);
+    op.wait_span = obs::SpanContext{};
+  }
+}
+
 // --------------------------------------------------------- storage replies
 
-void Proxy::handle_read_reply(const kv::StorageReadResp& resp) {
+void Proxy::handle_read_reply(const sim::NodeId& from,
+                              const kv::StorageReadResp& resp) {
   auto it = ops_.find(resp.op_id);
   if (it == ops_.end()) return;  // stale attempt or already completed
   PendingOp& op = it->second;
   ++op.received;
+  note_reply(op, from.index);
   if (resp.found &&
       (!op.any_found || resp.version.ts > op.best.ts ||
        (resp.version.ts == op.best.ts && resp.version.cfno > op.best.cfno))) {
@@ -322,11 +428,19 @@ void Proxy::maybe_complete_read(std::uint64_t op_id) {
     // intersection with the writing quorum.
     const int old_r = max_read_q_since(op.best.cfno);
     if (old_r > op.needed) {
+      on_quorum_satisfied(op);  // the first-phase quorum is in hand
       op.repair = true;
       op.needed = old_r;
       ins_.repair_reads->inc();
       trace(obs::Category::kQuorum, "read_repair", op.oid,
             static_cast<std::uint64_t>(old_r));
+      // Second wait phase: the historical-quorum re-read (Algorithm 4).
+      op.wait_start = sim_.now();
+      op.prev_reply_at = 0;
+      op.last_reply_at = 0;
+      op.wait_span =
+          obs_->spans().open_span(op.trace_ctx, obs::Phase::kReadRepair,
+                                  "read_repair", node_name_, sim_.now());
       if (op.received < op.needed) {
         contact_replicas(op_id, op, op.needed);
         arm_fallback(op_id);
@@ -335,15 +449,21 @@ void Proxy::maybe_complete_read(std::uint64_t op_id) {
       // Fallback already contacted enough replicas; complete below.
     }
   }
+  on_quorum_satisfied(op);
   finish_op(op_id, op);
 }
 
-void Proxy::handle_write_reply(const kv::StorageWriteResp& resp) {
+void Proxy::handle_write_reply(const sim::NodeId& from,
+                               const kv::StorageWriteResp& resp) {
   auto it = ops_.find(resp.op_id);
   if (it == ops_.end()) return;
   PendingOp& op = it->second;
   ++op.received;
-  if (op.received >= op.needed) finish_op(resp.op_id, op);
+  note_reply(op, from.index);
+  if (op.received >= op.needed) {
+    on_quorum_satisfied(op);
+    finish_op(resp.op_id, op);
+  }
 }
 
 void Proxy::handle_nack(const kv::EpochNack& nack) {
@@ -361,6 +481,16 @@ void Proxy::retry_op(std::uint64_t op_id) {
   ins_.op_retries->inc();
   auto node = ops_.extract(op_id);
   PendingOp op = std::move(node.mapped());
+  abort_op_spans(op, sim_.now());
+  if (op.trace_ctx.valid()) {
+    // Zero-duration marker: the NACK aborted the attempt here; launch_op
+    // opens a fresh wait span for the re-execution.
+    obs::SpanStore& spans = obs_->spans();
+    const obs::SpanContext marker =
+        spans.open_span(op.trace_ctx, obs::Phase::kNackRetry, "nack_retry",
+                        node_name_, sim_.now());
+    spans.close_span(marker, sim_.now(), op.oid);
+  }
   if (op.kind != PendingOp::Kind::kRead) {
     // Re-tag the version with the configuration it is (re)written under.
     op.write_version.cfno = lcfno_;
@@ -412,10 +542,15 @@ void Proxy::finish_op(std::uint64_t op_id, PendingOp& op_ref) {
   if (is_read && op.repair && op.any_found) {
     Version wb = op.best;
     wb.cfno = lcfno_;
+    // The write-back is its own trace: it outlives the client op and has no
+    // queueing phase.
+    const obs::SpanContext wb_trace = obs_->spans().start_trace(
+        obs::TraceKind::kWriteback, "writeback", node_name_, sim_.now());
     start_write(op.oid, wb, sim::NodeId{}, 0, sim_.now(),
-                PendingOp::Kind::kWriteBack);
+                PendingOp::Kind::kWriteBack, wb_trace);
   }
 
+  if (op.trace_ctx.valid()) obs_->spans().end_trace(op.trace_ctx, sim_.now());
   op_completed_for_drain();
 }
 
@@ -437,6 +572,11 @@ void Proxy::handle_new_quorum(const sim::NodeId& from,
   }
   ins_.reconfigurations->inc();
   trace(obs::Category::kReconfig, "proxy_newq", msg.epno, msg.cfno);
+  // Drain span, parented under the RM's NEWQ phase span; a stale one (the
+  // previous drain was superseded before its ops completed) is closed here.
+  if (drain_span_.valid()) obs_->spans().close_span(drain_span_, sim_.now());
+  drain_span_ = obs_->spans().open_span(msg.span, obs::Phase::kProxyDrain,
+                                        "proxy_drain", node_name_, sim_.now());
   pending_change_ = msg.change;
   pending_cfno_ = msg.cfno;
   in_transition_ = true;
@@ -477,6 +617,10 @@ void Proxy::handle_new_quorum(const sim::NodeId& from,
   }
   if (drain_remaining_ == 0) {
     drain_waiting_ = false;
+    if (drain_span_.valid()) {
+      obs_->spans().close_span(drain_span_, sim_.now(), drain_cfno_);
+      drain_span_ = obs::SpanContext{};
+    }
     net_.send(self_, from, kv::AckNewQuorumMsg{msg.epno, msg.cfno});
   }
 }
@@ -487,6 +631,10 @@ void Proxy::op_completed_for_drain() {
   // drains=false and were not counted.
   if (--drain_remaining_ <= 0) {
     drain_waiting_ = false;
+    if (drain_span_.valid()) {
+      obs_->spans().close_span(drain_span_, sim_.now(), drain_cfno_);
+      drain_span_ = obs::SpanContext{};
+    }
     net_.send(self_, drain_reply_to_,
               kv::AckNewQuorumMsg{drain_epno_, drain_cfno_});
   }
@@ -494,6 +642,14 @@ void Proxy::op_completed_for_drain() {
 
 void Proxy::handle_confirm(const sim::NodeId& from, const kv::ConfirmMsg& msg) {
   trace(obs::Category::kReconfig, "proxy_confirm", msg.epno, msg.cfno);
+  if (msg.span.valid()) {
+    // Zero-duration adoption marker under the RM's CONFIRM phase span.
+    obs::SpanStore& spans = obs_->spans();
+    const obs::SpanContext marker =
+        spans.open_span(msg.span, obs::Phase::kProxyConfirm, "proxy_confirm",
+                        node_name_, sim_.now());
+    spans.close_span(marker, sim_.now(), msg.epno, msg.cfno);
+  }
   if (in_transition_ && msg.cfno == pending_cfno_) {
     commit_pending_change();
     lepno_ = std::max(lepno_, msg.epno);

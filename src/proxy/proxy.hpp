@@ -34,6 +34,7 @@
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
@@ -136,6 +137,17 @@ class Proxy {
     int contacted = 0;  // prefix of replica_order already contacted
     Time start_time = 0;
     bool drains = false;  // counts toward the current NEWQ drain
+
+    // Span-layer state (all dormant when the op's trace is not sampled).
+    obs::SpanContext trace_ctx;  // root span of the op's trace
+    obs::SpanContext wait_span;  // current quorum-wait / repair-wait span
+    // Open per-replica RPC spans, keyed by replica index (ordered: crash
+    // teardown iterates it).
+    std::map<std::uint32_t, obs::SpanContext> rpc_spans;
+    Time wait_start = 0;      // current wait phase began here
+    Time prev_reply_at = 0;   // second-to-last counted reply
+    Time last_reply_at = 0;   // last counted reply
+    std::uint32_t last_replica = 0;  // replica of the last counted reply
   };
 
   // ----------------------------------------------------------- client ops
@@ -143,21 +155,37 @@ class Proxy {
   void handle_client_write(const sim::NodeId& from,
                            const kv::ClientWriteReq&);
   void start_read(kv::ObjectId oid, sim::NodeId client,
-                  std::uint64_t client_req, Time start_time);
+                  std::uint64_t client_req, Time start_time,
+                  obs::SpanContext trace_ctx);
   void start_write(kv::ObjectId oid, kv::Version version, sim::NodeId client,
                    std::uint64_t client_req, Time start_time,
-                   PendingOp::Kind kind);
+                   PendingOp::Kind kind, obs::SpanContext trace_ctx);
   void launch_op(std::uint64_t op_id);
   void contact_replicas(std::uint64_t op_id, PendingOp& op, int upto);
   void arm_fallback(std::uint64_t op_id);
   void finish_op(std::uint64_t op_id, PendingOp& op);
 
   // ------------------------------------------------------ storage replies
-  void handle_read_reply(const kv::StorageReadResp&);
-  void handle_write_reply(const kv::StorageWriteResp&);
+  void handle_read_reply(const sim::NodeId& from, const kv::StorageReadResp&);
+  void handle_write_reply(const sim::NodeId& from,
+                          const kv::StorageWriteResp&);
   void handle_nack(const kv::EpochNack&);
   void maybe_complete_read(std::uint64_t op_id);
   void retry_op(std::uint64_t op_id);
+
+  // ----------------------------------------------------------- span layer
+  /// Opens the op's trace + queue span at client arrival (zero context when
+  /// the kind is unsampled). `ready` is when the proxy CPU picks the op up.
+  obs::SpanContext begin_op_trace(obs::TraceKind kind, const char* name,
+                                  Time arrival, Time ready);
+  /// Notes a counted storage reply: closes the replica's RPC span and
+  /// updates straggler bookkeeping.
+  void note_reply(PendingOp& op, std::uint32_t replica);
+  /// Closes the current wait span when its quorum is met, recording the
+  /// quorum-wait and straggler-excess instruments (first phase only).
+  void on_quorum_satisfied(PendingOp& op);
+  /// Tears down the op's open spans (NACK retry / crash).
+  void abort_op_spans(PendingOp& op, Time at);
 
   // -------------------------------------------------- reconfiguration path
   void handle_new_quorum(const sim::NodeId& from, const kv::NewQuorumMsg&);
@@ -204,6 +232,7 @@ class Proxy {
   std::uint64_t drain_epno_ = 0;
   std::uint64_t drain_cfno_ = 0;
   sim::NodeId drain_reply_to_;
+  obs::SpanContext drain_span_;  // child of the RM's NEWQ span
 
   // In-flight operations, ordered by op id: the NEWQ drain walks this table,
   // so iteration must follow issue order, not hash order.
@@ -248,6 +277,11 @@ class Proxy {
     obs::Counter* reconfigurations = nullptr;
     LatencyHistogram* read_latency_ns = nullptr;
     LatencyHistogram* write_latency_ns = nullptr;
+    // Span-derived latency attribution (recorded for every op, sampled or
+    // not): time from fan-out to quorum, and how long the quorum-completing
+    // reply trailed the previous one (the straggler tax).
+    LatencyHistogram* quorum_wait_ns = nullptr;
+    LatencyHistogram* straggler_excess_ns = nullptr;
   };
   Instruments ins_;
   std::string node_name_;  // cached to_string(self_) for trace events

@@ -1,6 +1,8 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/span.hpp"
+#include "obs/span_store.hpp"
 #include "obs/trace.hpp"
 #include "reconfig/reconfig_manager.hpp"
 #include "sim/failure_detector.hpp"
@@ -69,6 +71,14 @@ void ReconfigManager::trace(obs::Category category, const char* name,
   tracer.record(sim_.now(), category, name, "rm", a, b);
 }
 
+void ReconfigManager::begin_phase_span(obs::Phase phase, const char* name) {
+  obs::SpanStore& spans = obs_->spans();
+  if (phase_span_.valid()) {
+    spans.close_span(phase_span_, sim_.now(), canonical_.epno, current_cfno_);
+  }
+  phase_span_ = spans.open_span(round_trace_, phase, name, "rm", sim_.now());
+}
+
 QuorumConfig ReconfigManager::quorum_for(kv::ObjectId oid) const {
   for (const auto& [object, q] : canonical_.overrides) {
     if (object == oid) return q;
@@ -105,7 +115,11 @@ void ReconfigManager::start_next() {
   acked_proxies_.clear();
   phase_ = Phase::kNewQuorum;
   trace(obs::Category::kReconfig, "rm_start", canonical_.epno, current_cfno_);
-  const kv::NewQuorumMsg msg{canonical_.epno, current_cfno_, current_.change};
+  round_trace_ = obs_->spans().start_trace(obs::TraceKind::kReconfig,
+                                           "reconfig", "rm", sim_.now());
+  begin_phase_span(obs::Phase::kRmNewq, "rm_newq");
+  const kv::NewQuorumMsg msg{canonical_.epno, current_cfno_, current_.change,
+                             phase_span_};
   for (const sim::NodeId& proxy : proxies_) net_.send(self_, proxy, msg);
   // A suspicion may already cover every proxy we would wait for.
   evaluate_phase1();
@@ -226,8 +240,9 @@ void ReconfigManager::begin_confirm() {
   phase_ = Phase::kConfirm;
   trace(obs::Category::kReconfig, "rm_confirm", canonical_.epno,
         current_cfno_);
+  begin_phase_span(obs::Phase::kRmConfirm, "rm_confirm");
   acked_proxies_.clear();
-  const kv::ConfirmMsg msg{canonical_.epno, current_cfno_};
+  const kv::ConfirmMsg msg{canonical_.epno, current_cfno_, phase_span_};
   for (const sim::NodeId& proxy : proxies_) net_.send(self_, proxy, msg);
   evaluate_phase2();
 }
@@ -277,10 +292,11 @@ void ReconfigManager::begin_epoch_change(bool after_phase1) {
   ins_.epoch->set(static_cast<double>(canonical_.epno));
   trace(obs::Category::kReconfig, "rm_epoch_change", canonical_.epno,
         current_cfno_);
+  begin_phase_span(obs::Phase::kRmEpoch, "rm_epoch_change");
   FullConfig msg_config = payload;
   msg_config.epno = canonical_.epno;
   for (const sim::NodeId& storage : storages_) {
-    net_.send(self_, storage, kv::NewEpochMsg{msg_config});
+    net_.send(self_, storage, kv::NewEpochMsg{msg_config, phase_span_});
   }
 }
 
@@ -307,6 +323,15 @@ void ReconfigManager::commit() {
   ins_.cfno->set(static_cast<double>(canonical_.cfno));
   trace(obs::Category::kReconfig, "rm_commit", canonical_.epno,
         canonical_.cfno);
+  if (phase_span_.valid()) {
+    obs_->spans().close_span(phase_span_, sim_.now(), canonical_.epno,
+                             canonical_.cfno);
+    phase_span_ = obs::SpanContext{};
+  }
+  if (round_trace_.valid()) {
+    obs_->spans().end_trace(round_trace_, sim_.now());
+    round_trace_ = obs::SpanContext{};
+  }
   phase_ = Phase::kIdle;
   // Detach the finished request *before* invoking its callback: the callback
   // may synchronously enqueue (and start) the next reconfiguration, which

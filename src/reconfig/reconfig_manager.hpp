@@ -32,6 +32,7 @@
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "obs/trace.hpp"
 #include "sim/failure_detector.hpp"
 #include "sim/ids.hpp"
@@ -136,6 +137,14 @@ class ReconfigManager {
   std::unordered_set<std::uint32_t> acked_storage_;
   int epoch_quorum_needed_ = 0;
   bool epoch_change_after_phase1_ = false;
+
+  // Span-layer state: one trace per reconfiguration round; the phase span
+  // travels inside NEWQ/CONFIRM/NEWEP so remote adoption markers and proxy
+  // drains nest under it.
+  obs::SpanContext round_trace_;
+  obs::SpanContext phase_span_;
+  /// Closes the current phase span (if any) and opens the next one.
+  void begin_phase_span(obs::Phase phase, const char* name);
 
   // Observability: counters cached at construction, bumped on the hot path.
   std::unique_ptr<obs::Observability> own_obs_;  // fallback when none shared

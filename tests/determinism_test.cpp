@@ -4,11 +4,15 @@
 // property tests meaningful as evidence).
 #include <gtest/gtest.h>
 
+#include <string>
 #include <tuple>
+#include <utility>
 
 #include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
+#include "core/nemesis.hpp"
 #include "kv/replicator.hpp"
+#include "obs/span_export.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {
@@ -100,6 +104,42 @@ TEST_P(Determinism, DifferentSeedsDiverge) {
   const Fingerprint b =
       run_scenario(100, autotune, heartbeat, anti_entropy, failures);
   EXPECT_NE(a.messages, b.messages);
+}
+
+// Span exports are part of the determinism contract: the trace layer rides
+// the same virtual clock and deterministic ids as everything else, so two
+// same-seed runs — even under chaos injection — must produce byte-identical
+// Chrome and CSV exports.
+std::pair<std::string, std::string> traced_chaos_run(std::uint64_t seed) {
+  ClusterConfig config;
+  config.num_storage = 6;
+  config.num_proxies = 3;
+  config.clients_per_proxy = 3;
+  config.replication = 5;
+  config.initial_quorum = {3, 3};
+  config.seed = seed;
+  config.heartbeat_fd = true;
+  config.client_retry_timeout = milliseconds(300);
+  config.span_sample_every = 1;
+  Cluster cluster(config);
+  cluster.preload(500, 2048);
+  cluster.set_workload(workload::ycsb_a(500));
+  NemesisOptions chaos;
+  chaos.mean_interval = milliseconds(400);
+  chaos.seed = seed;
+  Nemesis nemesis(cluster, chaos);
+  nemesis.start();
+  cluster.run_for(seconds(8));
+  const auto& completed = cluster.obs().spans().completed();
+  return {obs::to_chrome_json(completed), obs::to_span_csv(completed)};
+}
+
+TEST(SpanDeterminism, ByteIdenticalExportsUnderNemesisFaults) {
+  const auto [chrome_a, csv_a] = traced_chaos_run(23);
+  const auto [chrome_b, csv_b] = traced_chaos_run(23);
+  EXPECT_EQ(chrome_a, chrome_b);
+  EXPECT_EQ(csv_a, csv_b);
+  EXPECT_GT(csv_a.size(), csv_a.find('\n'));  // more than just the header
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -212,12 +212,12 @@ TEST_F(StorageFixture, WriteThenReadReturnsVersion) {
   v.cfno = 0;
   v.value = 99;
   v.size_bytes = 4096;
-  send(StorageWriteReq{7, 1, 0, v});
+  send(StorageWriteReq{7, 1, 0, v, {}});
   sim.run();
   ASSERT_EQ(proxy_inbox.size(), 1u);
   EXPECT_TRUE(std::holds_alternative<StorageWriteResp>(proxy_inbox[0]));
 
-  send(StorageReadReq{7, 2, 0});
+  send(StorageReadReq{7, 2, 0, {}});
   sim.run();
   ASSERT_EQ(proxy_inbox.size(), 2u);
   const auto& resp = std::get<StorageReadResp>(proxy_inbox[1]);
@@ -227,7 +227,7 @@ TEST_F(StorageFixture, WriteThenReadReturnsVersion) {
 }
 
 TEST_F(StorageFixture, ReadOfMissingObjectNotFound) {
-  send(StorageReadReq{42, 1, 0});
+  send(StorageReadReq{42, 1, 0, {}});
   sim.run();
   const auto& resp = std::get<StorageReadResp>(proxy_inbox.at(0));
   EXPECT_FALSE(resp.found);
@@ -240,9 +240,9 @@ TEST_F(StorageFixture, OlderWriteDiscardedButAcked) {
   Version older;
   older.ts = {100, 0, 1};
   older.value = 1;
-  send(StorageWriteReq{7, 1, 0, newer});
+  send(StorageWriteReq{7, 1, 0, newer, {}});
   sim.run();
-  send(StorageWriteReq{7, 2, 0, older});
+  send(StorageWriteReq{7, 2, 0, older, {}});
   sim.run();
   EXPECT_EQ(proxy_inbox.size(), 2u);  // both acked
   EXPECT_TRUE(std::holds_alternative<StorageWriteResp>(proxy_inbox[1]));
@@ -257,11 +257,11 @@ TEST_F(StorageFixture, EqualTimestampHigherCfnoRefreshesTag) {
   v.ts = {100, 0, 1};
   v.cfno = 0;
   v.value = 5;
-  send(StorageWriteReq{7, 1, 0, v});
+  send(StorageWriteReq{7, 1, 0, v, {}});
   sim.run();
   Version writeback = v;
   writeback.cfno = 3;  // read-repair write-back under a newer config
-  send(StorageWriteReq{7, 2, 0, writeback});
+  send(StorageWriteReq{7, 2, 0, writeback, {}});
   sim.run();
   EXPECT_EQ(node->peek(7)->cfno, 3u);
   EXPECT_EQ(node->peek(7)->value, 5u);
@@ -272,11 +272,11 @@ TEST_F(StorageFixture, StaleEpochGetsNack) {
   config.epno = 2;
   config.cfno = 1;
   config.default_q = {2, 4};
-  net.send(sim::rm_id(), sim::storage_id(0), NewEpochMsg{config});
+  net.send(sim::rm_id(), sim::storage_id(0), NewEpochMsg{config, {}});
   sim.run();
   EXPECT_EQ(node->epoch(), 2u);
 
-  send(StorageReadReq{7, 9, /*epno=*/1});
+  send(StorageReadReq{7, 9, /*epno=*/1, {}});
   sim.run();
   bool got_nack = false;
   for (const Message& m : proxy_inbox) {
@@ -296,9 +296,9 @@ TEST_F(StorageFixture, StaleEpochGetsNack) {
 TEST_F(StorageFixture, CurrentEpochOperationsServed) {
   FullConfig config;
   config.epno = 2;
-  net.send(sim::rm_id(), sim::storage_id(0), NewEpochMsg{config});
+  net.send(sim::rm_id(), sim::storage_id(0), NewEpochMsg{config, {}});
   sim.run();
-  send(StorageReadReq{7, 1, /*epno=*/2});
+  send(StorageReadReq{7, 1, /*epno=*/2, {}});
   sim.run();
   // One ACKNEWEP went to the RM; the proxy should see a read reply.
   bool got_read = false;
@@ -311,11 +311,11 @@ TEST_F(StorageFixture, CurrentEpochOperationsServed) {
 TEST_F(StorageFixture, OlderEpochMessageDoesNotRegress) {
   FullConfig newer;
   newer.epno = 5;
-  net.send(sim::rm_id(), sim::storage_id(0), NewEpochMsg{newer});
+  net.send(sim::rm_id(), sim::storage_id(0), NewEpochMsg{newer, {}});
   sim.run();
   FullConfig older;
   older.epno = 3;
-  net.send(sim::rm_id(), sim::storage_id(0), NewEpochMsg{older});
+  net.send(sim::rm_id(), sim::storage_id(0), NewEpochMsg{older, {}});
   sim.run();
   EXPECT_EQ(node->epoch(), 5u);
 }
@@ -325,9 +325,9 @@ TEST_F(StorageFixture, WritesQueueOnServicePool) {
   Version v;
   v.ts = {100, 0, 1};
   v.size_bytes = 0;
-  send(StorageWriteReq{1, 1, 0, v});
-  send(StorageWriteReq{2, 2, 0, v});
-  send(StorageWriteReq{3, 3, 0, v});
+  send(StorageWriteReq{1, 1, 0, v, {}});
+  send(StorageWriteReq{2, 2, 0, v, {}});
+  send(StorageWriteReq{3, 3, 0, v, {}});
   sim.run();
   EXPECT_EQ(proxy_inbox.size(), 3u);
   EXPECT_EQ(node->object_count(), 3u);
@@ -337,7 +337,7 @@ TEST_F(StorageFixture, WritesQueueOnServicePool) {
 
 TEST_F(StorageFixture, CrashedNodeIsSilent) {
   node->crash();
-  send(StorageReadReq{7, 1, 0});
+  send(StorageReadReq{7, 1, 0, {}});
   sim.run();
   EXPECT_TRUE(proxy_inbox.empty());
 }
@@ -347,7 +347,7 @@ TEST_F(StorageFixture, PreloadBypassesProtocol) {
   v.ts = {0, 0, 0};
   v.value = 77;
   node->preload(123, v);
-  send(StorageReadReq{123, 1, 0});
+  send(StorageReadReq{123, 1, 0, {}});
   sim.run();
   const auto& resp = std::get<StorageReadResp>(proxy_inbox.at(0));
   EXPECT_TRUE(resp.found);

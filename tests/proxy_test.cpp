@@ -92,9 +92,9 @@ struct ProxyHarness : ::testing::Test {
   void install(std::uint64_t epno, std::uint64_t cfno,
                kv::QuorumChange change) {
     net.send(sim::rm_id(), sim::proxy_id(0),
-             kv::NewQuorumMsg{epno, cfno, std::move(change)});
+             kv::NewQuorumMsg{epno, cfno, std::move(change), {}});
     sim.run();
-    net.send(sim::rm_id(), sim::proxy_id(0), kv::ConfirmMsg{epno, cfno});
+    net.send(sim::rm_id(), sim::proxy_id(0), kv::ConfirmMsg{epno, cfno, {}});
     sim.run();
   }
 
@@ -190,12 +190,12 @@ TEST_F(ProxyHarness, TransitionQuorumIsMaxOfOldAndNew) {
   build({1, 5});
   net.send(sim::rm_id(), sim::proxy_id(0),
            kv::NewQuorumMsg{0, 1,
-                            kv::QuorumChange{true, {5, 1}, {}}});
+                            kv::QuorumChange{true, {5, 1}, {}}, {}});
   sim.run();
   EXPECT_TRUE(proxy->in_transition());
   // max(1,5)=5 reads, max(5,1)=5 writes during the transition.
   EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig{5, 5}));
-  net.send(sim::rm_id(), sim::proxy_id(0), kv::ConfirmMsg{0, 1});
+  net.send(sim::rm_id(), sim::proxy_id(0), kv::ConfirmMsg{0, 1, {}});
   sim.run();
   EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig{5, 1}));
 }
@@ -208,7 +208,7 @@ TEST_F(ProxyHarness, DrainDelaysAckUntilPendingOpsComplete) {
   sim.run(microseconds(450));
   EXPECT_EQ(proxy->pending_ops(), 1u);
   net.send(sim::rm_id(), sim::proxy_id(0),
-           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, {2, 4}, {}}});
+           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, {2, 4}, {}}, {}});
   sim.run(microseconds(700));  // NEWQ delivered, op still pending
   bool acked = false;
   for (const Message& m : rm_inbox) {
@@ -284,7 +284,7 @@ TEST_F(ProxyHarness, NackResynchronizesAndRetries) {
   config.default_q = {4, 2};
   config.read_q_history = {{0, 1}, {1, 4}, {2, 4}};
   for (std::uint32_t i = 0; i < kStorage; ++i) {
-    net.send(sim::rm_id(), sim::storage_id(i), kv::NewEpochMsg{config});
+    net.send(sim::rm_id(), sim::storage_id(i), kv::NewEpochMsg{config, {}});
   }
   sim.run();
   client_write(7, 1, 99);
@@ -322,7 +322,7 @@ TEST_F(ProxyHarness, StaleNewQuorumStillAcked) {
   // Re-deliver an old NEWQ (e.g. a retransmission): config must not change,
   // but the ACK must flow for RM progress.
   net.send(sim::rm_id(), sim::proxy_id(0),
-           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, {1, 5}, {}}});
+           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, {1, 5}, {}}, {}});
   sim.run();
   EXPECT_EQ(proxy->default_quorum(), (QuorumConfig{4, 2}));
   EXPECT_GT(rm_inbox.size(), acks_before);
@@ -330,18 +330,18 @@ TEST_F(ProxyHarness, StaleNewQuorumStillAcked) {
 
 TEST_F(ProxyHarness, BackToBackNewQuorumCommitsPrevious) {
   net.send(sim::rm_id(), sim::proxy_id(0),
-           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, {2, 4}, {}}});
+           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, {2, 4}, {}}, {}});
   sim.run();
   EXPECT_TRUE(proxy->in_transition());
   // Second NEWQ arrives without an intervening CONFIRM (the RM finalized
   // round 1 via an epoch change we did not see).
   net.send(sim::rm_id(), sim::proxy_id(0),
-           kv::NewQuorumMsg{1, 2, kv::QuorumChange{true, {3, 3}, {}}});
+           kv::NewQuorumMsg{1, 2, kv::QuorumChange{true, {3, 3}, {}}, {}});
   sim.run();
   EXPECT_TRUE(proxy->in_transition());
   // Transition base is the committed round-1 config {2,4}: max -> {3,4}.
   EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig{3, 4}));
-  net.send(sim::rm_id(), sim::proxy_id(0), kv::ConfirmMsg{1, 2});
+  net.send(sim::rm_id(), sim::proxy_id(0), kv::ConfirmMsg{1, 2, {}});
   sim.run();
   EXPECT_EQ(proxy->default_quorum(), (QuorumConfig{3, 3}));
 }
