@@ -12,8 +12,10 @@
 //   ./build/examples/qopt_cli --workload ycsb-a --autotune
 //       --crash-proxy 2 --crash-at 30 --csv
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
@@ -21,6 +23,7 @@
 #include "obs/report.hpp"
 #include "obs/span_export.hpp"
 #include "obs/trace.hpp"
+#include "sim/ids.hpp"
 #include "util/flags.hpp"
 #include "util/time.hpp"
 #include "workload/trace.hpp"
@@ -49,7 +52,68 @@ void usage() {
       "            --record-ops FILE  (record the executed workload ops)\n"
       "faults:     --crash-proxy I --crash-storage I --crash-at S\n"
       "            --anti-entropy\n"
-      "            --nemesis [--nemesis-interval MS]  (chaos schedule)\n");
+      "            --nemesis [--nemesis-interval MS]  (chaos schedule)\n"
+      "            --nemesis-partitions  (adds partition/loss-burst/restart\n"
+      "                                   events to the --nemesis schedule)\n"
+      "network:    --net-loss P   (per-message drop probability, [0,1])\n"
+      "            --net-dup P    (per-message duplication probability)\n"
+      "            --retry-budget N   (proxy retransmit rounds; default 6,\n"
+      "                                0 = never retransmit or fail ops)\n"
+      "            --client-retry MS  (client proxy-failover timeout;\n"
+      "                                defaults to 1000 on lossy links)\n"
+      "            --partition s0,s1@START+HOLD  (isolate the listed nodes\n"
+      "             at START seconds, heal HOLD seconds later; sN = storage\n"
+      "             node N, pN = proxy N)\n");
+}
+
+// A scheduled "--partition s0,s1@10+2" request: isolate the listed nodes
+// at `start` seconds, heal `hold` seconds later.
+struct PartitionSpec {
+  std::vector<qopt::sim::NodeId> nodes;
+  double start = 0;
+  double hold = 0;
+};
+
+bool parse_partition(const std::string& spec, const qopt::ClusterConfig& config,
+                     PartitionSpec* out) {
+  const std::size_t at = spec.find('@');
+  const std::size_t plus = spec.find('+', at == std::string::npos ? 0 : at);
+  if (at == std::string::npos || plus == std::string::npos || at == 0) {
+    std::fprintf(stderr, "--partition: expected NODES@START+HOLD, got %s\n",
+                 spec.c_str());
+    return false;
+  }
+  std::string nodes = spec.substr(0, at);
+  while (!nodes.empty()) {
+    const std::size_t comma = nodes.find(',');
+    const std::string token = nodes.substr(0, comma);
+    nodes = comma == std::string::npos ? "" : nodes.substr(comma + 1);
+    if (token.size() < 2 || (token[0] != 's' && token[0] != 'p')) {
+      std::fprintf(stderr, "--partition: bad node %s (want sN or pN)\n",
+                   token.c_str());
+      return false;
+    }
+    char* end = nullptr;
+    const unsigned long index = std::strtoul(token.c_str() + 1, &end, 10);
+    const auto limit = token[0] == 's' ? config.num_storage
+                                       : config.num_proxies;
+    if (*end != '\0' || index >= limit) {
+      std::fprintf(stderr, "--partition: node %s out of range (limit %u)\n",
+                   token.c_str(), limit);
+      return false;
+    }
+    const auto i = static_cast<std::uint32_t>(index);
+    out->nodes.push_back(token[0] == 's' ? qopt::sim::storage_id(i)
+                                         : qopt::sim::proxy_id(i));
+  }
+  char* end = nullptr;
+  out->start = std::strtod(spec.c_str() + at + 1, &end);
+  out->hold = std::strtod(spec.c_str() + plus + 1, nullptr);
+  if (out->nodes.empty() || out->start < 0 || out->hold <= 0) {
+    std::fprintf(stderr, "--partition: bad schedule in %s\n", spec.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -74,6 +138,36 @@ int main(int argc, char** argv) {
       static_cast<int>(flags.get_int("read-q", 3)),
       static_cast<int>(flags.get_int("write-q", 3))};
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  config.net_loss = flags.get_double("net-loss", 0.0);
+  config.net_duplication = flags.get_double("net-dup", 0.0);
+  if (config.net_loss < 0 || config.net_loss > 1 ||
+      config.net_duplication < 0 || config.net_duplication > 1) {
+    std::fprintf(stderr,
+                 "--net-loss/--net-dup must be probabilities in [0, 1]\n");
+    return 2;
+  }
+  const std::int64_t retry_budget = flags.get_int("retry-budget", 6);
+  if (retry_budget < 0) {
+    std::fprintf(stderr, "--retry-budget must be >= 0\n");
+    return 2;
+  }
+  config.proxy.retry_budget = static_cast<int>(retry_budget);
+
+  PartitionSpec partition;
+  const std::string partition_spec = flags.get_string("partition", "");
+  if (!partition_spec.empty() &&
+      !parse_partition(partition_spec, config, &partition)) {
+    return 2;
+  }
+
+  // Proxies retransmit lost storage RPCs, but the client<->proxy hop has no
+  // retransmit of its own — the client's proxy-failover timer is the
+  // at-least-once layer there. Default it on whenever links can drop.
+  const bool nemesis_partitions = flags.get_bool("nemesis-partitions", false);
+  const bool lossy = config.net_loss > 0 || nemesis_partitions;
+  config.client_retry_timeout =
+      milliseconds(flags.get_int("client-retry", lossy ? 1000 : 0));
 
   const auto objects =
       static_cast<std::uint64_t>(flags.get_int("objects", 10'000));
@@ -137,13 +231,29 @@ int main(int argc, char** argv) {
   if (flags.get_bool("anti-entropy", false)) cluster.enable_anti_entropy();
 
   std::unique_ptr<Nemesis> nemesis;
-  if (flags.get_bool("nemesis", false)) {
+  if (flags.get_bool("nemesis", false) || nemesis_partitions) {
     NemesisOptions chaos;
     chaos.mean_interval =
         milliseconds(flags.get_int("nemesis-interval", 500));
     chaos.seed = config.seed;
+    if (nemesis_partitions) {
+      chaos.partition = 1.0;
+      chaos.loss_burst = 1.0;
+      chaos.restart = 2.0;  // recover what the schedule crashes
+    }
     nemesis = std::make_unique<Nemesis>(cluster, chaos);
     nemesis->start();
+  }
+
+  if (!partition.nodes.empty()) {
+    cluster.simulator().at(
+        seconds(partition.start), [&cluster, &partition] {
+          const std::uint64_t id = cluster.isolate(partition.nodes);
+          cluster.simulator().after(seconds(partition.hold),
+                                    [&cluster, id] {
+                                      cluster.heal_partition(id);
+                                    });
+        });
   }
 
   const double crash_at = flags.get_double("crash-at", 0);

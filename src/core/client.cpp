@@ -71,9 +71,11 @@ void Client::arm_retry() {
 
 void Client::on_message(const sim::NodeId& /*from*/, const kv::Message& msg) {
   bool completed = false;
+  bool failed = false;
   if (const auto* read = std::get_if<kv::ClientReadResp>(&msg)) {
     if (!op_in_flight_ || read->req_id != pending_req_) return;
-    if (checker_) {
+    failed = read->failed;
+    if (checker_ && !failed) {
       checker_->read_completed(pending_op_.oid, issued_at_, sim_.now(),
                                read->found, read->version.ts,
                                read_snapshot_);
@@ -84,7 +86,11 @@ void Client::on_message(const sim::NodeId& /*from*/, const kv::Message& msg) {
     completed = true;
   } else if (const auto* write = std::get_if<kv::ClientWriteResp>(&msg)) {
     if (!op_in_flight_ || write->req_id != pending_req_) return;
-    if (checker_) {
+    failed = write->failed;
+    // A failed write is indeterminate (it may have reached some replicas);
+    // the checker only lower-bounds the store by *completed* writes, so
+    // skipping it is safe either way.
+    if (checker_ && !failed) {
       checker_->write_completed(pending_op_.oid, write->ts);
       checker_->observe(self_.index, pending_op_.oid, write->ts);
     }
@@ -93,6 +99,21 @@ void Client::on_message(const sim::NodeId& /*from*/, const kv::Message& msg) {
   if (!completed) return;
 
   op_in_flight_ = false;
+  if (failed) {
+    // Reported-failed after the proxy's retry budget: not a completion, so
+    // neither the latency metrics nor the checker see it; the closed loop
+    // moves on to the next operation.
+    ++failures_;
+    if (!running_) return;
+    if (think_time_ > 0) {
+      sim_.after(think_time_, [this] {
+        if (running_ && !op_in_flight_) issue_next();
+      });
+    } else {
+      issue_next();
+    }
+    return;
+  }
   ++ops_completed_;
   if (metrics_) {
     metrics_->record(proxy::OpRecord{pending_op_.oid, pending_op_.is_write,

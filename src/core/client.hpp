@@ -46,6 +46,12 @@ class Client {
 
   std::uint64_t ops_completed() const noexcept { return ops_completed_; }
   std::uint64_t retries() const noexcept { return retries_; }
+  /// Operations the proxy reported failed (retry budget exhausted). They do
+  /// not feed the checker or the latency metrics; the closed loop continues.
+  std::uint64_t failures() const noexcept { return failures_; }
+  /// True while an operation is outstanding — after the run drains, a stuck
+  /// client is one whose op neither completed nor failed.
+  bool op_in_flight() const noexcept { return op_in_flight_; }
   sim::NodeId current_proxy() const noexcept { return proxy_; }
 
  private:
@@ -71,6 +77,7 @@ class Client {
   std::uint64_t next_req_ = 1;
   std::uint64_t value_seq_ = 0;
   std::uint64_t ops_completed_ = 0;
+  std::uint64_t failures_ = 0;
 
   // In-flight operation context.
   std::uint64_t pending_req_ = 0;

@@ -39,6 +39,9 @@ Cluster::Cluster(const ClusterConfig& config)
   }
 
   net_.bind_observability(&obs_);
+  net_.set_loss(config_.net_loss);
+  net_.set_duplication(config_.net_duplication);
+  net_.set_delay_spike(config_.net_delay_spike_p, config_.net_delay_spike);
   obs_.spans().set_limits(config_.span_live_limit,
                           config_.span_completed_limit);
   if (config_.span_sample_every > 0) {
@@ -261,9 +264,76 @@ void Cluster::crash_storage(std::uint32_t index) {
   fd_.node_crashed(sim::storage_id(index));
 }
 
+void Cluster::restart_proxy(std::uint32_t index) {
+  if (!proxies_.at(index)->crashed()) return;
+  proxies_.at(index)->restart();
+  // Mirrors crash_proxy: with heartbeat detection the suspicion clears
+  // organically once the beats resume; the oracle path is told directly.
+  if (!config_.heartbeat_fd) fd_.node_recovered(sim::proxy_id(index));
+}
+
+void Cluster::restart_storage(std::uint32_t index) {
+  if (!storage_.at(index)->crashed()) return;
+  storage_.at(index)->restart();
+  if (obs_.tracer().enabled(obs::Category::kMembership)) {
+    obs_.tracer().record(sim_.now(), obs::Category::kMembership, "restart",
+                         sim::to_string(sim::storage_id(index)));
+  }
+  fd_.node_recovered(sim::storage_id(index));
+}
+
 void Cluster::inject_false_suspicion(std::uint32_t proxy_index,
                                      Duration duration) {
   fd_.inject_false_suspicion(sim::proxy_id(proxy_index), duration);
+}
+
+std::uint64_t Cluster::isolate(const std::vector<sim::NodeId>& nodes,
+                               bool symmetric) {
+  // Rest-of-world side: every node the cluster wired up that is not in the
+  // isolated set (comparison by kind+index).
+  auto contains = [&](const sim::NodeId& id) {
+    for (const sim::NodeId& n : nodes) {
+      if (n.kind == id.kind && n.index == id.index) return true;
+    }
+    return false;
+  };
+  std::vector<sim::NodeId> rest;
+  auto add_if_outside = [&](const sim::NodeId& id) {
+    if (!contains(id)) rest.push_back(id);
+  };
+  for (std::uint32_t i = 0; i < config_.num_storage; ++i) {
+    add_if_outside(sim::storage_id(i));
+  }
+  for (std::uint32_t i = 0; i < config_.num_proxies; ++i) {
+    add_if_outside(sim::proxy_id(i));
+  }
+  for (std::uint32_t i = 0; i < clients_.size(); ++i) {
+    add_if_outside(sim::client_id(i));
+  }
+  add_if_outside(sim::rm_id());
+  add_if_outside(sim::am_id());
+  const std::uint64_t id = net_.add_partition(nodes, rest, symmetric);
+  if (obs_.tracer().enabled(obs::Category::kMembership)) {
+    obs_.tracer().record(sim_.now(), obs::Category::kMembership, "partition",
+                         "net", id, nodes.size());
+  }
+  return id;
+}
+
+void Cluster::heal_partition(std::uint64_t id) {
+  net_.heal_partition(id);
+  if (obs_.tracer().enabled(obs::Category::kMembership)) {
+    obs_.tracer().record(sim_.now(), obs::Category::kMembership, "heal",
+                         "net", id);
+  }
+}
+
+void Cluster::heal_all_partitions() {
+  net_.heal_all_partitions();
+  if (obs_.tracer().enabled(obs::Category::kMembership)) {
+    obs_.tracer().record(sim_.now(), obs::Category::kMembership, "heal_all",
+                         "net");
+  }
 }
 
 namespace {
@@ -325,6 +395,10 @@ obs::RunReport Cluster::report(Time t0, Time t1) const {
   r.dropped_sender_crashed = net.dropped_sender_crashed;
   r.dropped_receiver_crashed = net.dropped_receiver_crashed;
   r.dropped_unroutable = net.dropped_unroutable;
+  r.dropped_link_loss = net.dropped_link_loss;
+  r.dropped_partitioned = net.dropped_partitioned;
+  r.duplicates_delivered = net.duplicates_delivered;
+  r.delay_spikes = net.delay_spikes;
 
   r.reads_checked = checker_.reads_checked();
   r.consistency_violations = checker_.violations().size();

@@ -38,6 +38,7 @@
 #include "reconfig/reconfig_manager.hpp"
 #include "sim/failure_detector.hpp"
 #include "sim/heartbeat.hpp"
+#include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
@@ -61,6 +62,12 @@ struct ClusterConfig {
   kv::ServiceTimes storage_service;
   std::size_t storage_servers = 2;  // virtual cores per storage VM
   sim::LatencyModel network;
+  // Link-fault plane (all off by default — the paper's reliable channels).
+  // Probabilities are clamped to [0, 1]; see docs/ROBUSTNESS.md.
+  double net_loss = 0.0;         // per-message drop probability
+  double net_duplication = 0.0;  // per-message duplicate-delivery probability
+  double net_delay_spike_p = 0.0;  // per-message latency-spike probability
+  Duration net_delay_spike = milliseconds(50);  // extra latency per spike
   proxy::ProxyOptions proxy;  // `initial` is overwritten by initial_quorum
   Duration fd_detection_delay = milliseconds(500);
   /// When set, suspicion of proxies is derived from heartbeat traffic over
@@ -149,7 +156,20 @@ class Cluster {
 
   void crash_proxy(std::uint32_t index);
   void crash_storage(std::uint32_t index);
+  /// Crash-recovery: the node rejoins with its durable state (no-ops when
+  /// not crashed). The failure detector learns of the recovery; a proxy
+  /// whose epoch went stale while down resynchronizes via the NACK path.
+  void restart_proxy(std::uint32_t index);
+  void restart_storage(std::uint32_t index);
   void inject_false_suspicion(std::uint32_t proxy_index, Duration duration);
+
+  /// Partitions `nodes` away from every other node in the cluster (one-way
+  /// when `symmetric` is false: the isolated side cannot reach out, but
+  /// still receives). Returns an id for heal_partition().
+  std::uint64_t isolate(const std::vector<sim::NodeId>& nodes,
+                        bool symmetric = true);
+  void heal_partition(std::uint64_t id);
+  void heal_all_partitions();
 
   // -------------------------------------------------------------- accessors
 

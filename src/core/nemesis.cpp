@@ -1,6 +1,7 @@
 #include "core/cluster.hpp"
 #include "core/nemesis.hpp"
 #include "kv/types.hpp"
+#include "sim/ids.hpp"
 #include "util/time.hpp"
 
 #include <algorithm>
@@ -9,7 +10,20 @@
 namespace qopt {
 
 Nemesis::Nemesis(Cluster& cluster, const NemesisOptions& options)
-    : cluster_(cluster), options_(options), rng_(options.seed ^ 0xBADC0DE) {}
+    : cluster_(cluster), options_(options), rng_(options.seed ^ 0xBADC0DE) {
+  auto& reg = cluster_.obs().registry();
+  ins_.reconfigurations = &reg.counter("nemesis.reconfigurations");
+  ins_.per_object_reconfigurations =
+      &reg.counter("nemesis.per_object_reconfigurations");
+  ins_.false_suspicions = &reg.counter("nemesis.false_suspicions");
+  ins_.heartbeat_pauses = &reg.counter("nemesis.heartbeat_pauses");
+  ins_.proxy_crashes = &reg.counter("nemesis.proxy_crashes");
+  ins_.storage_crashes = &reg.counter("nemesis.storage_crashes");
+  ins_.partitions = &reg.counter("nemesis.partitions");
+  ins_.heals = &reg.counter("nemesis.heals");
+  ins_.loss_bursts = &reg.counter("nemesis.loss_bursts");
+  ins_.restarts = &reg.counter("nemesis.restarts");
+}
 
 void Nemesis::start() {
   if (running_) return;
@@ -63,18 +77,34 @@ void Nemesis::fire() {
   // A storage crash is only safe when every installed quorum (default and
   // overrides, which bounds the transition quorums of any in-flight
   // reconfiguration too) remains servable by each object's survivors.
+  // An isolated (partitioned) storage node is as unavailable as a crashed
+  // one for the duration of the partition, so it eats into the same margin.
+  const int storage_unavailable =
+      static_cast<int>(storage_crashed_) + (partition_active_ ? 1 : 0);
   const bool can_crash_storage =
       storage_crashed_ < options_.max_storage_crashes &&
       max_quorum_dimension(cluster_.rm().config()) <=
-          cluster_.config().replication -
-              static_cast<int>(storage_crashed_) - 1;
-  const std::array<Choice, 6> choices = {{
+          cluster_.config().replication - storage_unavailable - 1;
+  // Isolating a storage node is a temporary outage, so it obeys the same
+  // quorum-servability margin as a crash; one partition at a time keeps the
+  // isolated-set bookkeeping (and the margin math) trivial.
+  const bool can_partition =
+      !partition_active_ &&
+      max_quorum_dimension(cluster_.rm().config()) <=
+          cluster_.config().replication - storage_unavailable - 1;
+  const bool can_restart = proxies_crashed_ > 0 || storage_crashed_ > 0;
+  // New kinds are appended with zero default weights: a legacy options
+  // struct draws the exact same event sequence as before they existed.
+  const std::array<Choice, 9> choices = {{
       {options_.reconfigure, 0},
       {options_.per_object_reconfigure, 1},
       {options_.false_suspicion, 2},
       {cluster_.config().heartbeat_fd ? options_.pause_heartbeats : 0.0, 3},
       {can_crash_proxy ? options_.crash_proxy : 0.0, 4},
       {can_crash_storage ? options_.crash_storage : 0.0, 5},
+      {can_partition ? options_.partition : 0.0, 6},
+      {burst_active_ ? 0.0 : options_.loss_burst, 7},
+      {can_restart ? options_.restart : 0.0, 8},
   }};
   double total = 0;
   for (const Choice& choice : choices) total += choice.weight;
@@ -93,12 +123,14 @@ void Nemesis::fire() {
   switch (kind) {
     case 0: {
       ++stats_.reconfigurations;
+      ins_.reconfigurations->inc();
       const int w = pick_write_quorum();
       cluster_.reconfigure({n - w + 1, w});
       break;
     }
     case 1: {
       ++stats_.per_object_reconfigurations;
+      ins_.per_object_reconfigurations->inc();
       std::vector<std::pair<kv::ObjectId, kv::QuorumConfig>> overrides;
       const std::uint64_t count = 1 + rng_.next_below(4);
       for (std::uint64_t i = 0; i < count; ++i) {
@@ -111,6 +143,7 @@ void Nemesis::fire() {
     }
     case 2: {
       ++stats_.false_suspicions;
+      ins_.false_suspicions->inc();
       const auto victim = static_cast<std::uint32_t>(
           rng_.next_below(cluster_.config().num_proxies));
       if (!cluster_.proxy(victim).crashed()) {
@@ -122,6 +155,7 @@ void Nemesis::fire() {
     }
     case 3: {
       ++stats_.heartbeat_pauses;
+      ins_.heartbeat_pauses->inc();
       const auto victim = static_cast<std::uint32_t>(
           rng_.next_below(cluster_.config().num_proxies));
       if (!cluster_.proxy(victim).crashed()) {
@@ -146,6 +180,7 @@ void Nemesis::fire() {
         const std::uint32_t candidate = (victim + i) % proxies;
         if (!cluster_.proxy(candidate).crashed()) {
           ++stats_.proxy_crashes;
+          ins_.proxy_crashes->inc();
           ++proxies_crashed_;
           cluster_.crash_proxy(candidate);
           break;
@@ -161,9 +196,81 @@ void Nemesis::fire() {
         const std::uint32_t candidate = (victim + i) % storage;
         if (!cluster_.storage(candidate).crashed()) {
           ++stats_.storage_crashes;
+          ins_.storage_crashes->inc();
           ++storage_crashed_;
           cluster_.crash_storage(candidate);
           break;
+        }
+      }
+      break;
+    }
+    case 6: {
+      // Isolate a live storage node from the rest of the cluster; heal
+      // after a bounded delay. One partition at a time (gated above).
+      const std::uint32_t storage = cluster_.config().num_storage;
+      auto victim = static_cast<std::uint32_t>(rng_.next_below(storage));
+      bool found = false;
+      for (std::uint32_t i = 0; i < storage; ++i) {
+        const std::uint32_t candidate = (victim + i) % storage;
+        if (!cluster_.storage(candidate).crashed()) {
+          victim = candidate;
+          found = true;
+          break;
+        }
+      }
+      if (!found) break;
+      ++stats_.partitions;
+      ins_.partitions->inc();
+      partition_active_ = true;
+      const std::uint64_t id =
+          cluster_.isolate({sim::storage_id(victim)}, /*symmetric=*/true);
+      const auto hold = 1 + static_cast<Duration>(rng_.next_below(
+                            static_cast<std::uint64_t>(
+                                options_.max_partition)));
+      cluster_.simulator().after(hold, [this, id] {
+        cluster_.heal_partition(id);
+        partition_active_ = false;
+        ++stats_.heals;
+        ins_.heals->inc();
+      });
+      break;
+    }
+    case 7: {
+      ++stats_.loss_bursts;
+      ins_.loss_bursts->inc();
+      burst_active_ = true;
+      cluster_.network().set_loss(options_.burst_loss);
+      const auto hold = 1 + static_cast<Duration>(rng_.next_below(
+                            static_cast<std::uint64_t>(
+                                options_.max_loss_burst)));
+      cluster_.simulator().after(hold, [this] {
+        // Back to the configured baseline, not necessarily zero.
+        cluster_.network().set_loss(cluster_.config().net_loss);
+        burst_active_ = false;
+      });
+      break;
+    }
+    case 8: {
+      // Recover the first crashed node (proxies first): exercises the
+      // crash-recovery path — durable state, NACK resync, FD recovery.
+      ++stats_.restarts;
+      ins_.restarts->inc();
+      bool restarted = false;
+      for (std::uint32_t i = 0; i < cluster_.config().num_proxies; ++i) {
+        if (cluster_.proxy(i).crashed()) {
+          cluster_.restart_proxy(i);
+          --proxies_crashed_;
+          restarted = true;
+          break;
+        }
+      }
+      if (!restarted) {
+        for (std::uint32_t i = 0; i < cluster_.config().num_storage; ++i) {
+          if (cluster_.storage(i).crashed()) {
+            cluster_.restart_storage(i);
+            --storage_crashed_;
+            break;
+          }
         }
       }
       break;

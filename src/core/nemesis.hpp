@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "core/cluster.hpp"
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -25,14 +26,24 @@ struct NemesisOptions {
   double pause_heartbeats = 1.0;  // effective only in heartbeat-FD mode
   double crash_proxy = 0.5;
   double crash_storage = 0.5;
+  // Link-fault events (all default 0 so legacy schedules draw the same
+  // event sequence; enable explicitly or via --nemesis-partitions).
+  double partition = 0.0;   // isolate one storage node, heal later
+  double loss_burst = 0.0;  // temporarily raise the link-loss rate
+  double restart = 0.0;     // recover a previously crashed node
   // Bounds preserving liveness: crashed storage shrinks the quorum range
   // the nemesis installs (W and R both kept <= N - crashed_storage).
   std::uint32_t max_proxy_crashes = 1;
   std::uint32_t max_storage_crashes = 1;
   Duration max_suspicion = seconds(2);
+  Duration max_partition = seconds(2);
+  Duration max_loss_burst = seconds(1);
+  double burst_loss = 0.05;  // loss rate during a burst
   std::uint64_t seed = 1;
 };
 
+/// Legacy aggregate view; the authoritative instruments live in the shared
+/// `obs::MetricRegistry` under `nemesis.*`.
 struct NemesisStats {
   std::uint64_t reconfigurations = 0;
   std::uint64_t per_object_reconfigurations = 0;
@@ -40,10 +51,14 @@ struct NemesisStats {
   std::uint64_t heartbeat_pauses = 0;
   std::uint64_t proxy_crashes = 0;
   std::uint64_t storage_crashes = 0;
+  std::uint64_t partitions = 0;
+  std::uint64_t heals = 0;  // partition heals (trails `partitions` by <= 1)
+  std::uint64_t loss_bursts = 0;
+  std::uint64_t restarts = 0;
   std::uint64_t total() const {
     return reconfigurations + per_object_reconfigurations +
            false_suspicions + heartbeat_pauses + proxy_crashes +
-           storage_crashes;
+           storage_crashes + partitions + loss_bursts + restarts;
   }
 };
 
@@ -67,6 +82,24 @@ class Nemesis {
   bool running_ = false;
   std::uint32_t proxies_crashed_ = 0;
   std::uint32_t storage_crashed_ = 0;
+  bool partition_active_ = false;
+  bool burst_active_ = false;
+
+  // Mirrors of stats_ in the cluster's metric registry (`nemesis.*`), so
+  // chaos schedules appear in RunReport snapshots alongside everything else.
+  struct Instruments {
+    obs::Counter* reconfigurations = nullptr;
+    obs::Counter* per_object_reconfigurations = nullptr;
+    obs::Counter* false_suspicions = nullptr;
+    obs::Counter* heartbeat_pauses = nullptr;
+    obs::Counter* proxy_crashes = nullptr;
+    obs::Counter* storage_crashes = nullptr;
+    obs::Counter* partitions = nullptr;
+    obs::Counter* heals = nullptr;
+    obs::Counter* loss_bursts = nullptr;
+    obs::Counter* restarts = nullptr;
+  };
+  Instruments ins_;
 };
 
 }  // namespace qopt

@@ -40,6 +40,10 @@ StorageNode::StorageNode(sim::Simulator& sim, Net& net, sim::NodeId self,
                                                       "nacks_sent"));
   ins_.epoch_changes =
       &reg.counter(obs::instrument_name("storage", i, "epoch_changes"));
+  ins_.dup_writes_ignored =
+      &reg.counter(obs::instrument_name("storage", i, "dup_writes_ignored"));
+  ins_.restarts = &reg.counter(obs::instrument_name("storage", i,
+                                                    "restarts"));
 }
 
 StorageNodeStats StorageNode::stats() const {
@@ -49,6 +53,8 @@ StorageNodeStats StorageNode::stats() const {
   s.writes_discarded = ins_.writes_discarded->value();
   s.nacks_sent = ins_.nacks_sent->value();
   s.epoch_changes = ins_.epoch_changes->value();
+  s.dup_writes_ignored = ins_.dup_writes_ignored->value();
+  s.restarts = ins_.restarts->value();
   return s;
 }
 
@@ -71,7 +77,18 @@ void StorageNode::on_message(const sim::NodeId& from, const Message& msg) {
 
 void StorageNode::crash() {
   crashed_ = true;
+  ++incarnation_;  // invalidates already-scheduled service completions
   net_.set_crashed(self_);
+  // The dedup table is volatile: a retransmit arriving after restart is
+  // re-applied, which the freshest-wins rule makes safe.
+  applied_writes_.clear();
+}
+
+void StorageNode::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  net_.set_crashed(self_, false);
+  ins_.restarts->inc();
 }
 
 const Version* StorageNode::peek(ObjectId oid) const {
@@ -106,8 +123,8 @@ void StorageNode::handle_read(const sim::NodeId& from,
   }
   const ObjectId oid = req.oid;
   const std::uint64_t op_id = req.op_id;
-  sim_.at(done, [this, from, oid, op_id] {
-    if (crashed_) return;
+  sim_.at(done, [this, from, oid, op_id, inc = incarnation_] {
+    if (crashed_ || inc != incarnation_) return;
     ins_.reads_served->inc();
     StorageReadResp resp;
     resp.op_id = op_id;
@@ -125,6 +142,18 @@ void StorageNode::handle_write(const sim::NodeId& from,
     send_nack(from, req.op_id);
     return;
   }
+  // At-least-once dedup (explicit, beyond timestamp idempotence): a write
+  // whose apply already completed — retransmitted by the proxy or duplicated
+  // by the network — is acknowledged again without re-paying service time.
+  // Only *applied* ids are in the table, so the fast ack never races the
+  // original apply; a copy arriving while the first is still queued goes
+  // through the normal path and is discarded by the timestamp rule.
+  auto& seen = applied_writes_[from.index];
+  if (seen.contains(req.op_id)) {
+    ins_.dup_writes_ignored->inc();
+    net_.send(self_, from, StorageWriteResp{req.op_id});
+    return;
+  }
   const Time done = pool_.submit(
       sim_.now(), service_.write_time(req.version.size_bytes, rng_));
   if (req.span.valid()) {
@@ -134,8 +163,8 @@ void StorageNode::handle_write(const sim::NodeId& from,
                         node_name_, sim_.now());
     spans.close_span(s, done, req.oid, self_.index);
   }
-  sim_.at(done, [this, from, req] {
-    if (crashed_) return;
+  sim_.at(done, [this, from, req, inc = incarnation_] {
+    if (crashed_ || inc != incarnation_) return;
     // Apply-or-discard at service completion: newer timestamps win; an older
     // write is discarded but still acknowledged (Section 2.1).
     auto [it, inserted] = store_.try_emplace(req.oid, req.version);
@@ -156,6 +185,12 @@ void StorageNode::handle_write(const sim::NodeId& from,
     } else {
       ins_.writes_applied->inc();
     }
+    auto& applied = applied_writes_[from.index];
+    applied.insert(req.op_id);
+    // Bound the window; proxy op-ids grow monotonically, so evicting the
+    // smallest ids loses only the oldest (least likely to re-arrive) ones.
+    constexpr std::size_t kDedupWindow = 4096;
+    while (applied.size() > kDedupWindow) applied.erase(applied.begin());
     net_.send(self_, from, StorageWriteResp{req.op_id});
   });
 }
@@ -164,8 +199,8 @@ Time StorageNode::replicate_in(ObjectId oid, const Version& version) {
   if (crashed_) return sim_.now();
   const Time done =
       pool_.submit(sim_.now(), service_.write_time(version.size_bytes, rng_));
-  sim_.at(done, [this, oid, version] {
-    if (crashed_) return;
+  sim_.at(done, [this, oid, version, inc = incarnation_] {
+    if (crashed_ || inc != incarnation_) return;
     auto [it, inserted] = store_.try_emplace(oid, version);
     if (!inserted) {
       if (version.ts > it->second.ts) {

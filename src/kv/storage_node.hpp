@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -39,6 +40,8 @@ struct StorageNodeStats {
   std::uint64_t writes_discarded = 0;  // older than the stored version
   std::uint64_t nacks_sent = 0;
   std::uint64_t epoch_changes = 0;
+  std::uint64_t dup_writes_ignored = 0;  // dedup hits (retransmit/dup)
+  std::uint64_t restarts = 0;
 };
 
 class StorageNode {
@@ -56,6 +59,11 @@ class StorageNode {
   void on_message(const sim::NodeId& from, const Message& msg);
 
   void crash();
+  /// Crash-recovery: rejoins the network with its durable state (store and
+  /// installed epoch survive; in-flight requests and the dedup table do
+  /// not). If the node's epoch went stale while it was down, the first
+  /// operation it NACKs resynchronizes the issuing proxy (Algorithm 6).
+  void restart();
   bool crashed() const noexcept { return crashed_; }
 
   std::uint64_t epoch() const noexcept { return config_.epno; }
@@ -108,6 +116,16 @@ class StorageNode {
   std::unordered_map<ObjectId, Version> store_;
   FullConfig config_;  // epno/cfno/current quorum state, from NEWEP messages
   bool crashed_ = false;
+  /// Bumped on every crash: service-completion events scheduled before the
+  /// crash carry the old incarnation and are discarded, so a quick restart
+  /// cannot resurrect requests the crash should have lost.
+  std::uint64_t incarnation_ = 0;
+  /// At-least-once write dedup: per-proxy set of write op-ids whose apply
+  /// already ran (inserted at service completion, so a dedup ack never
+  /// precedes durability). Bounded by pruning the oldest ids; an evicted id
+  /// that re-arrives is re-applied, which the freshest-wins rule makes
+  /// idempotent. Volatile: cleared on crash (it is RAM, not disk).
+  std::map<std::uint32_t, std::set<std::uint64_t>> applied_writes_;
 
   // Observability: counters cached at construction, bumped on the hot path.
   std::unique_ptr<obs::Observability> own_obs_;  // fallback when none shared
@@ -118,6 +136,8 @@ class StorageNode {
     obs::Counter* writes_discarded = nullptr;
     obs::Counter* nacks_sent = nullptr;
     obs::Counter* epoch_changes = nullptr;
+    obs::Counter* dup_writes_ignored = nullptr;
+    obs::Counter* restarts = nullptr;
   };
   Instruments ins_;
   std::string node_name_;  // cached to_string(self_) for trace events

@@ -26,6 +26,9 @@ struct ClientReadResp {
   std::uint64_t req_id = 0;
   bool found = false;
   Version version;  // valid when found
+  /// Set when the proxy abandoned the operation after exhausting its
+  /// retransmit budget (lossy network); found/version are meaningless.
+  bool failed = false;
 };
 
 struct ClientWriteReq {
@@ -38,6 +41,10 @@ struct ClientWriteReq {
 struct ClientWriteResp {
   std::uint64_t req_id = 0;
   Timestamp ts;  // version timestamp assigned by the proxy (etag-style)
+  /// Retry budget exhausted; the write may or may not be (partially)
+  /// applied — the client must treat it as indeterminate, like an RPC
+  /// timeout in a real store.
+  bool failed = false;
 };
 
 // ------------------------------------------------------- proxy <-> storage

@@ -86,6 +86,10 @@ std::string RunReport::to_json() const {
   field(out, "dropped_sender_crashed", dropped_sender_crashed);
   field(out, "dropped_receiver_crashed", dropped_receiver_crashed);
   field(out, "dropped_unroutable", dropped_unroutable);
+  field(out, "dropped_link_loss", dropped_link_loss);
+  field(out, "dropped_partitioned", dropped_partitioned);
+  field(out, "duplicates_delivered", duplicates_delivered);
+  field(out, "delay_spikes", delay_spikes);
   field(out, "reads_checked", reads_checked);
   field(out, "consistency_violations", consistency_violations);
   field(out, "traces_completed", traces_completed);
@@ -158,6 +162,17 @@ std::string RunReport::render() const {
                 static_cast<unsigned long long>(dropped_receiver_crashed),
                 static_cast<unsigned long long>(dropped_unroutable));
   out.append(line);
+  if (dropped_link_loss > 0 || dropped_partitioned > 0 ||
+      duplicates_delivered > 0 || delay_spikes > 0) {
+    std::snprintf(line, sizeof(line),
+                  "link faults         %llu lost, %llu partitioned, "
+                  "%llu duplicated, %llu delay spikes\n",
+                  static_cast<unsigned long long>(dropped_link_loss),
+                  static_cast<unsigned long long>(dropped_partitioned),
+                  static_cast<unsigned long long>(duplicates_delivered),
+                  static_cast<unsigned long long>(delay_spikes));
+    out.append(line);
+  }
   std::snprintf(line, sizeof(line),
                 "consistency         %llu violations over %llu checked "
                 "reads\n",

@@ -63,6 +63,11 @@ struct RunReport {
   std::uint64_t dropped_sender_crashed = 0;
   std::uint64_t dropped_receiver_crashed = 0;
   std::uint64_t dropped_unroutable = 0;
+  // Link-fault plane (zero on a reliable network).
+  std::uint64_t dropped_link_loss = 0;
+  std::uint64_t dropped_partitioned = 0;
+  std::uint64_t duplicates_delivered = 0;
+  std::uint64_t delay_spikes = 0;
 
   // ---- consistency
   std::uint64_t reads_checked = 0;
@@ -77,7 +82,7 @@ struct RunReport {
 
   std::uint64_t messages_dropped() const noexcept {
     return dropped_sender_crashed + dropped_receiver_crashed +
-           dropped_unroutable;
+           dropped_unroutable + dropped_link_loss + dropped_partitioned;
   }
 
   /// Single deterministic JSON document (byte-identical across same-seed

@@ -20,6 +20,8 @@ const char* to_string(Phase phase) noexcept {
     case Phase::kRmEpoch: return "rm_epoch";
     case Phase::kStorageEpoch: return "storage_epoch";
     case Phase::kRepairPush: return "repair_push";
+    case Phase::kRetransmit: return "retransmit";
+    case Phase::kOpFailed: return "op_failed";
   }
   return "unknown";
 }

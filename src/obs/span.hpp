@@ -46,9 +46,11 @@ enum class Phase : std::uint8_t {
   kRmEpoch,         // RM epoch change: NEWEP broadcast -> storage quorum
   kStorageEpoch,    // marker: NEWEP adopted at a storage node
   kRepairPush,      // anti-entropy push (write service on the target)
+  kRetransmit,      // marker: timeout retransmit round (lossy network)
+  kOpFailed,        // marker: op abandoned after its retry budget
 };
 
-inline constexpr std::size_t kNumPhases = 16;
+inline constexpr std::size_t kNumPhases = 18;
 
 const char* to_string(Phase phase) noexcept;
 

@@ -30,6 +30,7 @@ Proxy::Proxy(sim::Simulator& sim, Net& net, sim::NodeId self,
       placement_(placement),
       options_(options),
       pool_(options.servers),
+      rng_(mix64(0x70727879ULL ^ self.index)),
       default_q_(options.initial),
       summary_(options.topk_capacity) {
   read_q_history_[0] = default_q_.read_q;
@@ -59,6 +60,11 @@ Proxy::Proxy(sim::Simulator& sim, Net& net, sim::NodeId self,
                                                      "fallbacks"));
   ins_.reconfigurations =
       &reg.counter(obs::instrument_name("proxy", i, "reconfigurations"));
+  ins_.retries = &reg.counter(obs::instrument_name("proxy", i, "retries"));
+  ins_.timeouts = &reg.counter(obs::instrument_name("proxy", i, "timeouts"));
+  ins_.duplicate_replies =
+      &reg.counter(obs::instrument_name("proxy", i, "duplicate_replies"));
+  ins_.restarts = &reg.counter(obs::instrument_name("proxy", i, "restarts"));
   ins_.read_latency_ns =
       &reg.histogram(obs::instrument_name("proxy", i, "read_latency_ns"));
   ins_.write_latency_ns =
@@ -80,6 +86,10 @@ ProxyStats Proxy::stats() const {
   s.op_retries = ins_.op_retries->value();
   s.fallbacks = ins_.fallbacks->value();
   s.reconfigurations = ins_.reconfigurations->value();
+  s.retries = ins_.retries->value();
+  s.timeouts = ins_.timeouts->value();
+  s.duplicate_replies = ins_.duplicate_replies->value();
+  s.restarts = ins_.restarts->value();
   return s;
 }
 
@@ -92,6 +102,7 @@ void Proxy::trace(obs::Category category, const char* name, std::uint64_t a,
 
 void Proxy::crash() {
   crashed_ = true;
+  ++incarnation_;  // invalidates already-scheduled CPU-queue completions
   net_.set_crashed(self_);
   // End in-flight traces so the span store's live set stays bounded; their
   // open spans are force-closed at the crash instant.
@@ -99,20 +110,38 @@ void Proxy::crash() {
     if (op.trace_ctx.valid()) obs_->spans().end_trace(op.trace_ctx, sim_.now());
   }
   ops_.clear();
+  // An unanswered NEWQ drain dies with the in-flight ops; the RM's
+  // retransmitted NEWQ after restart is re-answered from scratch.
+  drain_waiting_ = false;
+  drain_remaining_ = 0;
   if (drain_span_.valid()) {
     obs_->spans().close_span(drain_span_, sim_.now());
     drain_span_ = obs::SpanContext{};
   }
 }
 
+void Proxy::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  net_.set_crashed(self_, false);
+  ins_.restarts->inc();
+  trace(obs::Category::kMembership, "restart");
+  if (hb_enabled_) heartbeat_loop(++hb_gen_);
+}
+
 void Proxy::enable_heartbeats(sim::NodeId target, Duration interval) {
-  if (!crashed_ && !heartbeats_paused_) {
-    net_.send(self_, target, kv::HeartbeatMsg{++heartbeat_seq_});
+  hb_enabled_ = true;
+  hb_target_ = target;
+  hb_interval_ = interval;
+  heartbeat_loop(++hb_gen_);
+}
+
+void Proxy::heartbeat_loop(std::uint64_t gen) {
+  if (crashed_ || gen != hb_gen_) return;
+  if (!heartbeats_paused_) {
+    net_.send(self_, hb_target_, kv::HeartbeatMsg{++heartbeat_seq_});
   }
-  sim_.after(interval, [this, target, interval] {
-    if (crashed_) return;
-    enable_heartbeats(target, interval);
-  });
+  sim_.after(hb_interval_, [this, gen] { heartbeat_loop(gen); });
 }
 
 // ---------------------------------------------------------------- quorums
@@ -203,8 +232,8 @@ void Proxy::handle_client_read(const sim::NodeId& from,
   const Time ready = pool_.submit(arrival, options_.op_cost);
   const obs::SpanContext trace_ctx =
       begin_op_trace(obs::TraceKind::kRead, "read", arrival, ready);
-  sim_.at(ready, [this, from, req, arrival, trace_ctx] {
-    if (crashed_) {
+  sim_.at(ready, [this, from, req, arrival, trace_ctx, inc = incarnation_] {
+    if (crashed_ || inc != incarnation_) {
       obs_->spans().end_trace(trace_ctx, sim_.now());
       return;
     }
@@ -220,8 +249,8 @@ void Proxy::handle_client_write(const sim::NodeId& from,
   const Time ready = pool_.submit(arrival, options_.op_cost);
   const obs::SpanContext trace_ctx =
       begin_op_trace(obs::TraceKind::kWrite, "write", arrival, ready);
-  sim_.at(ready, [this, from, req, arrival, trace_ctx] {
-    if (crashed_) {
+  sim_.at(ready, [this, from, req, arrival, trace_ctx, inc = incarnation_] {
+    if (crashed_ || inc != incarnation_) {
       obs_->spans().end_trace(trace_ctx, sim_.now());
       return;
     }
@@ -271,6 +300,7 @@ void Proxy::launch_op(std::uint64_t op_id) {
   op.epno_used = lepno_;
   op.received = 0;
   op.contacted = 0;
+  op.replied.clear();
   op.any_found = false;
   op.repair = false;
   op.replica_order = placement_.replicas(op.oid);
@@ -293,35 +323,47 @@ void Proxy::launch_op(std::uint64_t op_id) {
                               "quorum_wait", node_name_, sim_.now());
   contact_replicas(op_id, op, op.needed);
   arm_fallback(op_id);
+  arm_retransmit(op_id, 0);
 }
 
 void Proxy::contact_replicas(std::uint64_t op_id, PendingOp& op, int upto) {
   const int limit =
       std::min(upto, static_cast<int>(op.replica_order.size()));
-  const bool is_read = op.kind == PendingOp::Kind::kRead;
   for (; op.contacted < limit; ++op.contacted) {
-    const std::uint32_t replica =
-        op.replica_order[static_cast<std::size_t>(op.contacted)];
-    const sim::NodeId target = sim::storage_id(replica);
-    // The RPC span travels in the request so the storage node can attribute
-    // its service time to this operation; replica_order holds each replica
-    // once, so the rpc_spans key is unique.
-    obs::SpanContext rpc;
-    if (op.wait_span.valid()) {
+    send_request(op_id, op,
+                 op.replica_order[static_cast<std::size_t>(op.contacted)],
+                 /*open_span=*/true);
+  }
+}
+
+void Proxy::send_request(std::uint64_t op_id, PendingOp& op,
+                         std::uint32_t replica, bool open_span) {
+  const bool is_read = op.kind == PendingOp::Kind::kRead;
+  // The RPC span travels in the request so the storage node can attribute
+  // its service time to this operation; replica_order holds each replica
+  // once, so the rpc_spans key is unique. A retransmit (open_span false)
+  // reuses the still-open span of the first send — it is the same logical
+  // RPC, retried; the kRetransmit marker records the extra round.
+  obs::SpanContext rpc;
+  if (op.wait_span.valid()) {
+    if (auto it = op.rpc_spans.find(replica); it != op.rpc_spans.end()) {
+      rpc = it->second;
+    } else if (open_span) {
       rpc = obs_->spans().open_span(
           op.wait_span,
           is_read ? obs::Phase::kReplicaRead : obs::Phase::kReplicaWrite,
           is_read ? "replica_read" : "replica_write", node_name_, sim_.now());
       if (rpc.valid()) op.rpc_spans[replica] = rpc;
     }
-    if (is_read) {
-      net_.send(self_, target,
-                kv::StorageReadReq{op.oid, op_id, op.epno_used, rpc});
-    } else {
-      net_.send(self_, target,
-                kv::StorageWriteReq{op.oid, op_id, op.epno_used,
-                                    op.write_version, rpc});
-    }
+  }
+  const sim::NodeId target = sim::storage_id(replica);
+  if (is_read) {
+    net_.send(self_, target,
+              kv::StorageReadReq{op.oid, op_id, op.epno_used, rpc});
+  } else {
+    net_.send(self_, target,
+              kv::StorageWriteReq{op.oid, op_id, op.epno_used,
+                                  op.write_version, rpc});
   }
 }
 
@@ -340,6 +382,83 @@ void Proxy::arm_fallback(std::uint64_t op_id) {
     trace(obs::Category::kQuorum, "fallback", op.oid);
     contact_replicas(op_id, op, static_cast<int>(op.replica_order.size()));
   });
+}
+
+void Proxy::arm_retransmit(std::uint64_t op_id, int attempt) {
+  // At-least-once RPC plane: after an exponentially backed-off, jittered
+  // timeout the op re-sends to contacted-but-silent replicas (same op id;
+  // storage dedups applied writes). Disabled by retry_budget = 0.
+  if (options_.retry_budget <= 0) return;
+  double delay = static_cast<double>(options_.retry_base);
+  for (int k = 0; k < attempt; ++k) delay *= options_.retry_multiplier;
+  delay *= 1.0 + options_.retry_jitter * (2.0 * rng_.next_double() - 1.0);
+  sim_.after(static_cast<Duration>(delay),
+             [this, op_id, attempt, inc = incarnation_] {
+               if (crashed_ || inc != incarnation_) return;
+               fire_retransmit(op_id, attempt);
+             });
+}
+
+void Proxy::fire_retransmit(std::uint64_t op_id, int attempt) {
+  auto it = ops_.find(op_id);
+  if (it == ops_.end()) return;  // completed, failed, or NACK-retried
+  PendingOp& op = it->second;
+  if (op.received >= op.needed) return;
+  if (attempt >= options_.retry_budget) {
+    fail_op(op_id);
+    return;
+  }
+  ins_.retries->inc();
+  trace(obs::Category::kQuorum, "retransmit", op.oid,
+        static_cast<std::uint64_t>(attempt));
+  if (op.trace_ctx.valid()) {
+    // Zero-duration marker: retransmit rounds show up on the op's trace.
+    obs::SpanStore& spans = obs_->spans();
+    const obs::SpanContext marker =
+        spans.open_span(op.trace_ctx, obs::Phase::kRetransmit, "retransmit",
+                        node_name_, sim_.now());
+    spans.close_span(marker, sim_.now(), op.oid,
+                     static_cast<std::uint64_t>(attempt));
+  }
+  for (int i = 0; i < op.contacted; ++i) {
+    const std::uint32_t replica =
+        op.replica_order[static_cast<std::size_t>(i)];
+    if (op.replied.contains(replica)) continue;
+    send_request(op_id, op, replica, /*open_span=*/false);
+  }
+  arm_retransmit(op_id, attempt + 1);
+}
+
+void Proxy::fail_op(std::uint64_t op_id) {
+  auto node = ops_.extract(op_id);
+  PendingOp op = std::move(node.mapped());
+  ins_.timeouts->inc();
+  trace(obs::Category::kOp, "op_failed", op.oid);
+  abort_op_spans(op, sim_.now());
+  if (op.trace_ctx.valid()) {
+    obs::SpanStore& spans = obs_->spans();
+    const obs::SpanContext marker =
+        spans.open_span(op.trace_ctx, obs::Phase::kOpFailed, "op_failed",
+                        node_name_, sim_.now());
+    spans.close_span(marker, sim_.now(), op.oid);
+  }
+  if (op.kind == PendingOp::Kind::kRead) {
+    kv::ClientReadResp resp;
+    resp.req_id = op.client_req;
+    resp.failed = true;
+    net_.send(self_, op.client, resp);
+  } else if (op.kind == PendingOp::Kind::kWrite) {
+    kv::ClientWriteResp resp;
+    resp.req_id = op.client_req;
+    resp.failed = true;
+    net_.send(self_, op.client, resp);
+  }
+  // A failed write-back vanishes silently: the repaired value stays
+  // readable through the historical-quorum path, so nothing is lost.
+  if (op.trace_ctx.valid()) obs_->spans().end_trace(op.trace_ctx, sim_.now());
+  // A draining op that times out still drains — otherwise a single lost
+  // replica would wedge the NEWQ handshake forever.
+  if (op.drains) op_completed_for_drain();
 }
 
 // ------------------------------------------------------------- span layer
@@ -406,6 +525,12 @@ void Proxy::handle_read_reply(const sim::NodeId& from,
   auto it = ops_.find(resp.op_id);
   if (it == ops_.end()) return;  // stale attempt or already completed
   PendingOp& op = it->second;
+  if (!op.replied.insert(from.index).second) {
+    // Network duplicate or retransmit answer from an already-counted
+    // replica: a quorum must be `needed` *distinct* replicas.
+    ins_.duplicate_replies->inc();
+    return;
+  }
   ++op.received;
   note_reply(op, from.index);
   if (resp.found &&
@@ -458,6 +583,10 @@ void Proxy::handle_write_reply(const sim::NodeId& from,
   auto it = ops_.find(resp.op_id);
   if (it == ops_.end()) return;
   PendingOp& op = it->second;
+  if (!op.replied.insert(from.index).second) {
+    ins_.duplicate_replies->inc();
+    return;
+  }
   ++op.received;
   note_reply(op, from.index);
   if (op.received >= op.needed) {
@@ -551,7 +680,9 @@ void Proxy::finish_op(std::uint64_t op_id, PendingOp& op_ref) {
   }
 
   if (op.trace_ctx.valid()) obs_->spans().end_trace(op.trace_ctx, sim_.now());
-  op_completed_for_drain();
+  // Only ops issued before the NEWQ count toward its drain; ops launched
+  // under the transition quorum must not release the ACKNEWQ early.
+  if (op.drains) op_completed_for_drain();
 }
 
 // ----------------------------------------------------- reconfiguration path
@@ -559,6 +690,12 @@ void Proxy::finish_op(std::uint64_t op_id, PendingOp& op_ref) {
 void Proxy::handle_new_quorum(const sim::NodeId& from,
                               const kv::NewQuorumMsg& msg) {
   if (msg.cfno <= lcfno_) {
+    if (drain_waiting_ && msg.cfno == drain_cfno_) {
+      // RM retransmission of the NEWQ whose drain is still in progress:
+      // acking now would defeat the drain, so stay silent — the pending
+      // drain acknowledges when it completes.
+      return;
+    }
     // Already known (learned via a NACK resync or a retransmission); the
     // acknowledgement is still required so the RM can make progress.
     net_.send(self_, from, kv::AckNewQuorumMsg{msg.epno, msg.cfno});

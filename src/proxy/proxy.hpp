@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <unordered_set>
 #include <vector>
 
@@ -41,6 +42,7 @@
 #include "sim/simulator.hpp"
 #include "topk/space_saving.hpp"
 #include "util/histogram.hpp"
+#include "util/rng.hpp"
 #include "util/time.hpp"
 
 #include <memory>
@@ -54,6 +56,17 @@ struct ProxyOptions {
   std::size_t servers = 8;                 // proxy CPU cores
   Duration op_cost = microseconds(60);     // per-op proxy CPU time
   std::size_t topk_capacity = 128;         // Space-Saving summary size
+  // Per-operation timeout/retransmit plane (at-least-once RPC; see
+  // docs/ROBUSTNESS.md). After `retry_base * retry_multiplier^k` (+/- the
+  // jitter fraction) with the quorum still unmet, the k-th round re-sends
+  // the request — same op id, storage dedups — to every contacted replica
+  // that has not answered. After `retry_budget` rounds the operation is
+  // reported failed to the client. 0 disables retransmits (and with them
+  // op failures: an op then waits forever, the pre-fault-plane behavior).
+  int retry_budget = 6;
+  Duration retry_base = milliseconds(250);
+  double retry_multiplier = 2.0;
+  double retry_jitter = 0.2;
 };
 
 /// Legacy aggregate view; the authoritative instruments live in the shared
@@ -68,6 +81,10 @@ struct ProxyStats {
   std::uint64_t op_retries = 0;     // re-executions after a NACK
   std::uint64_t fallbacks = 0;      // timeout fan-outs to remaining replicas
   std::uint64_t reconfigurations = 0;
+  std::uint64_t retries = 0;           // timeout retransmit rounds
+  std::uint64_t timeouts = 0;          // ops failed after the retry budget
+  std::uint64_t duplicate_replies = 0; // replies ignored by replica dedup
+  std::uint64_t restarts = 0;
 };
 
 /// Completion record surfaced to the metrics layer.
@@ -93,6 +110,13 @@ class Proxy {
   void on_message(const sim::NodeId& from, const kv::Message& msg);
 
   void crash();
+  /// Crash-recovery: rejoins the network after a crash. Quorum state
+  /// (lepno/lcfno, default and override quorums) is durable; in-flight
+  /// operations were lost with the crash. A restarted proxy left behind by
+  /// an epoch change re-learns the current configuration through the first
+  /// NACK it receives (Algorithm 6) before any of its operations complete.
+  /// Heartbeats resume if they were enabled.
+  void restart();
   bool crashed() const noexcept { return crashed_; }
 
   /// Invoked on every completed client operation (metrics wiring).
@@ -135,6 +159,11 @@ class Proxy {
     kv::Version write_version;  // payload (writes / write-backs)
     std::vector<std::uint32_t> replica_order;
     int contacted = 0;  // prefix of replica_order already contacted
+    /// Replicas whose reply was counted this attempt (ordered set: the
+    /// retransmit path iterates it). Network-duplicated replies and replies
+    /// to retransmits from an already-counted replica are dropped so a
+    /// quorum is always `needed` *distinct* replicas.
+    std::set<std::uint32_t> replied;
     Time start_time = 0;
     bool drains = false;  // counts toward the current NEWQ drain
 
@@ -162,7 +191,12 @@ class Proxy {
                    PendingOp::Kind kind, obs::SpanContext trace_ctx);
   void launch_op(std::uint64_t op_id);
   void contact_replicas(std::uint64_t op_id, PendingOp& op, int upto);
+  void send_request(std::uint64_t op_id, PendingOp& op, std::uint32_t replica,
+                    bool open_span);
   void arm_fallback(std::uint64_t op_id);
+  void arm_retransmit(std::uint64_t op_id, int attempt);
+  void fire_retransmit(std::uint64_t op_id, int attempt);
+  void fail_op(std::uint64_t op_id);
   void finish_op(std::uint64_t op_id, PendingOp& op);
 
   // ------------------------------------------------------ storage replies
@@ -213,6 +247,13 @@ class Proxy {
   ProxyOptions options_;
   kv::ServicePool pool_;
   bool crashed_ = false;
+  /// Bumped on every crash: CPU-queue completions scheduled before the
+  /// crash carry the old incarnation, so a quick restart cannot resurrect
+  /// client operations the crash should have lost.
+  std::uint64_t incarnation_ = 0;
+  /// Proxy-local stream for retransmit jitter (deterministic per proxy
+  /// index; draws never interleave with any other component's stream).
+  Rng rng_;
 
   // Quorum state (Algorithm 3 variables).
   std::uint64_t lepno_ = 0;
@@ -258,9 +299,16 @@ class Proxy {
   Time round_started_ = 0;
   std::uint64_t current_round_ = 0;
 
-  // Heartbeat emission.
+  // Heartbeat emission. The generation counter kills a stale beat loop
+  // whose timer straddled a crash/restart cycle (restart starts a fresh
+  // loop; without the guard both would run).
   bool heartbeats_paused_ = false;
   std::uint64_t heartbeat_seq_ = 0;
+  bool hb_enabled_ = false;
+  sim::NodeId hb_target_;
+  Duration hb_interval_ = 0;
+  std::uint64_t hb_gen_ = 0;
+  void heartbeat_loop(std::uint64_t gen);
 
   // Observability: counters cached at construction, bumped on the hot path.
   std::unique_ptr<obs::Observability> own_obs_;  // fallback when none shared
@@ -275,6 +323,10 @@ class Proxy {
     obs::Counter* op_retries = nullptr;
     obs::Counter* fallbacks = nullptr;
     obs::Counter* reconfigurations = nullptr;
+    obs::Counter* retries = nullptr;            // retransmit rounds
+    obs::Counter* timeouts = nullptr;           // retry budget exhausted
+    obs::Counter* duplicate_replies = nullptr;  // replica-dedup drops
+    obs::Counter* restarts = nullptr;
     LatencyHistogram* read_latency_ns = nullptr;
     LatencyHistogram* write_latency_ns = nullptr;
     // Span-derived latency attribution (recorded for every op, sampled or

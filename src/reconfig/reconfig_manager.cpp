@@ -49,6 +49,7 @@ ReconfigManager::ReconfigManager(sim::Simulator& sim, Net& net,
       &reg.counter("rm.reconfigurations_completed");
   ins_.epoch_changes = &reg.counter("rm.epoch_changes");
   ins_.rejected_invalid = &reg.counter("rm.rejected_invalid");
+  ins_.retries = &reg.counter("rm.retries");
   ins_.reconfig_time_ns = &reg.counter("rm.reconfig_time_ns");
   ins_.epoch = &reg.gauge("rm.epoch");
   ins_.cfno = &reg.gauge("rm.cfno");
@@ -59,6 +60,7 @@ ReconfigStats ReconfigManager::stats() const {
   s.reconfigurations_completed = ins_.reconfigurations_completed->value();
   s.epoch_changes = ins_.epoch_changes->value();
   s.rejected_invalid = ins_.rejected_invalid->value();
+  s.retries = ins_.retries->value();
   s.total_reconfig_time =
       static_cast<Duration>(ins_.reconfig_time_ns->value());
   return s;
@@ -121,8 +123,63 @@ void ReconfigManager::start_next() {
   const kv::NewQuorumMsg msg{canonical_.epno, current_cfno_, current_.change,
                              phase_span_};
   for (const sim::NodeId& proxy : proxies_) net_.send(self_, proxy, msg);
+  ++retry_gen_;
+  arm_phase_retransmit(0);
   // A suspicion may already cover every proxy we would wait for.
   evaluate_phase1();
+}
+
+void ReconfigManager::arm_phase_retransmit(int attempt) {
+  Duration delay = kRetryBase;
+  for (int k = 0; k < attempt && delay < kRetryCap; ++k) delay *= 2;
+  delay = std::min(delay, kRetryCap);
+  const std::uint64_t gen = retry_gen_;
+  sim_.after(delay, [this, gen, attempt] {
+    if (gen != retry_gen_) return;  // the phase moved on
+    resend_phase();
+    arm_phase_retransmit(attempt + 1);
+  });
+}
+
+void ReconfigManager::resend_phase() {
+  ins_.retries->inc();
+  trace(obs::Category::kReconfig, "rm_retransmit", canonical_.epno,
+        current_cfno_);
+  switch (phase_) {
+    case Phase::kNewQuorum: {
+      const kv::NewQuorumMsg msg{canonical_.epno, current_cfno_,
+                                 current_.change, phase_span_};
+      for (const sim::NodeId& proxy : proxies_) {
+        if (acked_proxies_.contains(proxy.index) || fd_.suspects(proxy)) {
+          continue;
+        }
+        net_.send(self_, proxy, msg);
+      }
+      break;
+    }
+    case Phase::kConfirm: {
+      const kv::ConfirmMsg msg{canonical_.epno, current_cfno_, phase_span_};
+      for (const sim::NodeId& proxy : proxies_) {
+        if (acked_proxies_.contains(proxy.index) || fd_.suspects(proxy)) {
+          continue;
+        }
+        net_.send(self_, proxy, msg);
+      }
+      break;
+    }
+    case Phase::kEpochChange1:
+    case Phase::kEpochChange2: {
+      for (const sim::NodeId& storage : storages_) {
+        if (acked_storage_.contains(storage.index) || fd_.suspects(storage)) {
+          continue;
+        }
+        net_.send(self_, storage, kv::NewEpochMsg{epoch_payload_, phase_span_});
+      }
+      break;
+    }
+    case Phase::kIdle:
+      break;  // unreachable: the generation guard kills idle timers
+  }
 }
 
 // ------------------------------------------------------------- state views
@@ -244,6 +301,8 @@ void ReconfigManager::begin_confirm() {
   acked_proxies_.clear();
   const kv::ConfirmMsg msg{canonical_.epno, current_cfno_, phase_span_};
   for (const sim::NodeId& proxy : proxies_) net_.send(self_, proxy, msg);
+  ++retry_gen_;
+  arm_phase_retransmit(0);
   evaluate_phase2();
 }
 
@@ -295,9 +354,12 @@ void ReconfigManager::begin_epoch_change(bool after_phase1) {
   begin_phase_span(obs::Phase::kRmEpoch, "rm_epoch_change");
   FullConfig msg_config = payload;
   msg_config.epno = canonical_.epno;
+  epoch_payload_ = msg_config;
   for (const sim::NodeId& storage : storages_) {
     net_.send(self_, storage, kv::NewEpochMsg{msg_config, phase_span_});
   }
+  ++retry_gen_;
+  arm_phase_retransmit(0);
 }
 
 void ReconfigManager::handle_epoch_ack(const sim::NodeId& from,
@@ -333,6 +395,7 @@ void ReconfigManager::commit() {
     round_trace_ = obs::SpanContext{};
   }
   phase_ = Phase::kIdle;
+  ++retry_gen_;  // kill the committed round's retransmit timer
   // Detach the finished request *before* invoking its callback: the callback
   // may synchronously enqueue (and start) the next reconfiguration, which
   // repopulates current_.

@@ -48,6 +48,7 @@ struct ReconfigStats {
   std::uint64_t reconfigurations_completed = 0;
   std::uint64_t epoch_changes = 0;
   std::uint64_t rejected_invalid = 0;
+  std::uint64_t retries = 0;  // phase-message retransmit rounds
   Duration total_reconfig_time = 0;  // summed wall (virtual) time
 };
 
@@ -95,6 +96,13 @@ class ReconfigManager {
   };
 
   void start_next();
+  /// Re-sends the current phase's message (NEWQ / CONFIRM / NEWEP) to every
+  /// target that has neither acked nor been suspected, with exponential
+  /// backoff. Receivers are idempotent, so lost control messages only delay
+  /// a reconfiguration instead of wedging it. The generation counter is
+  /// bumped on every phase transition, killing stale timers.
+  void arm_phase_retransmit(int attempt);
+  void resend_phase();
   void evaluate_phase1();
   void evaluate_phase2();
   void begin_confirm();
@@ -137,6 +145,10 @@ class ReconfigManager {
   std::unordered_set<std::uint32_t> acked_storage_;
   int epoch_quorum_needed_ = 0;
   bool epoch_change_after_phase1_ = false;
+  std::uint64_t retry_gen_ = 0;  // invalidates retransmit timers on phase end
+  kv::FullConfig epoch_payload_;  // last NEWEP payload, kept for resends
+  static constexpr Duration kRetryBase = 300 * kMillisecond;
+  static constexpr Duration kRetryCap = 5000 * kMillisecond;
 
   // Span-layer state: one trace per reconfiguration round; the phase span
   // travels inside NEWQ/CONFIRM/NEWEP so remote adoption markers and proxy
@@ -153,6 +165,7 @@ class ReconfigManager {
     obs::Counter* reconfigurations_completed = nullptr;
     obs::Counter* epoch_changes = nullptr;
     obs::Counter* rejected_invalid = nullptr;
+    obs::Counter* retries = nullptr;
     obs::Counter* reconfig_time_ns = nullptr;
     obs::Gauge* epoch = nullptr;
     obs::Gauge* cfno = nullptr;

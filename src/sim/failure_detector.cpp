@@ -17,6 +17,14 @@ void FailureDetector::node_crashed(const NodeId& id) {
   });
 }
 
+void FailureDetector::node_recovered(const NodeId& id) {
+  auto& st = states_[id];
+  if (!st.crashed) return;
+  st.crashed = false;
+  ++st.generation;
+  set_suspected(id, false);
+}
+
 void FailureDetector::inject_false_suspicion(const NodeId& id,
                                              Duration duration) {
   auto& st = states_[id];

@@ -31,6 +31,11 @@ class FailureDetector {
   /// the detection delay.
   void node_crashed(const NodeId& id);
 
+  /// Reports a crash-recovery: the node is no longer crashed and any
+  /// standing suspicion is lifted. A detection timer still pending from the
+  /// crash is implicitly cancelled (it checks the crashed flag).
+  void node_recovered(const NodeId& id);
+
   /// Injects a false suspicion lasting `duration` (0 = until cleared by a
   /// later crash/clear). Exercises the indulgent path of the protocol.
   void inject_false_suspicion(const NodeId& id, Duration duration);

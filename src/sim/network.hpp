@@ -1,20 +1,27 @@
 // Simulated message-passing network.
 //
-// Models the paper's system assumptions (Section 3): reliable channels
-// (messages are delivered unless sender or receiver crashes) with FIFO
-// ordering per sender/receiver pair, on an asynchronous system whose
-// synchrony lives entirely in the failure detector.
+// Models the paper's system assumptions (Section 3) — reliable channels with
+// FIFO ordering per sender/receiver pair on an asynchronous system — plus an
+// optional deterministic *link-fault plane* that deliberately departs from
+// them (see docs/ROBUSTNESS.md): per-message drop probability, delay spikes,
+// duplicate delivery, and one-way or symmetric partitions between node sets.
+// Every fault is drawn from the network's seeded RNG (same seed, same
+// faults) and counted under its own reason in NetworkStats / the registry.
+// With the fault plane disabled (all probabilities zero, no partitions) the
+// RNG stream is untouched, so baseline runs stay byte-identical.
 //
 // The class is a template over the message type so that the kernel stays
 // independent of the Q-OPT wire protocol.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <span>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "obs/obs.hpp"
 #include "obs/registry.hpp"
@@ -48,6 +55,11 @@ struct NetworkStats {
   std::uint64_t dropped_sender_crashed = 0;    // refused at send time
   std::uint64_t dropped_receiver_crashed = 0;  // in flight, receiver dead
   std::uint64_t dropped_unroutable = 0;  // unregistered target / no handler
+  std::uint64_t dropped_link_loss = 0;   // fault plane: random loss
+  std::uint64_t dropped_partitioned = 0;  // fault plane: blocked direction
+  // Fault-plane extras (not drops):
+  std::uint64_t duplicates_delivered = 0;  // extra copies handed to receivers
+  std::uint64_t delay_spikes = 0;          // messages given the spike extra
 };
 
 template <typename M>
@@ -63,7 +75,8 @@ class Network {
   }
 
   /// A crashed node neither sends nor receives; messages already in flight
-  /// to it are dropped at delivery time (fail-stop, no recovery).
+  /// to it are dropped at delivery time. Pass false to model a recovery
+  /// (crash-recovery nodes re-attach with their durable state).
   void set_crashed(const NodeId& id, bool crashed = true) {
     if (auto it = nodes_.find(id); it != nodes_.end()) {
       it->second.crashed = crashed;
@@ -73,6 +86,66 @@ class Network {
   bool is_crashed(const NodeId& id) const {
     auto it = nodes_.find(id);
     return it != nodes_.end() && it->second.crashed;
+  }
+
+  // ------------------------------------------------------ link-fault plane
+
+  /// Per-message drop probability in [0, 1): each non-refused send is lost
+  /// with this probability (counted as dropped_link_loss).
+  void set_loss(double p) { loss_ = clamp_probability(p); }
+  double loss() const noexcept { return loss_; }
+
+  /// Per-message duplication probability in [0, 1): the receiver gets a
+  /// second copy, delivered after an independent latency draw (still FIFO
+  /// per link).
+  void set_duplication(double p) { duplication_ = clamp_probability(p); }
+
+  /// With probability `p`, a message's latency grows by `extra` (tail-delay
+  /// bursts; exercises timeout/retransmit paths without losing messages).
+  void set_delay_spike(double p, Duration extra) {
+    delay_spike_p_ = clamp_probability(p);
+    delay_spike_ = extra;
+  }
+
+  /// Installs a partition blocking traffic from set `a` to set `b` (and from
+  /// `b` to `a` when symmetric). In-flight messages crossing the cut are
+  /// dropped at delivery time, like messages to a crashed receiver. Returns
+  /// a handle for heal_partition(). Partitions stack; a message is blocked
+  /// if any active partition blocks its direction.
+  std::uint64_t add_partition(std::vector<NodeId> a, std::vector<NodeId> b,
+                              bool symmetric = true) {
+    Partition p;
+    p.id = next_partition_id_++;
+    p.a = std::move(a);
+    p.b = std::move(b);
+    p.symmetric = symmetric;
+    std::sort(p.a.begin(), p.a.end());
+    std::sort(p.b.begin(), p.b.end());
+    partitions_.push_back(std::move(p));
+    return partitions_.back().id;
+  }
+
+  /// Heals one partition; returns false when the handle is unknown
+  /// (already healed).
+  bool heal_partition(std::uint64_t id) {
+    for (auto it = partitions_.begin(); it != partitions_.end(); ++it) {
+      if (it->id == id) {
+        partitions_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void heal_all_partitions() { partitions_.clear(); }
+  std::size_t active_partitions() const noexcept { return partitions_.size(); }
+
+  /// True when any active partition blocks from -> to.
+  bool partitioned(const NodeId& from, const NodeId& to) const {
+    for (const Partition& p : partitions_) {
+      if (p.blocks(from, to)) return true;
+    }
+    return false;
   }
 
   /// Optional observer invoked for every send (message accounting in
@@ -87,7 +160,7 @@ class Network {
     obs_ = o;
     if (!obs_) {
       sent_ = delivered_ = drop_sender_ = drop_receiver_ = drop_unroutable_ =
-          nullptr;
+          drop_loss_ = drop_partition_ = duplicated_ = nullptr;
       return;
     }
     auto& reg = obs_->registry();
@@ -96,6 +169,9 @@ class Network {
     drop_sender_ = &reg.counter("net.dropped.sender_crashed");
     drop_receiver_ = &reg.counter("net.dropped.receiver_crashed");
     drop_unroutable_ = &reg.counter("net.dropped.unroutable");
+    drop_loss_ = &reg.counter("net.dropped.link_loss");
+    drop_partition_ = &reg.counter("net.dropped.partitioned");
+    duplicated_ = &reg.counter("net.duplicated");
   }
 
   void send(const NodeId& from, const NodeId& to, M msg) {
@@ -110,16 +186,29 @@ class Network {
       trace_drop("drop_sender_crashed", from, to);
       return;
     }
-    const Duration lat = latency_.sample(rng_);
-    // FIFO per ordered pair: clamp the delivery instant to strictly after
-    // the previous delivery on this link.
-    Time deliver_at = sim_.now() + lat;
-    auto& last = last_delivery_[{from, to}];
-    if (deliver_at <= last) deliver_at = last + 1;
-    last = deliver_at;
-    sim_.at(deliver_at, [this, from, to, m = std::move(msg)]() {
-      deliver(from, to, m);
-    });
+    // Fault-plane decisions happen at send time, in a fixed order, and only
+    // when the corresponding fault is enabled — so a disabled plane consumes
+    // no RNG and the baseline schedule is unchanged.
+    if (loss_ > 0 && rng_.chance(loss_)) {
+      ++stats_.messages_dropped;
+      ++stats_.dropped_link_loss;
+      if (drop_loss_) drop_loss_->inc();
+      trace_drop("drop_link_loss", from, to);
+      return;
+    }
+    Duration lat = latency_.sample(rng_);
+    if (delay_spike_p_ > 0 && rng_.chance(delay_spike_p_)) {
+      ++stats_.delay_spikes;
+      lat += delay_spike_;
+    }
+    schedule_delivery(from, to, msg, lat);
+    if (duplication_ > 0 && rng_.chance(duplication_)) {
+      // The duplicate takes its own latency draw: it may arrive well after
+      // the original (receivers must be idempotent), though never before it
+      // on the same link thanks to the FIFO clamp.
+      schedule_delivery(from, to, msg, lat + latency_.sample(rng_),
+                        /*duplicate=*/true);
+    }
   }
 
   template <typename Range>
@@ -135,7 +224,40 @@ class Network {
     bool crashed = false;
   };
 
-  void deliver(const NodeId& from, const NodeId& to, const M& msg) {
+  struct Partition {
+    std::uint64_t id = 0;
+    std::vector<NodeId> a;  // sorted
+    std::vector<NodeId> b;  // sorted
+    bool symmetric = true;
+
+    static bool contains(const std::vector<NodeId>& set, const NodeId& id) {
+      return std::binary_search(set.begin(), set.end(), id);
+    }
+    bool blocks(const NodeId& from, const NodeId& to) const {
+      if (contains(a, from) && contains(b, to)) return true;
+      return symmetric && contains(b, from) && contains(a, to);
+    }
+  };
+
+  static double clamp_probability(double p) {
+    return std::clamp(p, 0.0, 1.0);
+  }
+
+  void schedule_delivery(const NodeId& from, const NodeId& to, const M& msg,
+                         Duration lat, bool duplicate = false) {
+    // FIFO per ordered pair: clamp the delivery instant to strictly after
+    // the previous delivery on this link.
+    Time deliver_at = sim_.now() + lat;
+    auto& last = last_delivery_[{from, to}];
+    if (deliver_at <= last) deliver_at = last + 1;
+    last = deliver_at;
+    sim_.at(deliver_at, [this, from, to, duplicate, m = msg]() {
+      deliver(from, to, m, duplicate);
+    });
+  }
+
+  void deliver(const NodeId& from, const NodeId& to, const M& msg,
+               bool duplicate) {
     auto it = nodes_.find(to);
     if (it == nodes_.end() || !it->second.handler) {
       ++stats_.messages_dropped;
@@ -151,8 +273,22 @@ class Network {
       trace_drop("drop_receiver_crashed", from, to);
       return;
     }
+    // Partitions cut in-flight traffic too, so the check runs at delivery
+    // time: a message sent before the partition and arriving during it is
+    // lost, exactly like one addressed to a crashed receiver.
+    if (!partitions_.empty() && partitioned(from, to)) {
+      ++stats_.messages_dropped;
+      ++stats_.dropped_partitioned;
+      if (drop_partition_) drop_partition_->inc();
+      trace_drop("drop_partitioned", from, to);
+      return;
+    }
     ++stats_.messages_delivered;
     if (delivered_) delivered_->inc();
+    if (duplicate) {
+      ++stats_.duplicates_delivered;
+      if (duplicated_) duplicated_->inc();
+    }
     it->second.handler(from, msg);
   }
 
@@ -169,12 +305,23 @@ class Network {
   std::map<std::pair<NodeId, NodeId>, Time> last_delivery_;
   NetworkStats stats_;
   SendTap tap_;
+  double loss_ = 0.0;
+  double duplication_ = 0.0;
+  double delay_spike_p_ = 0.0;
+  Duration delay_spike_ = 0;
+  // Active partitions, in install order (decision paths iterate this, so it
+  // must be an ordered container).
+  std::vector<Partition> partitions_;
+  std::uint64_t next_partition_id_ = 1;
   obs::Observability* obs_ = nullptr;
   obs::Counter* sent_ = nullptr;
   obs::Counter* delivered_ = nullptr;
   obs::Counter* drop_sender_ = nullptr;
   obs::Counter* drop_receiver_ = nullptr;
   obs::Counter* drop_unroutable_ = nullptr;
+  obs::Counter* drop_loss_ = nullptr;
+  obs::Counter* drop_partition_ = nullptr;
+  obs::Counter* duplicated_ = nullptr;
 };
 
 }  // namespace qopt::sim
