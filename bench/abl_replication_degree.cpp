@@ -38,7 +38,7 @@ double tuned_throughput(int replication, double write_ratio,
   cluster.enable_autotuning(tuning);
   cluster.run_for(seconds(90));
   const Time t1 = cluster.now();
-  *chosen = cluster.rm().config().default_q;
+  *chosen = cluster.rm().config().default_q.footprint();
   return cluster.metrics().throughput(t1 - seconds(30), t1);
 }
 

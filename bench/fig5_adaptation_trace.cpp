@@ -110,8 +110,8 @@ int main() {
   std::printf("recovery time after workload shift:             %7.0f s\n",
               to_seconds(recovered_at - phase_len));
   std::printf("default quorum at end: R=%d W=%d\n",
-              cluster.rm().config().default_q.read_q,
-              cluster.rm().config().default_q.write_q);
+              cluster.rm().config().default_q.read_footprint(),
+              cluster.rm().config().default_q.write_footprint());
   std::printf("reconfigurations: %llu (epoch changes: %llu)\n\n",
               static_cast<unsigned long long>(
                   cluster.obs().registry().counter_value("rm.reconfigurations_completed")),

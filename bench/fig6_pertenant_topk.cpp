@@ -95,7 +95,7 @@ TenantResult run_condition(bool autotune, std::size_t topk_per_round) {
         static_cast<double>(ops) / to_seconds(t1) * steady_scale;
   }
   result.overrides = cluster.rm().config().overrides.size();
-  result.default_q = cluster.rm().config().default_q;
+  result.default_q = cluster.rm().config().default_q.footprint();
   return result;
 }
 

@@ -76,7 +76,7 @@ int main() {
                 sample.write_ratio * 100,
                 static_cast<unsigned long long>(sample.size), worst, best,
                 qopt_tput, ratio,
-                cluster.rm().config().default_q.write_q);
+                cluster.rm().config().default_q.write_footprint());
   }
   std::printf("\nmean Q-OPT/optimal ratio: %.2f  (paper: \"only slightly "
               "lower than optimal\")\n\n",

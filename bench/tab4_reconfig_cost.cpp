@@ -82,15 +82,15 @@ int main() {
       "flowing; suspicions add epoch-change rounds but never block");
 
   auto flip = [](Cluster& cluster, int i) {
-    cluster.reconfigure(i % 2 ? kv::QuorumConfig{1, 5}
-                              : kv::QuorumConfig{5, 1});
+    cluster.reconfigure(i % 2 ? kv::QuorumConfig::of(1, 5)
+                              : kv::QuorumConfig::of(5, 1));
   };
   auto per_object = [](Cluster& cluster, int i) {
     std::vector<std::pair<kv::ObjectId, kv::QuorumConfig>> overrides;
     for (kv::ObjectId oid = 0; oid < 8; ++oid) {
       overrides.emplace_back(oid + static_cast<kv::ObjectId>(i) * 8,
-                             i % 2 ? kv::QuorumConfig{1, 5}
-                                   : kv::QuorumConfig{5, 1});
+                             i % 2 ? kv::QuorumConfig::of(1, 5)
+                                   : kv::QuorumConfig::of(5, 1));
     }
     cluster.reconfigure_objects(std::move(overrides));
   };

@@ -50,7 +50,7 @@ KpiResult run(autonomic::Kpi kpi) {
   result.read_p99_ms = cluster.metrics().read_latency().percentile(99) / 1e6;
   result.write_p99_ms =
       cluster.metrics().write_latency().percentile(99) / 1e6;
-  result.quorum = cluster.rm().config().default_q;
+  result.quorum = cluster.rm().config().default_q.footprint();
   return result;
 }
 

@@ -46,7 +46,7 @@ int main() {
     const auto quorum = cluster.rm().config().default_q;
     std::printf("%8.0f %10.0f        R=%d,W=%d\n", to_seconds(now),
                 cluster.metrics().throughput(now - day / 30, now),
-                quorum.read_q, quorum.write_q);
+                quorum.read_footprint(), quorum.write_footprint());
   }
   std::printf("\nreconfigurations over the day: %llu, violations: %zu\n",
               static_cast<unsigned long long>(

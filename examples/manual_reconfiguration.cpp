@@ -25,7 +25,7 @@ int main() {
     const auto& rm_config = cluster.rm().config();
     std::printf("%-42s default R=%d,W=%d cfno=%llu epoch=%llu "
                 "(epoch changes so far: %llu)\n",
-                when, rm_config.default_q.read_q, rm_config.default_q.write_q,
+                when, rm_config.default_q.read_footprint(), rm_config.default_q.write_footprint(),
                 static_cast<unsigned long long>(rm_config.cfno),
                 static_cast<unsigned long long>(rm_config.epno),
                 static_cast<unsigned long long>(
@@ -49,10 +49,10 @@ int main() {
                               });
   cluster.run_for(seconds(2));
   std::printf("  object 10 now uses R=%d,W=%d; object 99 uses R=%d,W=%d\n",
-              cluster.rm().quorum_for(10).read_q,
-              cluster.rm().quorum_for(10).write_q,
-              cluster.rm().quorum_for(99).read_q,
-              cluster.rm().quorum_for(99).write_q);
+              cluster.rm().quorum_footprint_for(10).read_q,
+              cluster.rm().quorum_footprint_for(10).write_q,
+              cluster.rm().quorum_footprint_for(99).read_q,
+              cluster.rm().quorum_footprint_for(99).write_q);
 
   // ---- an invalid request (R + W <= N) is rejected up front.
   cluster.reconfigure({2, 3}, [&](bool ok) {

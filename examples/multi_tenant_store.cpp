@@ -50,8 +50,8 @@ int main() {
   int read_optimized = 0;
   for (const auto& [oid, quorum] : cluster.rm().config().overrides) {
     ++per_tenant_counts[oid / kKeysPerTenant];
-    if (quorum.write_q <= 2) ++write_optimized;
-    if (quorum.read_q <= 2) ++read_optimized;
+    if (quorum.write_footprint() <= 2) ++write_optimized;
+    if (quorum.read_footprint() <= 2) ++read_optimized;
   }
   std::printf("  photos tenant (read-heavy):  %d tuned objects\n",
               per_tenant_counts[0]);

@@ -11,6 +11,8 @@
 //       --object-bytes 65536 --autotune --duration 120
 //   ./build/examples/qopt_cli --workload ycsb-a --autotune
 //       --crash-proxy 2 --crash-at 30 --csv
+//   ./build/examples/qopt_cli --workload sweep --write-ratio 0.5
+//       --strategy-optimizer
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -20,9 +22,11 @@
 #include "autonomic/autonomic_manager.hpp"
 #include "core/cluster.hpp"
 #include "core/nemesis.hpp"
+#include "kv/quorum.hpp"
 #include "obs/report.hpp"
 #include "obs/span_export.hpp"
 #include "obs/trace.hpp"
+#include "oracle/strategy_optimizer.hpp"
 #include "sim/ids.hpp"
 #include "util/flags.hpp"
 #include "util/time.hpp"
@@ -42,6 +46,9 @@ void usage() {
       "            --replication N   (default 5)\n"
       "quorum:     --read-q N --write-q N   (static; default 3/3)\n"
       "            --autotune [--round-window S] [--topk N]\n"
+      "            --strategy-optimizer  (autotune with the quoracle-style\n"
+      "             strategy optimizer: tail reconfigurations may install\n"
+      "             weighted non-majority quorum systems; implies --autotune)\n"
       "run:        --duration S (default 60) --warmup S (default 5)\n"
       "            --seed N --csv --json\n"
       "tracing:    --trace-out FILE   (causal spans, Chrome trace_event JSON\n"
@@ -134,9 +141,9 @@ int main(int argc, char** argv) {
   config.clients_per_proxy =
       static_cast<std::uint32_t>(flags.get_int("clients-per-proxy", 10));
   config.replication = static_cast<int>(flags.get_int("replication", 5));
-  config.initial_quorum = {
-      static_cast<int>(flags.get_int("read-q", 3)),
-      static_cast<int>(flags.get_int("write-q", 3))};
+  config.initial_quorum =
+      kv::QuorumConfig::of(static_cast<int>(flags.get_int("read-q", 3)),
+                           static_cast<int>(flags.get_int("write-q", 3)));
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
 
   config.net_loss = flags.get_double("net-loss", 0.0);
@@ -215,13 +222,19 @@ int main(int argc, char** argv) {
   cluster.preload(objects, object_bytes);
   cluster.set_workload(source);
 
-  if (flags.get_bool("autotune", false)) {
+  const bool strategy_optimizer = flags.get_bool("strategy-optimizer", false);
+  if (flags.get_bool("autotune", false) || strategy_optimizer) {
     autonomic::AutonomicOptions tuning;
     tuning.round_window =
         seconds(flags.get_double("round-window", 10));
     tuning.topk_per_round =
         static_cast<std::size_t>(flags.get_int("topk", 8));
-    cluster.enable_autotuning(tuning);
+    if (strategy_optimizer) {
+      cluster.enable_autotuning(tuning, std::make_shared<oracle::StrategyOptimizer>(
+                                            config.replication));
+    } else {
+      cluster.enable_autotuning(tuning);
+    }
     if (!csv) {
       cluster.am()->set_event_callback([](Time t, const std::string& what) {
         std::printf("# [%7.1fs] %s\n", to_seconds(t), what.c_str());

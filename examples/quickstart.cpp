@@ -45,8 +45,8 @@ int main() {
   std::printf("Q-OPT   (tuned)  : %8.0f ops/s  (%.2fx)\n", tuned_tput,
               tuned_tput / static_tput);
   std::printf("default quorum now: R=%d W=%d\n",
-              cluster.rm().config().default_q.read_q,
-              cluster.rm().config().default_q.write_q);
+              cluster.rm().config().default_q.read_footprint(),
+              cluster.rm().config().default_q.write_footprint());
   std::printf("reads checked: %llu, consistency violations: %zu\n",
               static_cast<unsigned long long>(cluster.checker().reads_checked()),
               cluster.checker().violations().size());

@@ -26,7 +26,7 @@ int main() {
     smr::Command command;
     command.id = id;
     command.change.is_global = true;
-    command.change.global = kv::QuorumConfig{5 - write_q + 1, write_q};
+    command.change.global = kv::QuorumConfig::of(5 - write_q + 1, write_q);
     group.submit(via, command);
     sim.run(sim.now() + milliseconds(200));
   };
@@ -53,7 +53,7 @@ int main() {
       std::printf("replica %u: crashed\n", i);
       continue;
     }
-    smr::ConfigStateMachine machine(kv::QuorumConfig{3, 3}, 5);
+    smr::ConfigStateMachine machine(kv::QuorumConfig::of(3, 3), 5);
     for (const smr::Command& command : group.replica(i).applied_log()) {
       machine.apply(command);
     }
@@ -61,8 +61,8 @@ int main() {
                 "default R=%d W=%d\n",
                 i, static_cast<unsigned long long>(machine.applied()),
                 static_cast<unsigned long long>(machine.config().cfno),
-                machine.config().default_q.read_q,
-                machine.config().default_q.write_q);
+                machine.config().default_q.read_footprint(),
+                machine.config().default_q.write_footprint());
   }
   std::printf("\nall surviving replicas hold the same configuration history "
               "despite the leader crash.\n");

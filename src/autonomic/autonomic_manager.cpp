@@ -1,9 +1,11 @@
 #include "autonomic/autonomic_manager.hpp"
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
 #include "oracle/oracle.hpp"
+#include "oracle/strategy_optimizer.hpp"
 #include "reconfig/reconfig_manager.hpp"
 #include "sim/failure_detector.hpp"
 #include "sim/ids.hpp"
@@ -44,6 +46,7 @@ AutonomicManager::AutonomicManager(sim::Simulator& sim, Net& net,
       replication_(replication),
       options_(options),
       steady_baseline_(4) {
+  strategy_opt_ = dynamic_cast<oracle::StrategyOptimizer*>(&oracle_);
   fd_.subscribe([this](const sim::NodeId& node, bool suspected) {
     if (node.kind == sim::NodeKind::kProxy && suspected && gathering_) {
       maybe_process_round();
@@ -132,18 +135,43 @@ void AutonomicManager::maybe_process_round() {
   process_round();
 }
 
-int AutonomicManager::predict(std::uint64_t reads, std::uint64_t writes,
-                              double avg_size, double window_s) const {
+std::optional<oracle::WorkloadFeatures> AutonomicManager::features_for(
+    std::uint64_t reads, std::uint64_t writes, double avg_size,
+    double window_s) const {
   const std::uint64_t total = reads + writes;
-  if (total < options_.min_samples_per_object) return 0;
+  if (total < options_.min_samples_per_object) return std::nullopt;
   oracle::WorkloadFeatures features;
   features.write_ratio =
       static_cast<double>(writes) / static_cast<double>(total);
   features.avg_size_kib = avg_size / 1024.0;
   features.ops_per_sec =
       window_s > 0 ? static_cast<double>(total) / window_s : 0.0;
-  const int raw = oracle_.predict_write_quorum(features);
+  return features;
+}
+
+int AutonomicManager::predict(std::uint64_t reads, std::uint64_t writes,
+                              double avg_size, double window_s) const {
+  const auto features = features_for(reads, writes, avg_size, window_s);
+  if (!features) return 0;
+  const int raw = oracle_.predict_write_quorum(*features);
   return oracle::clamp_write_quorum(raw, options_.constraints, replication_);
+}
+
+std::optional<kv::QuorumStrategy> AutonomicManager::predict_tail_strategy(
+    const kv::TailStats& tail, double window_s) const {
+  const auto features =
+      features_for(tail.reads, tail.writes, tail.avg_size_bytes, window_s);
+  if (!features) return std::nullopt;
+  if (strategy_opt_) {
+    kv::QuorumStrategy target = strategy_opt_->optimize(*features);
+    if (target.valid(replication_)) return target;
+    return std::nullopt;
+  }
+  const int raw = oracle_.predict_write_quorum(*features);
+  const int w =
+      oracle::clamp_write_quorum(raw, options_.constraints, replication_);
+  if (w <= 0) return std::nullopt;
+  return kv::QuorumStrategy(oracle::grid_from_write_quorum(w, replication_));
 }
 
 void AutonomicManager::process_round() {
@@ -252,8 +280,7 @@ void AutonomicManager::process_fine_grain(
     const int w = predict(object_stats.reads, object_stats.writes,
                           object_stats.avg_size_bytes, window_s);
     if (w <= 0) continue;
-    const QuorumConfig target =
-        oracle::config_from_write_quorum(w, replication_);
+    const QuorumConfig target = oracle::grid_from_write_quorum(w, replication_);
     if (rm_.quorum_for(object_stats.oid) != target) {
       change.overrides.emplace_back(object_stats.oid, target);
     }
@@ -334,21 +361,21 @@ void AutonomicManager::finish_fine_grain(const TailStats& tail) {
 
   if (options_.tail_optimization) {
     const double window_s = to_seconds(options_.round_window);
-    const int w =
-        predict(tail.reads, tail.writes, tail.avg_size_bytes, window_s);
-    if (w > 0) {
-      const QuorumConfig target =
-          oracle::config_from_write_quorum(w, replication_);
-      if (rm_.config().default_q != target) {
-        ins_.tail_reconfigs->inc();
-        emit("tail reconfiguration to R=" + std::to_string(target.read_q) +
-             " W=" + std::to_string(target.write_q));
-        QuorumChange change;
-        change.is_global = true;
-        change.global = target;
-        rm_.change_configuration(std::move(change), after);
-        return;
+    const auto target = predict_tail_strategy(tail, window_s);
+    if (target && rm_.config().default_q != *target) {
+      ins_.tail_reconfigs->inc();
+      if (target->is_majority()) {
+        emit("tail reconfiguration to R=" +
+             std::to_string(target->grid.read_q) +
+             " W=" + std::to_string(target->grid.write_q));
+      } else {
+        emit("tail reconfiguration to " + target->describe());
       }
+      QuorumChange change;
+      change.is_global = true;
+      change.global = *target;
+      rm_.change_configuration(std::move(change), after);
+      return;
     }
   }
   after(false);
@@ -396,8 +423,7 @@ void AutonomicManager::process_steady(
     const int w = predict(object_stats.reads, object_stats.writes,
                           object_stats.avg_size_bytes, window_s);
     if (w <= 0) continue;
-    const QuorumConfig target =
-        oracle::config_from_write_quorum(w, replication_);
+    const QuorumConfig target = oracle::grid_from_write_quorum(w, replication_);
     if (rm_.quorum_for(object_stats.oid) != target) {
       auto [it, inserted] =
           last_object_prediction_.try_emplace(object_stats.oid, target);
@@ -414,11 +440,10 @@ void AutonomicManager::process_steady(
   // predict the same deviating configuration — single-round flaps near a
   // decision boundary would otherwise cause reconfiguration churn.
   bool tail_change = false;
-  QuorumConfig tail_target;
-  const int tail_w =
-      predict(tail.reads, tail.writes, tail.avg_size_bytes, window_s);
-  if (tail_w > 0) {
-    tail_target = oracle::config_from_write_quorum(tail_w, replication_);
+  kv::QuorumStrategy tail_target;
+  const auto tail_predicted = predict_tail_strategy(tail, window_s);
+  if (tail_predicted) {
+    tail_target = *tail_predicted;
     if (rm_.config().default_q != tail_target) {
       tail_change =
           !options_.drift_hysteresis || last_tail_prediction_ == tail_target;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "autonomic/filters.hpp"
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
@@ -43,6 +44,10 @@
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
+
+namespace qopt::oracle {
+class StrategyOptimizer;  // optional richer backend, detected at runtime
+}
 
 namespace qopt::autonomic {
 
@@ -135,6 +140,17 @@ class AutonomicManager {
   /// data to act.
   int predict(std::uint64_t reads, std::uint64_t writes, double avg_size,
               double window_s) const;
+  /// Workload characterization for the Oracle; nullopt below the sample
+  /// floor.
+  std::optional<oracle::WorkloadFeatures> features_for(
+      std::uint64_t reads, std::uint64_t writes, double avg_size,
+      double window_s) const;
+  /// Tail (store-wide default) target: a full optimized strategy when the
+  /// oracle is a StrategyOptimizer, otherwise the majority grid derived
+  /// from the predicted write-quorum size. Nullopt when there is not
+  /// enough data.
+  std::optional<kv::QuorumStrategy> predict_tail_strategy(
+      const kv::TailStats& tail, double window_s) const;
 
   sim::Simulator& sim_;
   Net& net_;
@@ -142,6 +158,9 @@ class AutonomicManager {
   sim::FailureDetector& fd_;
   reconfig::ReconfigManager& rm_;
   oracle::Oracle& oracle_;
+  /// Non-null when `oracle_` is a StrategyOptimizer: the tail optimization
+  /// then installs full optimized strategies instead of majority grids.
+  oracle::StrategyOptimizer* strategy_opt_ = nullptr;
   std::vector<sim::NodeId> proxies_;
   int replication_;
   AutonomicOptions options_;
@@ -167,7 +186,7 @@ class AutonomicManager {
   std::size_t steady_rotation_ = 0;
   // Steady-mode hysteresis; empty when the previous round made no
   // prediction.
-  std::optional<kv::QuorumConfig> last_tail_prediction_;
+  std::optional<kv::QuorumStrategy> last_tail_prediction_;
   std::unordered_map<kv::ObjectId, kv::QuorumConfig> last_object_prediction_;
 
   // Robust signal processing over the autonomic loop's inputs.

@@ -116,8 +116,11 @@ void Client::on_message(const sim::NodeId& /*from*/, const kv::Message& msg) {
   }
   ++ops_completed_;
   if (metrics_) {
+    // Clients never learn the serving replica set; an empty quorum opts the
+    // record out of the intersection audit.
     metrics_->record(proxy::OpRecord{pending_op_.oid, pending_op_.is_write,
-                                     issued_at_, sim_.now(), proxy_.index});
+                                     issued_at_, sim_.now(), proxy_.index, 0,
+                                     {}});
   }
   if (!running_) return;
   if (think_time_ > 0) {

@@ -1,6 +1,7 @@
 #include "autonomic/autonomic_manager.hpp"
 #include "core/client.hpp"
 #include "core/cluster.hpp"
+#include "kv/quorum.hpp"
 #include "kv/replicator.hpp"
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
@@ -84,6 +85,16 @@ Cluster::Cluster(const ClusterConfig& config)
                                  const kv::Message& msg) {
       raw->on_message(from, msg);
     });
+    if (config_.check_consistency) {
+      // Intersection audit: the replica sets that actually served each
+      // operation feed the checker, which verifies every read quorum meets
+      // the last write's quorum (structural validation of installed
+      // strategies, complementing the freshness check).
+      node->set_op_callback([this](const proxy::OpRecord& rec) {
+        checker_.quorum_used(rec.oid, rec.is_write, rec.cfno, rec.end,
+                             rec.quorum);
+      });
+    }
     proxies_.push_back(std::move(node));
   }
 
@@ -199,12 +210,20 @@ void Cluster::reconfigure(kv::QuorumConfig quorum,
   rm_->change_configuration(std::move(change), std::move(done));
 }
 
+void Cluster::reconfigure_strategy(kv::QuorumStrategy strategy,
+                                   std::function<void(bool)> done) {
+  kv::QuorumChange change;
+  change.is_global = true;
+  change.global = std::move(strategy);
+  rm_->change_configuration(std::move(change), std::move(done));
+}
+
 void Cluster::reconfigure_objects(
     std::vector<std::pair<kv::ObjectId, kv::QuorumConfig>> overrides,
     std::function<void(bool)> done) {
   kv::QuorumChange change;
   change.is_global = false;
-  change.overrides = std::move(overrides);
+  change.overrides.assign(overrides.begin(), overrides.end());
   rm_->change_configuration(std::move(change), std::move(done));
 }
 
@@ -375,8 +394,8 @@ obs::RunReport Cluster::report(Time t0, Time t1) const {
   }
 
   const kv::FullConfig& canonical = rm_->config();
-  r.default_read_q = canonical.default_q.read_q;
-  r.default_write_q = canonical.default_q.write_q;
+  r.default_read_q = canonical.default_q.read_footprint();
+  r.default_write_q = canonical.default_q.write_footprint();
   r.override_count = canonical.overrides.size();
   const obs::MetricRegistry& reg = obs_.registry();
   r.reconfigurations = reg.counter_value("rm.reconfigurations_completed");

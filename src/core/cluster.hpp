@@ -27,6 +27,7 @@
 #include "core/consistency.hpp"
 #include "core/metrics.hpp"
 #include "kv/placement.hpp"
+#include "kv/quorum.hpp"
 #include "kv/replicator.hpp"
 #include "kv/service_model.hpp"
 #include "kv/storage_node.hpp"
@@ -57,7 +58,7 @@ struct ClusterConfig {
   int replication = 5;
 
   /// Initial quorum (must be strict: R + W > N).
-  kv::QuorumConfig initial_quorum{3, 3};
+  kv::QuorumConfig initial_quorum = kv::QuorumConfig::of(3, 3);
 
   kv::ServiceTimes storage_service;
   std::size_t storage_servers = 2;  // virtual cores per storage VM
@@ -133,6 +134,10 @@ class Cluster {
   /// Reconfiguration" arrow in Figure 4). Completion is asynchronous.
   void reconfigure(kv::QuorumConfig quorum,
                    std::function<void(bool)> done = {});
+  /// Store-wide install of a generalized quorum strategy (majority grid or
+  /// explicit weighted quorum system) through the same two-phase protocol.
+  void reconfigure_strategy(kv::QuorumStrategy strategy,
+                            std::function<void(bool)> done = {});
   /// Manual per-object reconfiguration.
   void reconfigure_objects(
       std::vector<std::pair<kv::ObjectId, kv::QuorumConfig>> overrides,

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "util/time.hpp"
 
@@ -65,7 +66,9 @@ class ConsistencyChecker {
   }
   std::uint64_t reads_checked() const noexcept { return reads_checked_; }
   std::uint64_t writes_tracked() const noexcept { return writes_tracked_; }
-  bool clean() const noexcept { return violations_.empty(); }
+  bool clean() const noexcept {
+    return violations_.empty() && quorum_violations_.empty();
+  }
 
   // ---- session observation (measurement, not a violation) -------------
   //
@@ -92,6 +95,56 @@ class ConsistencyChecker {
 
   std::uint64_t new_old_inversions() const noexcept { return inversions_; }
 
+  // ---- quorum intersection audit --------------------------------------
+  //
+  // Intersection-aware validation for generalized strategies: the replica
+  // sets that actually served each operation are reported here, and every
+  // read quorum must share at least one node with the quorum of the last
+  // completed write of the same object *within the same configuration
+  // generation*. This catches a broken strategy (or a broken sampler)
+  // structurally, even when the freshness check above happens to pass
+  // because the intersection-free read raced a replica that coincidentally
+  // had the newest version.
+  //
+  // Across generations static intersection is the wrong invariant: after a
+  // reconfiguration, r_new + w_old may legitimately be <= n, and safety is
+  // provided by cfno-tagged versions, read_q_history and read repair — all
+  // validated by the freshness check — so cross-cfno pairs are skipped.
+
+  struct QuorumViolation {
+    kv::ObjectId oid = 0;
+    std::uint64_t cfno = 0;
+    Time at = 0;
+    std::vector<std::uint32_t> read_quorum;
+    std::vector<std::uint32_t> write_quorum;
+  };
+
+  /// Records the replica set that served a completed operation under
+  /// configuration `cfno`. `replicas` must be sorted (proxies report the
+  /// counted-reply set, which is). Repair-phase reads may legitimately use
+  /// historical quorums larger than the installed strategy, so only
+  /// emptiness of the same-generation intersection is flagged — never set
+  /// shapes. `cfno == 0` (unknown generation) opts the record out.
+  void quorum_used(kv::ObjectId oid, bool is_write, std::uint64_t cfno,
+                   Time at, const std::vector<std::uint32_t>& replicas) {
+    if (cfno == 0) return;
+    if (is_write) {
+      last_write_quorum_[oid] = {cfno, replicas};
+      return;
+    }
+    auto it = last_write_quorum_.find(oid);
+    if (it == last_write_quorum_.end()) return;  // nothing to intersect yet
+    if (it->second.first != cfno) return;        // cross-generation pair
+    if (!kv::sets_intersect(replicas, it->second.second)) {
+      quorum_violations_.push_back(
+          QuorumViolation{oid, cfno, at, replicas, it->second.second});
+    }
+  }
+
+  const std::vector<QuorumViolation>& quorum_violations() const noexcept {
+    return quorum_violations_;
+  }
+
  private:
   // Ordered maps so any future export of the checker's state (diagnostic
   // dumps of per-object freshness, per-client observations) enumerates
@@ -99,6 +152,10 @@ class ConsistencyChecker {
   std::map<kv::ObjectId, kv::Timestamp> freshest_;
   std::map<std::pair<std::uint32_t, kv::ObjectId>, kv::Timestamp>
       last_observed_;
+  std::map<kv::ObjectId,
+           std::pair<std::uint64_t, std::vector<std::uint32_t>>>
+      last_write_quorum_;
+  std::vector<QuorumViolation> quorum_violations_;
   std::vector<Violation> violations_;
   std::uint64_t reads_checked_ = 0;
   std::uint64_t writes_tracked_ = 0;

@@ -48,8 +48,7 @@ std::vector<ExperimentResult> sweep_quorums(const ExperimentSpec& spec) {
   std::vector<ExperimentResult> results;
   results.reserve(static_cast<std::size_t>(n));
   for (int w = 1; w <= n; ++w) {
-    results.push_back(
-        run_static(spec, oracle::config_from_write_quorum(w, n)));
+    results.push_back(run_static(spec, oracle::grid_from_write_quorum(w, n)));
   }
   return results;
 }

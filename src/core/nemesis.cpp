@@ -1,5 +1,6 @@
 #include "core/cluster.hpp"
 #include "core/nemesis.hpp"
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "sim/ids.hpp"
 #include "util/time.hpp"
@@ -58,9 +59,12 @@ int Nemesis::pick_write_quorum() {
 
 namespace {
 int max_quorum_dimension(const kv::FullConfig& state) {
-  int m = std::max(state.default_q.read_q, state.default_q.write_q);
+  // Footprints bound the servability requirement for explicit strategies
+  // too (any footprint-many live replicas can form the quorum).
+  int m = std::max(state.default_q.read_footprint(),
+                   state.default_q.write_footprint());
   for (const auto& [oid, q] : state.overrides) {
-    m = std::max({m, q.read_q, q.write_q});
+    m = std::max({m, q.read_footprint(), q.write_footprint()});
   }
   return m;
 }
@@ -125,7 +129,7 @@ void Nemesis::fire() {
       ++stats_.reconfigurations;
       ins_.reconfigurations->inc();
       const int w = pick_write_quorum();
-      cluster_.reconfigure({n - w + 1, w});
+      cluster_.reconfigure(kv::QuorumConfig::of(n - w + 1, w));
       break;
     }
     case 1: {
@@ -136,7 +140,7 @@ void Nemesis::fire() {
       for (std::uint64_t i = 0; i < count; ++i) {
         const int w = pick_write_quorum();
         overrides.emplace_back(rng_.next_below(1000),
-                               kv::QuorumConfig{n - w + 1, w});
+                               kv::QuorumConfig::of(n - w + 1, w));
       }
       cluster_.reconfigure_objects(std::move(overrides));
       break;

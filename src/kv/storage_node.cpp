@@ -1,4 +1,5 @@
 #include "kv/service_model.hpp"
+#include "kv/quorum.hpp"
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
@@ -216,6 +217,10 @@ Time StorageNode::replicate_in(ObjectId oid, const Version& version) {
 
 void StorageNode::handle_new_epoch(const sim::NodeId& from,
                                    const NewEpochMsg& msg) {
+  // Future strategy encoding this node cannot decode: neither adopt nor ack
+  // (acking would count toward the epoch quorum with a half-understood
+  // configuration); the RM keeps retransmitting.
+  if (msg.strategy_version > QuorumStrategy::kWireVersion) return;
   // Alg. 6 lines 5-10: adopt any epoch at least as recent as ours and ack.
   if (msg.config.epno >= config_.epno) {
     if (msg.config.epno > config_.epno) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "kv/quorum.hpp"
 #include "kv/service_model.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"

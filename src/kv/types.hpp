@@ -3,8 +3,6 @@
 
 #include <compare>
 #include <cstdint>
-#include <utility>
-#include <vector>
 
 #include "util/time.hpp"
 
@@ -37,57 +35,22 @@ struct Version {
   std::uint64_t size_bytes = 0;
 };
 
-/// Sizes of the read and write quorums. Strong consistency requires
-/// read_q + write_q > replication degree N (checked where configured).
+/// Sizes of the read and write quorums of a uniform majority grid: any
+/// read_q replicas form a read quorum, any write_q a write quorum. Strong
+/// consistency requires read_q + write_q > replication degree N (checked by
+/// kv::is_strict in kv/quorum.hpp, where the full quorum-system algebra —
+/// including the generalized QuorumStrategy — lives).
 struct QuorumConfig {
   int read_q = 1;
   int write_q = 1;
 
+  /// Named construction path (qopt_lint validates the arguments like a
+  /// literal); prefer this over brace-init at call sites.
+  static constexpr QuorumConfig of(int r, int w) noexcept {
+    return QuorumConfig{r, w};
+  }
+
   friend auto operator<=>(const QuorumConfig&, const QuorumConfig&) = default;
-};
-
-constexpr bool is_strict(const QuorumConfig& q, int replication) noexcept {
-  return q.read_q >= 1 && q.write_q >= 1 && q.read_q <= replication &&
-         q.write_q <= replication && q.read_q + q.write_q > replication;
-}
-
-/// Component-wise max; the transition quorum of Section 5.1 is
-/// transition(old, new).
-constexpr QuorumConfig transition(const QuorumConfig& a,
-                                  const QuorumConfig& b) noexcept {
-  return QuorumConfig{a.read_q > b.read_q ? a.read_q : b.read_q,
-                      a.write_q > b.write_q ? a.write_q : b.write_q};
-}
-
-/// A reconfiguration payload: either a new store-wide default quorum
-/// (the "tail"/global configuration) or a batch of per-object overrides
-/// (the fine-grain top-k optimization of Section 5.4).
-struct QuorumChange {
-  bool is_global = true;
-  QuorumConfig global;  // valid when is_global
-  std::vector<std::pair<ObjectId, QuorumConfig>> overrides;  // otherwise
-};
-
-/// Complete quorum state as known by the Reconfiguration Manager. Carried on
-/// NEWEP messages (and echoed in storage NACKs) so that a proxy that missed
-/// an arbitrary number of reconfigurations while falsely suspected can
-/// resynchronize in one step — including the read-quorum history needed by
-/// the Algorithm-4 repair path (see DESIGN.md, deviation notes).
-struct FullConfig {
-  std::uint64_t epno = 0;
-  std::uint64_t cfno = 0;
-  QuorumConfig default_q{1, 1};
-  std::vector<std::pair<ObjectId, QuorumConfig>> overrides;
-  /// For each installed configuration number, the maximum read-quorum size
-  /// in force at that configuration (across the default and all overrides);
-  /// monotone prefix used by the read-repair rule. Sorted by cfno ascending.
-  std::vector<std::pair<std::uint64_t, int>> read_q_history;
-  /// Set on the payload of a phase-1 epoch change: default_q/overrides hold
-  /// the *transition* quorums of an in-flight reconfiguration, and `pending`
-  /// is the change a resynchronizing proxy must commit when the matching
-  /// CONFIRM arrives (or when a later configuration supersedes it).
-  bool transitional = false;
-  QuorumChange pending;
 };
 
 }  // namespace qopt::kv

@@ -9,6 +9,7 @@
 #include <variant>
 #include <vector>
 
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "obs/span.hpp"
 #include "util/time.hpp"
@@ -93,6 +94,11 @@ struct NewQuorumMsg {  // NEWQ
   QuorumChange change;
   /// RM phase-1 span: proxies parent their drain spans under it.
   obs::SpanContext span;
+  /// Version of the QuorumStrategy encoding carried in `change`; receivers
+  /// ignore installs from the future (see docs/PROTOCOL.md) so a staged
+  /// rollout of a richer strategy encoding cannot corrupt old proxies.
+  /// Appended last so pre-redesign positional initializers stay valid.
+  std::uint8_t strategy_version = QuorumStrategy::kWireVersion;
 };
 
 struct AckNewQuorumMsg {  // ACKNEWQ
@@ -116,6 +122,7 @@ struct AckConfirmMsg {  // ACKCONFIRM
 struct NewEpochMsg {  // NEWEP
   FullConfig config;
   obs::SpanContext span;  // RM epoch-change span (storage adoption markers)
+  std::uint8_t strategy_version = QuorumStrategy::kWireVersion;  // see NEWQ
 };
 
 struct AckNewEpochMsg {  // ACKNEWEP

@@ -49,10 +49,16 @@ struct QuorumConstraints {
 int clamp_write_quorum(int w, const QuorumConstraints& constraints,
                        int replication);
 
-/// Derives the full quorum configuration from a write-quorum size.
-inline kv::QuorumConfig config_from_write_quorum(int w, int replication) {
+/// Derives the minimal strict majority grid for a write-quorum size.
+inline kv::QuorumConfig grid_from_write_quorum(int w, int replication) {
   w = std::clamp(w, 1, replication);
-  return kv::QuorumConfig{replication - w + 1, w};
+  return kv::QuorumConfig::of(replication - w + 1, w);
+}
+
+[[deprecated("use oracle::grid_from_write_quorum (or "
+             "kv::QuorumStrategy::majority for a strategy)")]]
+inline kv::QuorumConfig config_from_write_quorum(int w, int replication) {
+  return grid_from_write_quorum(w, replication);
 }
 
 class Oracle {

@@ -1,0 +1,284 @@
+#include "oracle/strategy_optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "kv/quorum.hpp"
+#include "oracle/oracle.hpp"
+
+namespace qopt::oracle {
+namespace {
+
+// Latency weight in the combined objective. Load is the primary criterion
+// (it bounds saturation throughput); the cost term breaks ties between
+// equal-load candidates in favour of smaller quorums.
+constexpr double kLatencyWeight = 0.05;
+
+// Expected cost of waiting for s replicas: H(s), the expected maximum of s
+// unit-rate exponential draws.
+double harmonic(int s) {
+  double h = 0.0;
+  for (int i = 1; i <= s; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+// Per-node selection probability under a weighted quorum set.
+std::vector<double> membership_probability(
+    int n, const std::vector<kv::WeightedQuorum>& quorums) {
+  std::vector<double> p(static_cast<std::size_t>(n), 0.0);
+  double total = 0.0;
+  for (const kv::WeightedQuorum& q : quorums) total += q.weight;
+  if (total <= 0.0) return p;
+  for (const kv::WeightedQuorum& q : quorums) {
+    for (std::uint32_t slot : q.members) {
+      if (slot < p.size()) p[slot] += q.weight / total;
+    }
+  }
+  return p;
+}
+
+double expected_cost(const std::vector<kv::WeightedQuorum>& quorums) {
+  double total = 0.0;
+  double cost = 0.0;
+  for (const kv::WeightedQuorum& q : quorums) {
+    total += q.weight;
+    cost += q.weight * harmonic(static_cast<int>(q.members.size()));
+  }
+  return total > 0.0 ? cost / total : 0.0;
+}
+
+// Deterministic multiplicative-weights balancing: repeatedly shift
+// selection weight away from quorums touching the hottest nodes. A fixed
+// iteration count and a fixed update rate keep the result a pure function
+// of the quorum sets and the mix.
+void balance_weights(int n, std::vector<kv::WeightedQuorum>& reads,
+                     std::vector<kv::WeightedQuorum>& writes,
+                     double write_ratio) {
+  const double fr = 1.0 - write_ratio;
+  const double fw = write_ratio;
+  constexpr int kIterations = 200;
+  constexpr double kRate = 0.5;
+  for (int iter = 0; iter < kIterations; ++iter) {
+    const std::vector<double> pr = membership_probability(n, reads);
+    const std::vector<double> pw = membership_probability(n, writes);
+    std::vector<double> load(static_cast<std::size_t>(n), 0.0);
+    double max_load = 0.0;
+    for (int v = 0; v < n; ++v) {
+      load[static_cast<std::size_t>(v)] =
+          fr * pr[static_cast<std::size_t>(v)] +
+          fw * pw[static_cast<std::size_t>(v)];
+      max_load = std::max(max_load, load[static_cast<std::size_t>(v)]);
+    }
+    if (max_load <= 0.0) return;
+    auto update = [&](std::vector<kv::WeightedQuorum>& side) {
+      double total = 0.0;
+      for (kv::WeightedQuorum& q : side) {
+        double hottest = 0.0;
+        for (std::uint32_t slot : q.members) {
+          if (slot < load.size()) hottest = std::max(hottest, load[slot]);
+        }
+        q.weight *= std::exp(-kRate * hottest / max_load);
+        total += q.weight;
+      }
+      if (total > 0.0) {
+        for (kv::WeightedQuorum& q : side) q.weight /= total;
+      }
+    };
+    update(reads);
+    update(writes);
+  }
+  // Prune quorums the balancer drove to (numerically) zero, keeping at
+  // least one per side; smaller member sets can shrink the strategy's
+  // footprint, which the epoch-quorum sizing benefits from.
+  auto prune = [](std::vector<kv::WeightedQuorum>& side) {
+    constexpr double kNegligible = 1e-6;
+    std::vector<kv::WeightedQuorum> kept;
+    for (const kv::WeightedQuorum& q : side) {
+      if (q.weight >= kNegligible) kept.push_back(q);
+    }
+    if (!kept.empty()) side = std::move(kept);
+  };
+  prune(reads);
+  prune(writes);
+}
+
+// Rows of a consecutive-slot partition of [0, n) into groups of size
+// `row_size` (the last row takes the remainder).
+std::vector<std::vector<std::uint32_t>> partition_rows(int n, int row_size) {
+  std::vector<std::vector<std::uint32_t>> rows;
+  for (int base = 0; base < n; base += row_size) {
+    std::vector<std::uint32_t> row;
+    for (int v = base; v < std::min(base + row_size, n); ++v) {
+      row.push_back(static_cast<std::uint32_t>(v));
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+// Every transversal of the partition: one member from each row. Any
+// transversal intersects any row, so (rows, transversals) is a quorum
+// system by construction. Capped to keep the strategy encoding small.
+std::vector<std::vector<std::uint32_t>> transversals(
+    const std::vector<std::vector<std::uint32_t>>& rows) {
+  constexpr std::size_t kMaxTransversals = 64;
+  std::vector<std::vector<std::uint32_t>> result{{}};
+  for (const std::vector<std::uint32_t>& row : rows) {
+    std::vector<std::vector<std::uint32_t>> next;
+    for (const std::vector<std::uint32_t>& prefix : result) {
+      for (std::uint32_t v : row) {
+        if (next.size() >= kMaxTransversals) break;
+        std::vector<std::uint32_t> t = prefix;
+        t.push_back(v);
+        next.push_back(std::move(t));
+      }
+      if (next.size() >= kMaxTransversals) break;
+    }
+    result = std::move(next);
+  }
+  for (std::vector<std::uint32_t>& t : result) {
+    std::sort(t.begin(), t.end());
+  }
+  return result;
+}
+
+std::vector<kv::WeightedQuorum> uniform(
+    const std::vector<std::vector<std::uint32_t>>& sets) {
+  std::vector<kv::WeightedQuorum> result;
+  result.reserve(sets.size());
+  for (const std::vector<std::uint32_t>& s : sets) {
+    result.push_back(kv::WeightedQuorum{s, 1.0});
+  }
+  return result;
+}
+
+}  // namespace
+
+StrategyOptimizer::StrategyOptimizer(int replication,
+                                     QuorumConstraints constraints)
+    : replication_(replication), constraints_(constraints) {}
+
+StrategyScore StrategyOptimizer::evaluate(const kv::QuorumStrategy& strategy,
+                                          double write_ratio) const {
+  const double fr = 1.0 - write_ratio;
+  const double fw = write_ratio;
+  StrategyScore score;
+  if (strategy.is_majority()) {
+    // The proxy contacts a deterministic rotation per proxy; across proxies
+    // and objects this spreads uniformly, so P(v in quorum) = size / n.
+    const int n = replication_;
+    const double r = static_cast<double>(strategy.grid.read_q);
+    const double w = static_cast<double>(strategy.grid.write_q);
+    score.max_load = (fr * r + fw * w) / static_cast<double>(n);
+    score.read_cost = harmonic(strategy.grid.read_q);
+    score.write_cost = harmonic(strategy.grid.write_q);
+  } else {
+    const int n = strategy.n;
+    const std::vector<double> pr = membership_probability(n, strategy.reads);
+    const std::vector<double> pw = membership_probability(n, strategy.writes);
+    for (int v = 0; v < n; ++v) {
+      score.max_load =
+          std::max(score.max_load, fr * pr[static_cast<std::size_t>(v)] +
+                                       fw * pw[static_cast<std::size_t>(v)]);
+    }
+    score.read_cost = expected_cost(strategy.reads);
+    score.write_cost = expected_cost(strategy.writes);
+  }
+  score.objective =
+      score.max_load +
+      kLatencyWeight * (fr * score.read_cost + fw * score.write_cost);
+  return score;
+}
+
+bool StrategyOptimizer::feasible(const kv::QuorumStrategy& strategy) const {
+  const int max_read =
+      constraints_.max_read > 0 ? constraints_.max_read : replication_;
+  const int max_write =
+      constraints_.max_write > 0 ? constraints_.max_write : replication_;
+  if (strategy.is_majority()) {
+    return strategy.grid.read_q >= constraints_.min_read &&
+           strategy.grid.read_q <= max_read &&
+           strategy.grid.write_q >= constraints_.min_write &&
+           strategy.grid.write_q <= max_write;
+  }
+  for (const kv::WeightedQuorum& q : strategy.reads) {
+    const int s = static_cast<int>(q.members.size());
+    if (s < constraints_.min_read || s > max_read) return false;
+  }
+  for (const kv::WeightedQuorum& q : strategy.writes) {
+    const int s = static_cast<int>(q.members.size());
+    if (s < constraints_.min_write || s > max_write) return false;
+  }
+  return true;
+}
+
+std::vector<kv::QuorumStrategy> StrategyOptimizer::candidates(
+    double write_ratio) const {
+  const int n = replication_;
+  std::vector<kv::QuorumStrategy> result;
+
+  // Every strict majority grid (the pre-redesign search space).
+  for (int w = 1; w <= n; ++w) {
+    for (int r = n - w + 1; r <= n; ++r) {
+      result.push_back(kv::QuorumStrategy::majority(r, w, n));
+    }
+  }
+
+  // Rows/transversal systems of consecutive-slot partitions, plus duals.
+  for (int row_size = 2; row_size <= 3 && row_size < n; ++row_size) {
+    const auto rows = partition_rows(n, row_size);
+    if (rows.size() < 2) continue;
+    const auto cols = transversals(rows);
+    // Reads = rows, writes = transversals (read-heavy shape) and the dual.
+    for (bool dual : {false, true}) {
+      std::vector<kv::WeightedQuorum> reads = uniform(dual ? cols : rows);
+      std::vector<kv::WeightedQuorum> writes = uniform(dual ? rows : cols);
+      balance_weights(n, reads, writes, write_ratio);
+      kv::QuorumStrategy s =
+          kv::QuorumStrategy::explicit_sets(n, std::move(reads),
+                                            std::move(writes));
+      if (s.valid(n)) result.push_back(std::move(s));
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<kv::QuorumStrategy, StrategyScore>>
+StrategyOptimizer::frontier(double write_ratio) const {
+  std::vector<std::pair<kv::QuorumStrategy, StrategyScore>> result;
+  for (kv::QuorumStrategy& s : candidates(write_ratio)) {
+    StrategyScore score = evaluate(s, write_ratio);
+    result.emplace_back(std::move(s), score);
+  }
+  return result;
+}
+
+kv::QuorumStrategy StrategyOptimizer::optimize(
+    const WorkloadFeatures& features) const {
+  const double write_ratio = std::clamp(features.write_ratio, 0.0, 1.0);
+  kv::QuorumStrategy best = kv::QuorumStrategy::majority(
+      replication_ / 2 + 1, replication_ / 2 + 1, replication_);
+  double best_objective = std::numeric_limits<double>::infinity();
+  for (kv::QuorumStrategy& s : candidates(write_ratio)) {
+    if (!feasible(s)) continue;
+    const StrategyScore score = evaluate(s, write_ratio);
+    // Strictly-better wins; generation order breaks ties, so grids (listed
+    // first) are preferred over structured systems of equal objective.
+    if (score.objective < best_objective) {
+      best_objective = score.objective;
+      best = std::move(s);
+    }
+  }
+  return best;
+}
+
+int StrategyOptimizer::predict_write_quorum(const WorkloadFeatures& features) {
+  const kv::QuorumStrategy best = optimize(features);
+  return best.is_majority() ? best.grid.write_q : best.min_write_size();
+}
+
+}  // namespace qopt::oracle

@@ -1,0 +1,87 @@
+// StrategyOptimizer — a quoracle-style Oracle backend.
+//
+// "Read-Write Quorum Systems Made Practical" (Whittaker et al.) observes
+// that the optimal quorum system for a given workload mix is usually *not*
+// a uniform (r, w) majority grid: weighted strategies over structured
+// quorum systems (e.g. rows x transversals of a node partition) dominate
+// the grid on both load and expected latency for skewed mixes. This
+// optimizer enumerates a deterministic candidate family — every strict
+// majority grid plus rows/transversal grid systems of the node partition
+// and their duals — balances the selection weights of each candidate
+// against an analytical load model, and picks the strategy minimizing
+//
+//   objective = max node load + lambda * expected operation cost
+//
+// where load(v) = fr * P(v in read quorum) + fw * P(v in write quorum) and
+// the per-operation cost of a quorum of size s is the harmonic number H(s)
+// (the expected maximum of s exponential service draws, the usual
+// closed-form proxy for "wait for the slowest of s replicas").
+//
+// Everything is deterministic: no RNG, fixed iteration counts, stable
+// tie-breaking — the same features always yield the same strategy, so
+// autonomic runs stay replayable.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "kv/quorum.hpp"
+#include "oracle/oracle.hpp"
+
+namespace qopt::oracle {
+
+/// Analytical score of one strategy under a workload mix.
+struct StrategyScore {
+  double max_load = 0.0;    // busiest node's fraction of all operations
+  double read_cost = 0.0;   // expected read quorum cost (harmonic model)
+  double write_cost = 0.0;  // expected write quorum cost
+  double objective = 0.0;   // minimized: max_load + lambda * mixed cost
+};
+
+/// Second Oracle backend (next to the decision-tree family): instead of
+/// predicting a write-quorum *size*, it optimizes a full QuorumStrategy.
+/// Plugged into the AutonomicManager it drives the coarse tail
+/// reconfiguration with the optimized strategy; through the plain Oracle
+/// interface it degrades gracefully to the write footprint of that
+/// strategy, so the fine-grain per-object path keeps working unchanged.
+class StrategyOptimizer final : public Oracle {
+ public:
+  explicit StrategyOptimizer(int replication,
+                             QuorumConstraints constraints = {});
+
+  /// Best strategy for the mix. Always returns a strategy that is valid for
+  /// the replication degree; falls back to the best feasible majority grid
+  /// when the constraints rule out every structured candidate.
+  kv::QuorumStrategy optimize(const WorkloadFeatures& features) const;
+
+  /// Analytical evaluation of an arbitrary strategy (benchmarks, tests).
+  StrategyScore evaluate(const kv::QuorumStrategy& strategy,
+                         double write_ratio) const;
+
+  /// Every candidate with its score, in generation order (the fig8
+  /// load/latency frontier dump).
+  std::vector<std::pair<kv::QuorumStrategy, StrategyScore>> frontier(
+      double write_ratio) const;
+
+  // Oracle interface.
+  int predict_write_quorum(const WorkloadFeatures& features) override;
+  std::string describe() const override { return "strategy-optimizer"; }
+
+  int replication() const noexcept { return replication_; }
+  const QuorumConstraints& constraints() const noexcept {
+    return constraints_;
+  }
+
+ private:
+  /// Deterministic candidate family: strict majority grids, then
+  /// weight-balanced rows/transversal systems (and duals) for row sizes
+  /// 2 and 3, filtered by the constraints.
+  std::vector<kv::QuorumStrategy> candidates(double write_ratio) const;
+  bool feasible(const kv::QuorumStrategy& strategy) const;
+
+  int replication_;
+  QuorumConstraints constraints_;
+};
+
+}  // namespace qopt::oracle

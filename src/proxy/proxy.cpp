@@ -1,4 +1,5 @@
 #include "kv/placement.hpp"
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
@@ -31,9 +32,10 @@ Proxy::Proxy(sim::Simulator& sim, Net& net, sim::NodeId self,
       options_(options),
       pool_(options.servers),
       rng_(mix64(0x70727879ULL ^ self.index)),
+      quorum_rng_(mix64(0x71756F72756DULL ^ self.index)),
       default_q_(options.initial),
       summary_(options.topk_capacity) {
-  read_q_history_[0] = default_q_.read_q;
+  read_q_history_[0] = default_q_.read_footprint();
   if (!obs) {
     own_obs_ = std::make_unique<obs::Observability>();
     obs = own_obs_.get();
@@ -146,13 +148,13 @@ void Proxy::heartbeat_loop(std::uint64_t gen) {
 
 // ---------------------------------------------------------------- quorums
 
-QuorumConfig Proxy::base_quorum(ObjectId oid) const {
+const kv::QuorumStrategy& Proxy::base_strategy(ObjectId oid) const {
   auto it = overrides_.find(oid);
   return it != overrides_.end() ? it->second : default_q_;
 }
 
-QuorumConfig Proxy::pending_quorum(ObjectId oid) const {
-  // The quorum `oid` will have once the pending change commits.
+const kv::QuorumStrategy& Proxy::pending_strategy(ObjectId oid) const {
+  // The strategy `oid` will have once the pending change commits.
   if (pending_change_.is_global) {
     auto it = overrides_.find(oid);
     return it != overrides_.end() ? it->second : pending_change_.global;
@@ -160,18 +162,27 @@ QuorumConfig Proxy::pending_quorum(ObjectId oid) const {
   for (const auto& [changed_oid, q] : pending_change_.overrides) {
     if (changed_oid == oid) return q;
   }
-  return base_quorum(oid);
+  return base_strategy(oid);
+}
+
+kv::QuorumStrategy Proxy::effective_strategy(ObjectId oid) const {
+  const kv::QuorumStrategy& base = base_strategy(oid);
+  if (!in_transition_) return base;
+  // While draining, ops run under the transition quorum: the component-wise
+  // max of the old and new grid footprints, which intersects every quorum of
+  // both strategies.
+  return kv::transition(base, pending_strategy(oid));
 }
 
 QuorumConfig Proxy::effective_quorum(ObjectId oid) const {
-  const QuorumConfig base = base_quorum(oid);
-  if (!in_transition_) return base;
-  return kv::transition(base, pending_quorum(oid));
+  return effective_strategy(oid).footprint();
 }
 
 int Proxy::current_max_read_q() const {
-  int max_r = default_q_.read_q;
-  for (const auto& [oid, q] : overrides_) max_r = std::max(max_r, q.read_q);
+  int max_r = default_q_.read_footprint();
+  for (const auto& [oid, q] : overrides_) {
+    max_r = std::max(max_r, q.read_footprint());
+  }
   return max_r;
 }
 
@@ -298,22 +309,56 @@ void Proxy::start_write(ObjectId oid, Version version, sim::NodeId client,
 void Proxy::launch_op(std::uint64_t op_id) {
   PendingOp& op = ops_.at(op_id);
   op.epno_used = lepno_;
+  op.cfno_used = lcfno_;
   op.received = 0;
   op.contacted = 0;
   op.replied.clear();
   op.any_found = false;
   op.repair = false;
   op.replica_order = placement_.replicas(op.oid);
-  // Load balancing: rotate the replica list by a hash of the proxy
-  // identifier (Section 2.1) so different proxies spread load over
-  // different quorum subsets.
   const std::size_t n = op.replica_order.size();
-  std::rotate(op.replica_order.begin(),
-              op.replica_order.begin() +
-                  static_cast<long>(mix64(self_.index) % n),
-              op.replica_order.end());
-  const QuorumConfig q = effective_quorum(op.oid);
-  op.needed = op.kind == PendingOp::Kind::kRead ? q.read_q : q.write_q;
+  const kv::QuorumStrategy strategy = effective_strategy(op.oid);
+  const bool is_read = op.kind == PendingOp::Kind::kRead;
+  if (strategy.is_majority()) {
+    // Load balancing: rotate the replica list by a hash of the proxy
+    // identifier (Section 2.1) so different proxies spread load over
+    // different quorum subsets.
+    std::rotate(op.replica_order.begin(),
+                op.replica_order.begin() +
+                    static_cast<long>(mix64(self_.index) % n),
+                op.replica_order.end());
+    const QuorumConfig q = strategy.footprint();
+    op.needed = is_read ? q.read_q : q.write_q;
+    op.footprint_needed = op.needed;
+    op.drawn.clear();
+  } else {
+    // Explicit strategy: draw one quorum from the selection distribution and
+    // contact exactly its members first; load balancing comes from the
+    // optimizer's weights, not from rotation. The non-members follow in the
+    // order list so the fallback/retransmit plane can still fan out if a
+    // drawn member is slow or down; quorum_met() then requires either the
+    // full drawn set or footprint-many distinct replies (an arbitrary
+    // |drawn|-sized reply set need not intersect every write quorum).
+    const kv::WeightedQuorum& drawn = is_read
+                                          ? strategy.sample_read(quorum_rng_)
+                                          : strategy.sample_write(quorum_rng_);
+    std::vector<std::uint32_t> order;
+    order.reserve(n);
+    std::vector<bool> taken(n, false);
+    op.drawn.clear();
+    for (std::uint32_t slot : drawn.members) {
+      order.push_back(op.replica_order[slot]);
+      op.drawn.push_back(op.replica_order[slot]);
+      taken[slot] = true;
+    }
+    for (std::size_t slot = 0; slot < n; ++slot) {
+      if (!taken[slot]) order.push_back(op.replica_order[slot]);
+    }
+    op.replica_order = std::move(order);
+    op.needed = static_cast<int>(drawn.members.size());
+    op.footprint_needed = is_read ? strategy.read_footprint()
+                                  : strategy.write_footprint();
+  }
   op.wait_start = sim_.now();
   op.prev_reply_at = 0;
   op.last_reply_at = 0;
@@ -324,6 +369,16 @@ void Proxy::launch_op(std::uint64_t op_id) {
   contact_replicas(op_id, op, op.needed);
   arm_fallback(op_id);
   arm_retransmit(op_id, 0);
+}
+
+bool Proxy::quorum_met(const PendingOp& op) const {
+  if (op.received >= op.footprint_needed) return true;
+  if (op.received < op.needed) return false;
+  if (op.drawn.empty()) return true;  // majority path: needed IS the quorum
+  for (std::uint32_t node : op.drawn) {
+    if (!op.replied.contains(node)) return false;
+  }
+  return true;
 }
 
 void Proxy::contact_replicas(std::uint64_t op_id, PendingOp& op, int upto) {
@@ -376,7 +431,7 @@ void Proxy::arm_fallback(std::uint64_t op_id) {
     auto it = ops_.find(op_id);
     if (it == ops_.end()) return;
     PendingOp& op = it->second;
-    if (op.received >= op.needed) return;
+    if (quorum_met(op)) return;
     if (op.contacted >= static_cast<int>(op.replica_order.size())) return;
     ins_.fallbacks->inc();
     trace(obs::Category::kQuorum, "fallback", op.oid);
@@ -403,7 +458,7 @@ void Proxy::fire_retransmit(std::uint64_t op_id, int attempt) {
   auto it = ops_.find(op_id);
   if (it == ops_.end()) return;  // completed, failed, or NACK-retried
   PendingOp& op = it->second;
-  if (op.received >= op.needed) return;
+  if (quorum_met(op)) return;
   if (attempt >= options_.retry_budget) {
     fail_op(op_id);
     return;
@@ -544,18 +599,24 @@ void Proxy::handle_read_reply(const sim::NodeId& from,
 
 void Proxy::maybe_complete_read(std::uint64_t op_id) {
   PendingOp& op = ops_.at(op_id);
-  if (op.received < op.needed) return;
+  if (!quorum_met(op)) return;
 
   if (!op.repair && op.any_found && op.best.cfno < lcfno_) {
     // Algorithm 4 lines 10-17: the freshest version was created under an
     // older configuration; if any configuration installed since used a
-    // larger read quorum, re-read with that quorum to guarantee
-    // intersection with the writing quorum.
+    // larger read quorum (footprint), re-read with that quorum to guarantee
+    // intersection with the writing quorum. Counting suffices here even for
+    // explicit strategies: received >= needed >= old_r replies already
+    // intersect every write quorum of the writing configuration.
     const int old_r = max_read_q_since(op.best.cfno);
     if (old_r > op.needed) {
       on_quorum_satisfied(op);  // the first-phase quorum is in hand
       op.repair = true;
       op.needed = old_r;
+      // The repair phase is a pure counting read: ANY old_r distinct
+      // replicas intersect the writing configuration's write quorums.
+      op.footprint_needed = old_r;
+      op.drawn.clear();
       ins_.repair_reads->inc();
       trace(obs::Category::kQuorum, "read_repair", op.oid,
             static_cast<std::uint64_t>(old_r));
@@ -589,7 +650,7 @@ void Proxy::handle_write_reply(const sim::NodeId& from,
   }
   ++op.received;
   note_reply(op, from.index);
-  if (op.received >= op.needed) {
+  if (quorum_met(op)) {
     on_quorum_satisfied(op);
     finish_op(resp.op_id, op);
   }
@@ -646,6 +707,14 @@ void Proxy::finish_op(std::uint64_t op_id, PendingOp& op_ref) {
               kv::ClientWriteResp{op.client_req, op.write_version.ts});
   } else {
     ins_.writebacks->inc();
+    // A write-back is a completed write: surface its quorum so the
+    // consistency checker's intersection audit knows which replicas now
+    // hold the repaired version.
+    if (on_complete_) {
+      on_complete_(OpRecord{op.oid, true, op.start_time, sim_.now(),
+                            self_.index, op.cfno_used,
+                            {op.replied.begin(), op.replied.end()}});
+    }
   }
 
   if (op.kind != PendingOp::Kind::kWriteBack) {
@@ -661,7 +730,8 @@ void Proxy::finish_op(std::uint64_t op_id, PendingOp& op_ref) {
     round_latency_sum_ms_ += to_millis(latency);
     if (on_complete_) {
       on_complete_(OpRecord{op.oid, !is_read, op.start_time, sim_.now(),
-                            self_.index});
+                            self_.index, op.cfno_used,
+                            {op.replied.begin(), op.replied.end()}});
     }
   }
 
@@ -689,6 +759,14 @@ void Proxy::finish_op(std::uint64_t op_id, PendingOp& op_ref) {
 
 void Proxy::handle_new_quorum(const sim::NodeId& from,
                               const kv::NewQuorumMsg& msg) {
+  if (msg.strategy_version > kv::QuorumStrategy::kWireVersion) {
+    // Future strategy encoding this proxy cannot decode: stay silent (no
+    // ack) so the install cannot take effect with a half-understood payload;
+    // the RM keeps retransmitting and operators see the stalled handshake.
+    trace(obs::Category::kReconfig, "proxy_newq_version_skew", msg.epno,
+          msg.strategy_version);
+    return;
+  }
   if (msg.cfno <= lcfno_) {
     if (drain_waiting_ && msg.cfno == drain_cfno_) {
       // RM retransmission of the NEWQ whose drain is still in progress:
@@ -720,22 +798,22 @@ void Proxy::handle_new_quorum(const sim::NodeId& from,
   lcfno_ = msg.cfno;
   lepno_ = std::max(lepno_, msg.epno);
 
-  // Record the read quorum of the configuration being installed (set Q of
-  // Algorithm 3/4). For per-object changes we conservatively record the max
-  // read quorum across the post-change state.
+  // Record the read-quorum footprint of the configuration being installed
+  // (set Q of Algorithm 3/4). For per-object changes we conservatively
+  // record the max read footprint across the post-change state.
   int new_max_r;
   if (pending_change_.is_global) {
-    new_max_r = pending_change_.global.read_q;
+    new_max_r = pending_change_.global.read_footprint();
     for (const auto& [oid, q] : overrides_) {
-      new_max_r = std::max(new_max_r, q.read_q);
+      new_max_r = std::max(new_max_r, q.read_footprint());
     }
   } else {
-    new_max_r = default_q_.read_q;
+    new_max_r = default_q_.read_footprint();
     for (const auto& [oid, q] : overrides_) {
-      new_max_r = std::max(new_max_r, q.read_q);
+      new_max_r = std::max(new_max_r, q.read_footprint());
     }
     for (const auto& [oid, q] : pending_change_.overrides) {
-      new_max_r = std::max(new_max_r, q.read_q);
+      new_max_r = std::max(new_max_r, q.read_footprint());
     }
   }
   record_history(msg.cfno, new_max_r);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "kv/placement.hpp"
+#include "kv/quorum.hpp"
 #include "kv/service_model.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
@@ -51,7 +52,7 @@
 namespace qopt::proxy {
 
 struct ProxyOptions {
-  kv::QuorumConfig initial{1, 1};  // overwritten by cluster wiring
+  kv::QuorumConfig initial = kv::QuorumConfig::of(1, 1);  // overwritten by cluster wiring
   Duration fallback_timeout = milliseconds(150);
   std::size_t servers = 8;                 // proxy CPU cores
   Duration op_cost = microseconds(60);     // per-op proxy CPU time
@@ -94,6 +95,15 @@ struct OpRecord {
   Time start = 0;
   Time end = 0;
   std::uint32_t proxy = 0;
+  /// Configuration number the operation's quorum was drawn under (0 when
+  /// unknown, e.g. client-side records). The intersection audit only
+  /// compares operations of the same generation — across generations the
+  /// protocol reasons via read_q_history and read repair, not via static
+  /// intersection.
+  std::uint64_t cfno = 0;
+  /// Storage indices whose replies formed the quorum (sorted); feeds the
+  /// consistency checker's read/write intersection audit.
+  std::vector<std::uint32_t> quorum;
 };
 
 class Proxy {
@@ -132,9 +142,17 @@ class Proxy {
   std::uint64_t epoch() const noexcept { return lepno_; }
   std::uint64_t cfno() const noexcept { return lcfno_; }
   bool in_transition() const noexcept { return in_transition_; }
-  kv::QuorumConfig default_quorum() const noexcept { return default_q_; }
-  /// Effective quorum used for `oid` right now (includes transition logic).
+  kv::QuorumConfig default_quorum() const noexcept {
+    return default_q_.footprint();
+  }
+  const kv::QuorumStrategy& default_strategy() const noexcept {
+    return default_q_;
+  }
+  /// Grid footprint of the quorum used for `oid` right now (includes
+  /// transition logic); the sizes legacy call sites reason about.
   kv::QuorumConfig effective_quorum(kv::ObjectId oid) const;
+  /// Full strategy in force for `oid` (transition quorums while draining).
+  kv::QuorumStrategy effective_strategy(kv::ObjectId oid) const;
   /// Observability bundle in use (the shared one, or the private fallback).
   obs::Observability& observability() noexcept { return *obs_; }
   const obs::Observability& observability() const noexcept { return *obs_; }
@@ -151,8 +169,17 @@ class Proxy {
     sim::NodeId client;            // kRead/kWrite only
     std::uint64_t client_req = 0;  // kRead/kWrite only
     std::uint64_t epno_used = 0;
+    std::uint64_t cfno_used = 0;  // lcfno when the quorum was (re)drawn
     int needed = 0;    // replies required in the current phase
     int received = 0;  // replies gathered in the current phase
+    /// Counting threshold: this many *distinct* replies intersect every
+    /// quorum of the strategy regardless of which replicas they came from.
+    /// Equals `needed` on the majority path; for an op issued under an
+    /// explicit strategy it is the strategy's footprint — see quorum_met().
+    int footprint_needed = 0;
+    /// Node indices of the drawn explicit quorum (empty on the majority
+    /// path): the fast completion set of quorum_met().
+    std::vector<std::uint32_t> drawn;
     bool repair = false;
     bool any_found = false;
     kv::Version best;           // freshest version seen (reads)
@@ -198,6 +225,10 @@ class Proxy {
   void fire_retransmit(std::uint64_t op_id, int attempt);
   void fail_op(std::uint64_t op_id);
   void finish_op(std::uint64_t op_id, PendingOp& op);
+  /// Whether the replies in hand form a quorum: the full drawn set answered,
+  /// or footprint-many distinct replicas did (counting intersection). On the
+  /// majority path this is exactly the pre-strategy `received >= needed`.
+  bool quorum_met(const PendingOp& op) const;
 
   // ------------------------------------------------------ storage replies
   void handle_read_reply(const sim::NodeId& from, const kv::StorageReadResp&);
@@ -237,8 +268,8 @@ class Proxy {
   void send_round_stats(const sim::NodeId& am, std::uint64_t round);
   void note_access(kv::ObjectId oid, bool is_write, std::uint64_t size);
 
-  kv::QuorumConfig base_quorum(kv::ObjectId oid) const;
-  kv::QuorumConfig pending_quorum(kv::ObjectId oid) const;
+  const kv::QuorumStrategy& base_strategy(kv::ObjectId oid) const;
+  const kv::QuorumStrategy& pending_strategy(kv::ObjectId oid) const;
 
   sim::Simulator& sim_;
   Net& net_;
@@ -254,14 +285,19 @@ class Proxy {
   /// Proxy-local stream for retransmit jitter (deterministic per proxy
   /// index; draws never interleave with any other component's stream).
   Rng rng_;
+  /// Separate stream for drawing quorums from explicit strategies. Majority
+  /// strategies never touch it (their path is the pre-strategy prefix scan),
+  /// and keeping it apart from rng_ means installing an explicit strategy
+  /// cannot perturb the retransmit-jitter sequence of unrelated ops.
+  Rng quorum_rng_;
 
   // Quorum state (Algorithm 3 variables).
   std::uint64_t lepno_ = 0;
   std::uint64_t lcfno_ = 0;
-  kv::QuorumConfig default_q_;
+  kv::QuorumStrategy default_q_;
   // Ordered: reconfiguration paths iterate the override table, and the
   // iteration order feeds protocol decisions (read-quorum history).
-  std::map<kv::ObjectId, kv::QuorumConfig> overrides_;
+  std::map<kv::ObjectId, kv::QuorumStrategy> overrides_;
   bool in_transition_ = false;
   kv::QuorumChange pending_change_;
   std::uint64_t pending_cfno_ = 0;

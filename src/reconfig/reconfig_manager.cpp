@@ -1,3 +1,4 @@
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
@@ -81,25 +82,16 @@ void ReconfigManager::begin_phase_span(obs::Phase phase, const char* name) {
   phase_span_ = spans.open_span(round_trace_, phase, name, "rm", sim_.now());
 }
 
-QuorumConfig ReconfigManager::quorum_for(kv::ObjectId oid) const {
+const kv::QuorumStrategy& ReconfigManager::quorum_for(kv::ObjectId oid) const {
   for (const auto& [object, q] : canonical_.overrides) {
     if (object == oid) return q;
   }
   return canonical_.default_q;
 }
 
-bool ReconfigManager::validate(const QuorumChange& change) const {
-  if (change.is_global) return kv::is_strict(change.global, replication_);
-  if (change.overrides.empty()) return false;
-  return std::all_of(change.overrides.begin(), change.overrides.end(),
-                     [&](const auto& entry) {
-                       return kv::is_strict(entry.second, replication_);
-                     });
-}
-
 void ReconfigManager::change_configuration(QuorumChange change,
                                            DoneCallback done) {
-  if (!validate(change)) {
+  if (!kv::validate_change(change, replication_)) {
     ins_.rejected_invalid->inc();
     if (done) done(false);
     return;
@@ -120,8 +112,8 @@ void ReconfigManager::start_next() {
   round_trace_ = obs_->spans().start_trace(obs::TraceKind::kReconfig,
                                            "reconfig", "rm", sim_.now());
   begin_phase_span(obs::Phase::kRmNewq, "rm_newq");
-  const kv::NewQuorumMsg msg{canonical_.epno, current_cfno_, current_.change,
-                             phase_span_};
+  const kv::NewQuorumMsg msg{canonical_.epno, current_cfno_,
+                             current_.change, phase_span_};
   for (const sim::NodeId& proxy : proxies_) net_.send(self_, proxy, msg);
   ++retry_gen_;
   arm_phase_retransmit(0);
@@ -173,7 +165,8 @@ void ReconfigManager::resend_phase() {
         if (acked_storage_.contains(storage.index) || fd_.suspects(storage)) {
           continue;
         }
-        net_.send(self_, storage, kv::NewEpochMsg{epoch_payload_, phase_span_});
+        net_.send(self_, storage,
+                  kv::NewEpochMsg{epoch_payload_, phase_span_});
       }
       break;
     }
@@ -213,8 +206,8 @@ FullConfig ReconfigManager::transition_state() const {
   FullConfig state = next;
   state.default_q = kv::transition(canonical_.default_q, next.default_q);
   for (auto& [oid, q] : state.overrides) {
-    // Old effective quorum for this object.
-    QuorumConfig old_q = canonical_.default_q;
+    // Old effective strategy for this object.
+    kv::QuorumStrategy old_q = canonical_.default_q;
     for (const auto& [old_oid, candidate] : canonical_.overrides) {
       if (old_oid == oid) {
         old_q = candidate;
@@ -227,16 +220,20 @@ FullConfig ReconfigManager::transition_state() const {
 }
 
 int ReconfigManager::max_quorum_dimension(const FullConfig& state) {
-  int m = std::max(state.default_q.read_q, state.default_q.write_q);
+  const QuorumConfig d = state.default_q.footprint();
+  int m = std::max(d.read_q, d.write_q);
   for (const auto& [oid, q] : state.overrides) {
-    m = std::max({m, q.read_q, q.write_q});
+    const QuorumConfig fp = q.footprint();
+    m = std::max({m, fp.read_q, fp.write_q});
   }
   return m;
 }
 
 int ReconfigManager::max_read_q(const FullConfig& state) {
-  int m = state.default_q.read_q;
-  for (const auto& [oid, q] : state.overrides) m = std::max(m, q.read_q);
+  int m = state.default_q.read_footprint();
+  for (const auto& [oid, q] : state.overrides) {
+    m = std::max(m, q.read_footprint());
+  }
   return m;
 }
 
@@ -356,7 +353,8 @@ void ReconfigManager::begin_epoch_change(bool after_phase1) {
   msg_config.epno = canonical_.epno;
   epoch_payload_ = msg_config;
   for (const sim::NodeId& storage : storages_) {
-    net_.send(self_, storage, kv::NewEpochMsg{msg_config, phase_span_});
+    net_.send(self_, storage,
+              kv::NewEpochMsg{msg_config, phase_span_});
   }
   ++retry_gen_;
   arm_phase_retransmit(0);

@@ -28,6 +28,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
@@ -77,7 +78,12 @@ class ReconfigManager {
   /// Canonical committed configuration (source of truth for NEWEP payloads
   /// and for the Autonomic Manager's view of installed quorums).
   const kv::FullConfig& config() const noexcept { return canonical_; }
-  kv::QuorumConfig quorum_for(kv::ObjectId oid) const;
+  /// Strategy installed for `oid` (override, else the default).
+  const kv::QuorumStrategy& quorum_for(kv::ObjectId oid) const;
+  /// Grid footprint of quorum_for() — the sizes legacy callers reason about.
+  kv::QuorumConfig quorum_footprint_for(kv::ObjectId oid) const {
+    return quorum_for(oid).footprint();
+  }
   bool busy() const noexcept { return phase_ != Phase::kIdle; }
   std::size_t queued() const noexcept { return queue_.size(); }
   /// Observability bundle in use (the shared one, or the private fallback).
@@ -113,12 +119,13 @@ class ReconfigManager {
 
   /// Post-change state the current pending change would install.
   kv::FullConfig post_change_state() const;
-  /// Transition state: component-wise max of current and post-change.
+  /// Transition state: per-object kv::transition of current and post-change
+  /// (component-wise max of grid footprints).
   kv::FullConfig transition_state() const;
-  /// Largest read or write quorum across default and overrides of a state.
+  /// Largest read or write quorum footprint across default and overrides of
+  /// a state: a storage quorum of this size meets every in-flight quorum.
   static int max_quorum_dimension(const kv::FullConfig& state);
   static int max_read_q(const kv::FullConfig& state);
-  bool validate(const kv::QuorumChange& change) const;
 
   sim::Simulator& sim_;
   Net& net_;

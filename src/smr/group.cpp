@@ -1,4 +1,5 @@
 #include "kv/types.hpp"
+#include "kv/quorum.hpp"
 #include "sim/ids.hpp"
 #include "sim/simulator.hpp"
 #include "smr/group.hpp"
@@ -63,17 +64,12 @@ ConfigStateMachine::ConfigStateMachine(kv::QuorumConfig initial,
 
 void ConfigStateMachine::apply(const Command& command) {
   const kv::QuorumChange& change = command.change;
-  // Reject non-strict quorums deterministically (every replica agrees).
-  auto strict = [&](const kv::QuorumConfig& q) {
-    return kv::is_strict(q, replication_);
-  };
+  // Reject invalid strategies deterministically (every replica agrees),
+  // through the same centralized check the RM uses.
+  if (!kv::validate_change(change, replication_)) return;
   if (change.is_global) {
-    if (!strict(change.global)) return;
     config_.default_q = change.global;
   } else {
-    for (const auto& [oid, q] : change.overrides) {
-      if (!strict(q)) return;
-    }
     for (const auto& [oid, q] : change.overrides) {
       bool replaced = false;
       for (auto& [existing, existing_q] : config_.overrides) {
@@ -87,9 +83,9 @@ void ConfigStateMachine::apply(const Command& command) {
     }
   }
   config_.cfno += 1;
-  int max_r = config_.default_q.read_q;
+  int max_r = config_.default_q.read_footprint();
   for (const auto& [oid, q] : config_.overrides) {
-    max_r = std::max(max_r, q.read_q);
+    max_r = std::max(max_r, q.read_footprint());
   }
   config_.read_q_history.emplace_back(config_.cfno, max_r);
   ++applied_;

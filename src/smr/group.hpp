@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "sim/failure_detector.hpp"
 #include "sim/network.hpp"

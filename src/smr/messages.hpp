@@ -8,7 +8,7 @@
 #include <variant>
 #include <vector>
 
-#include "kv/types.hpp"
+#include "kv/quorum.hpp"
 
 namespace qopt::smr {
 

@@ -39,7 +39,7 @@ TEST(AutonomicTest, ConvergesToLargeWForReadHeavyTail) {
   cluster.run_for(seconds(60));
   ASSERT_TRUE(cluster.am()->converged());
   // 95% reads -> oracle picks W=5 (R=1) for the tail.
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{1, 5}));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(1, 5)));
   EXPECT_GE(cluster.obs().registry().counter_value("am.tail_reconfigs"), 1u);
   EXPECT_TRUE(cluster.checker().clean());
 }
@@ -51,7 +51,7 @@ TEST(AutonomicTest, ConvergesToSmallWForWriteHeavyTail) {
   cluster.enable_autotuning(fast_tuning());
   cluster.run_for(seconds(60));
   ASSERT_TRUE(cluster.am()->converged());
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{5, 1}));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(5, 1)));
   EXPECT_TRUE(cluster.checker().clean());
 }
 
@@ -66,7 +66,7 @@ TEST(AutonomicTest, HotspotObjectsGetPerObjectOverrides) {
   EXPECT_GT(cluster.rm().config().overrides.size(), 0u);
   // Every installed override must be strict.
   for (const auto& [oid, q] : cluster.rm().config().overrides) {
-    EXPECT_TRUE(kv::is_strict(q, 5));
+    EXPECT_TRUE(q.valid(5));
   }
 }
 
@@ -93,10 +93,10 @@ TEST(AutonomicTest, ConstraintsRestrictChosenQuorums) {
   options.constraints.min_read = 2;  // fault-tolerance SLA: R >= 2 -> W <= 4
   cluster.enable_autotuning(options);
   cluster.run_for(seconds(60));
-  EXPECT_LE(cluster.rm().config().default_q.write_q, 4);
-  EXPECT_GE(cluster.rm().config().default_q.read_q, 2);
+  EXPECT_LE(cluster.rm().config().default_q.write_footprint(), 4);
+  EXPECT_GE(cluster.rm().config().default_q.read_footprint(), 2);
   for (const auto& [oid, q] : cluster.rm().config().overrides) {
-    EXPECT_GE(q.read_q, 2);
+    EXPECT_GE(q.read_footprint(), 2);
   }
 }
 
@@ -112,11 +112,11 @@ TEST(AutonomicTest, RestartsAfterWorkloadShift) {
   cluster.enable_autotuning(fast_tuning());
   cluster.run_for(seconds(60));
   ASSERT_TRUE(cluster.am()->converged());
-  EXPECT_EQ(cluster.rm().config().default_q.write_q, 5);  // read-optimized
+  EXPECT_EQ(cluster.rm().config().default_q.write_footprint(), 5);  // read-optimized
   cluster.run_for(seconds(150));
   // After the shift the manager must have detected the KPI change and
   // re-optimized toward a write-friendly configuration.
-  EXPECT_LE(cluster.rm().config().default_q.write_q, 2)
+  EXPECT_LE(cluster.rm().config().default_q.write_footprint(), 2)
       << "did not adapt to the write-heavy phase";
   EXPECT_TRUE(cluster.checker().clean());
 }
@@ -143,7 +143,7 @@ TEST(AutonomicTest, SurvivesProxyCrashDuringTuning) {
   cluster.run_for(seconds(60));
   // Rounds keep progressing using the surviving proxy's reports.
   EXPECT_TRUE(cluster.am()->converged());
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{1, 5}));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(1, 5)));
   EXPECT_TRUE(cluster.checker().clean());
 }
 
@@ -174,7 +174,7 @@ TEST(AutonomicTest, LatencyKpiAlsoConverges) {
   cluster.enable_autotuning(options);
   cluster.run_for(seconds(60));
   EXPECT_TRUE(cluster.am()->converged());
-  EXPECT_EQ(cluster.rm().config().default_q.write_q, 5);
+  EXPECT_EQ(cluster.rm().config().default_q.write_footprint(), 5);
 }
 
 }  // namespace

@@ -89,7 +89,7 @@ TEST_P(PerObjectChurn, OverridesPreserveConsistency) {
     for (int i = 0; i < 5; ++i) {
       const kv::ObjectId oid = rng.next_below(100);
       const int w = static_cast<int>(rng.next_below(5)) + 1;
-      overrides.emplace_back(oid, kv::QuorumConfig{5 - w + 1, w});
+      overrides.emplace_back(oid, kv::QuorumConfig::of(5 - w + 1, w));
     }
     cluster.reconfigure_objects(std::move(overrides));
     cluster.run_for(milliseconds(200 + rng.next_below(500)));

@@ -21,9 +21,9 @@ namespace {
 
 TEST(MetricsTest, RecordsAndBuckets) {
   Metrics metrics(milliseconds(100));
-  metrics.record({1, false, 0, milliseconds(50), 0});
-  metrics.record({2, true, 0, milliseconds(150), 0});
-  metrics.record({3, false, milliseconds(100), milliseconds(250), 0});
+  metrics.record({1, false, 0, milliseconds(50), 0, 0, {}});
+  metrics.record({2, true, 0, milliseconds(150), 0, 0, {}});
+  metrics.record({3, false, milliseconds(100), milliseconds(250), 0, 0, {}});
   EXPECT_EQ(metrics.total_ops(), 3u);
   EXPECT_EQ(metrics.total_reads(), 2u);
   EXPECT_EQ(metrics.total_writes(), 1u);
@@ -35,15 +35,15 @@ TEST(MetricsTest, RecordsAndBuckets) {
 TEST(MetricsTest, ThroughputComputation) {
   Metrics metrics(milliseconds(100));
   for (int i = 0; i < 1000; ++i) {
-    metrics.record({0, false, 0, milliseconds(i), 0});
+    metrics.record({0, false, 0, milliseconds(i), 0, 0, {}});
   }
   EXPECT_NEAR(metrics.throughput(0, seconds(1)), 1000.0, 1.0);
 }
 
 TEST(MetricsTest, LatencySeparatedByKind) {
   Metrics metrics;
-  metrics.record({0, false, 0, milliseconds(1), 0});
-  metrics.record({0, true, 0, milliseconds(10), 0});
+  metrics.record({0, false, 0, milliseconds(1), 0, 0, {}});
+  metrics.record({0, true, 0, milliseconds(10), 0, 0, {}});
   EXPECT_NEAR(metrics.read_latency().mean(),
               static_cast<double>(milliseconds(1)), 1.0);
   EXPECT_NEAR(metrics.write_latency().mean(),
@@ -52,7 +52,7 @@ TEST(MetricsTest, LatencySeparatedByKind) {
 
 TEST(MetricsTest, ResetClears) {
   Metrics metrics;
-  metrics.record({0, false, 0, milliseconds(1), 0});
+  metrics.record({0, false, 0, milliseconds(1), 0, 0, {}});
   metrics.reset();
   EXPECT_EQ(metrics.total_ops(), 0u);
   EXPECT_EQ(metrics.ops_between(0, seconds(10)), 0u);

@@ -80,7 +80,7 @@ TEST(HeartbeatTest, ReconfigurationDuringOrganicFalseSuspicionIsSafe) {
   cluster.run_for(seconds(3));
   EXPECT_TRUE(ok);
   EXPECT_GE(cluster.obs().registry().counter_value("rm.epoch_changes"), 1u);
-  EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig{4, 2}));
+  EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig::of(4, 2)));
   cluster.proxy(0).set_heartbeats_paused(false);
   cluster.run_for(seconds(2));
   EXPECT_FALSE(cluster.failure_detector().suspects(sim::proxy_id(0)));
@@ -113,7 +113,7 @@ TEST(HeartbeatTest, AutotuningRunsOverHeartbeatDetector) {
   cluster.enable_autotuning(tuning);
   cluster.run_for(seconds(60));
   EXPECT_TRUE(cluster.am()->converged());
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{1, 5}));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(1, 5)));
   EXPECT_TRUE(cluster.checker().clean());
 }
 

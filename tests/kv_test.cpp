@@ -5,6 +5,7 @@
 #include <set>
 
 #include "kv/placement.hpp"
+#include "kv/quorum.hpp"
 #include "kv/service_model.hpp"
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
@@ -46,7 +47,7 @@ TEST(QuorumConfigTest, TransitionIsComponentwiseMax) {
   EXPECT_EQ(t.read_q, 4);
   EXPECT_EQ(t.write_q, 5);
   // Transition with itself is identity.
-  EXPECT_EQ(transition({3, 3}, {3, 3}), (QuorumConfig{3, 3}));
+  EXPECT_EQ(transition({3, 3}, {3, 3}), (QuorumConfig::of(3, 3)));
 }
 
 TEST(QuorumConfigTest, TransitionIntersectsBothConfigs) {
@@ -271,7 +272,7 @@ TEST_F(StorageFixture, StaleEpochGetsNack) {
   FullConfig config;
   config.epno = 2;
   config.cfno = 1;
-  config.default_q = {2, 4};
+  config.default_q = QuorumConfig::of(2, 4);
   net.send(sim::rm_id(), sim::storage_id(0), NewEpochMsg{config, {}});
   sim.run();
   EXPECT_EQ(node->epoch(), 2u);
@@ -284,7 +285,7 @@ TEST_F(StorageFixture, StaleEpochGetsNack) {
       got_nack = true;
       EXPECT_EQ(nack->op_id, 9u);
       EXPECT_EQ(nack->config.epno, 2u);
-      EXPECT_EQ(nack->config.default_q, (QuorumConfig{2, 4}));
+      EXPECT_EQ(nack->config.default_q, (QuorumConfig::of(2, 4)));
     }
   }
   EXPECT_TRUE(got_nack);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "kv/quorum.hpp"
 #include "kv/types.hpp"
 #include "ml/dataset.hpp"
 #include "oracle/oracle.hpp"
@@ -48,13 +49,13 @@ TEST(ClampTest, InfeasibleConstraintsThrow) {
 TEST(ConfigDerivationTest, StrictByConstruction) {
   for (int n : {1, 3, 5, 7}) {
     for (int w = 1; w <= n; ++w) {
-      const kv::QuorumConfig q = config_from_write_quorum(w, n);
+      const kv::QuorumConfig q = grid_from_write_quorum(w, n);
       EXPECT_TRUE(kv::is_strict(q, n)) << "n=" << n << " w=" << w;
       EXPECT_EQ(q.read_q + q.write_q, n + 1);  // minimal strict overlap
     }
   }
-  EXPECT_EQ(config_from_write_quorum(0, 5).write_q, 1);
-  EXPECT_EQ(config_from_write_quorum(99, 5).write_q, 5);
+  EXPECT_EQ(grid_from_write_quorum(0, 5).write_q, 1);
+  EXPECT_EQ(grid_from_write_quorum(99, 5).write_q, 5);
 }
 
 TEST(LinearRuleOracleTest, MonotoneInWriteRatio) {

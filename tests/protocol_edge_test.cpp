@@ -38,7 +38,7 @@ TEST(ProtocolEdgeTest, ReconfigQueuedDuringSuspicionDrivenEpochChange) {
   cluster.reconfigure({4, 2}, [&](bool ok) { completed += ok; });
   cluster.run_for(seconds(10));
   EXPECT_EQ(completed, 3);
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{4, 2}));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(4, 2)));
   EXPECT_GE(cluster.obs().registry().counter_value("rm.epoch_changes"), 2u);
   EXPECT_TRUE(cluster.checker().clean());
 }
@@ -56,8 +56,8 @@ TEST(ProtocolEdgeTest, BackToBackSuspicionsOfDifferentProxies) {
   cluster.run_for(seconds(5));
   EXPECT_EQ(cluster.obs().registry().counter_value("rm.reconfigurations_completed"), 2u);
   // Both proxies converged to the final configuration.
-  EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig{1, 5}));
-  EXPECT_EQ(cluster.proxy(1).default_quorum(), (kv::QuorumConfig{1, 5}));
+  EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig::of(1, 5)));
+  EXPECT_EQ(cluster.proxy(1).default_quorum(), (kv::QuorumConfig::of(1, 5)));
   EXPECT_TRUE(cluster.checker().clean());
 }
 
@@ -68,8 +68,8 @@ TEST(ProtocolEdgeTest, EpochsAreMonotoneAcrossStorageNodes) {
   cluster.run_for(milliseconds(300));
   for (int round = 0; round < 4; ++round) {
     cluster.inject_false_suspicion(round % 2, milliseconds(800));
-    cluster.reconfigure(round % 2 ? kv::QuorumConfig{1, 5}
-                                  : kv::QuorumConfig{5, 1});
+    cluster.reconfigure(round % 2 ? kv::QuorumConfig::of(1, 5)
+                                  : kv::QuorumConfig::of(5, 1));
     cluster.run_for(seconds(2));
   }
   const std::uint64_t rm_epoch = cluster.rm().config().epno;
@@ -126,7 +126,7 @@ TEST(ProtocolEdgeTest, StorageWriteNackAlsoResynchronizes) {
   cluster.reconfigure({2, 4});
   cluster.run_for(seconds(5));
   EXPECT_GE(cluster.obs().registry().counter_value(obs::instrument_name("proxy", 0, "nacks_received")), 1u);
-  EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig{2, 4}));
+  EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig::of(2, 4)));
   // The falsely suspected proxy's clients never stalled.
   EXPECT_GT(cluster.client(0).ops_completed(), 100u);
   EXPECT_TRUE(cluster.checker().clean());
@@ -142,14 +142,14 @@ TEST(ProtocolEdgeTest, PerObjectAndGlobalChangesInterleavedUnderLoad) {
   cluster.reconfigure_objects({{1, {3, 3}}});
   cluster.reconfigure({2, 4});
   cluster.run_for(seconds(5));
-  EXPECT_EQ(cluster.rm().quorum_for(1), (kv::QuorumConfig{3, 3}));
-  EXPECT_EQ(cluster.rm().quorum_for(2), (kv::QuorumConfig{1, 5}));
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{2, 4}));
+  EXPECT_EQ(cluster.rm().quorum_for(1), (kv::QuorumConfig::of(3, 3)));
+  EXPECT_EQ(cluster.rm().quorum_for(2), (kv::QuorumConfig::of(1, 5)));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(2, 4)));
   for (std::uint32_t i = 0; i < 2; ++i) {
-    EXPECT_EQ(cluster.proxy(i).effective_quorum(1), (kv::QuorumConfig{3, 3}));
-    EXPECT_EQ(cluster.proxy(i).effective_quorum(2), (kv::QuorumConfig{1, 5}));
+    EXPECT_EQ(cluster.proxy(i).effective_quorum(1), (kv::QuorumConfig::of(3, 3)));
+    EXPECT_EQ(cluster.proxy(i).effective_quorum(2), (kv::QuorumConfig::of(1, 5)));
     EXPECT_EQ(cluster.proxy(i).effective_quorum(99),
-              (kv::QuorumConfig{2, 4}));
+              (kv::QuorumConfig::of(2, 4)));
   }
   EXPECT_TRUE(cluster.checker().clean());
 }

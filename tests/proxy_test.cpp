@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "kv/placement.hpp"
+#include "kv/quorum.hpp"
 #include "kv/service_model.hpp"
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
@@ -170,9 +171,9 @@ TEST_F(ProxyHarness, ReadOfUnknownObjectNotFound) {
 }
 
 TEST_F(ProxyHarness, NewQuorumAckedAndConfirmedSwitchesConfig) {
-  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig{1, 5}));
+  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig::of(1, 5)));
   install_global(0, 1, {4, 2});
-  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig{4, 2}));
+  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig::of(4, 2)));
   EXPECT_EQ(proxy->cfno(), 1u);
   EXPECT_FALSE(proxy->in_transition());
   // Both an ACKNEWQ and an ACKCONFIRM must have reached the RM.
@@ -190,14 +191,14 @@ TEST_F(ProxyHarness, TransitionQuorumIsMaxOfOldAndNew) {
   build({1, 5});
   net.send(sim::rm_id(), sim::proxy_id(0),
            kv::NewQuorumMsg{0, 1,
-                            kv::QuorumChange{true, {5, 1}, {}}, {}});
+                            kv::QuorumChange{true, QuorumConfig::of(5, 1), {}}, {}});
   sim.run();
   EXPECT_TRUE(proxy->in_transition());
   // max(1,5)=5 reads, max(5,1)=5 writes during the transition.
-  EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig{5, 5}));
+  EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig::of(5, 5)));
   net.send(sim::rm_id(), sim::proxy_id(0), kv::ConfirmMsg{0, 1, {}});
   sim.run();
-  EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig{5, 1}));
+  EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig::of(5, 1)));
 }
 
 TEST_F(ProxyHarness, DrainDelaysAckUntilPendingOpsComplete) {
@@ -208,7 +209,7 @@ TEST_F(ProxyHarness, DrainDelaysAckUntilPendingOpsComplete) {
   sim.run(microseconds(450));
   EXPECT_EQ(proxy->pending_ops(), 1u);
   net.send(sim::rm_id(), sim::proxy_id(0),
-           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, {2, 4}, {}}, {}});
+           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, QuorumConfig::of(2, 4), {}}, {}});
   sim.run(microseconds(700));  // NEWQ delivered, op still pending
   bool acked = false;
   for (const Message& m : rm_inbox) {
@@ -226,11 +227,11 @@ TEST_F(ProxyHarness, DrainDelaysAckUntilPendingOpsComplete) {
 TEST_F(ProxyHarness, PerObjectOverrideApplied) {
   kv::QuorumChange change;
   change.is_global = false;
-  change.overrides = {{7, QuorumConfig{5, 1}}, {8, QuorumConfig{3, 3}}};
+  change.overrides = {{7, QuorumConfig::of(5, 1)}, {8, QuorumConfig::of(3, 3)}};
   install(0, 1, std::move(change));
-  EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig{5, 1}));
-  EXPECT_EQ(proxy->effective_quorum(8), (QuorumConfig{3, 3}));
-  EXPECT_EQ(proxy->effective_quorum(9), (QuorumConfig{1, 5}));  // default
+  EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig::of(5, 1)));
+  EXPECT_EQ(proxy->effective_quorum(8), (QuorumConfig::of(3, 3)));
+  EXPECT_EQ(proxy->effective_quorum(9), (QuorumConfig::of(1, 5)));  // default
   EXPECT_EQ(proxy->override_count(), 2u);
 }
 
@@ -281,7 +282,7 @@ TEST_F(ProxyHarness, NackResynchronizesAndRetries) {
   kv::FullConfig config;
   config.epno = 3;
   config.cfno = 2;
-  config.default_q = {4, 2};
+  config.default_q = QuorumConfig::of(4, 2);
   config.read_q_history = {{0, 1}, {1, 4}, {2, 4}};
   for (std::uint32_t i = 0; i < kStorage; ++i) {
     net.send(sim::rm_id(), sim::storage_id(i), kv::NewEpochMsg{config, {}});
@@ -296,7 +297,7 @@ TEST_F(ProxyHarness, NackResynchronizesAndRetries) {
   EXPECT_GE(proxy_metric("nacks_received"), 1u);
   EXPECT_EQ(proxy_metric("op_retries"), 1u);
   EXPECT_EQ(proxy->epoch(), 3u);
-  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig{4, 2}));
+  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig::of(4, 2)));
   EXPECT_EQ(replicas_holding(7), 2u);  // retried with W=2
 }
 
@@ -322,28 +323,28 @@ TEST_F(ProxyHarness, StaleNewQuorumStillAcked) {
   // Re-deliver an old NEWQ (e.g. a retransmission): config must not change,
   // but the ACK must flow for RM progress.
   net.send(sim::rm_id(), sim::proxy_id(0),
-           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, {1, 5}, {}}, {}});
+           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, QuorumConfig::of(1, 5), {}}, {}});
   sim.run();
-  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig{4, 2}));
+  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig::of(4, 2)));
   EXPECT_GT(rm_inbox.size(), acks_before);
 }
 
 TEST_F(ProxyHarness, BackToBackNewQuorumCommitsPrevious) {
   net.send(sim::rm_id(), sim::proxy_id(0),
-           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, {2, 4}, {}}, {}});
+           kv::NewQuorumMsg{0, 1, kv::QuorumChange{true, QuorumConfig::of(2, 4), {}}, {}});
   sim.run();
   EXPECT_TRUE(proxy->in_transition());
   // Second NEWQ arrives without an intervening CONFIRM (the RM finalized
   // round 1 via an epoch change we did not see).
   net.send(sim::rm_id(), sim::proxy_id(0),
-           kv::NewQuorumMsg{1, 2, kv::QuorumChange{true, {3, 3}, {}}, {}});
+           kv::NewQuorumMsg{1, 2, kv::QuorumChange{true, QuorumConfig::of(3, 3), {}}, {}});
   sim.run();
   EXPECT_TRUE(proxy->in_transition());
   // Transition base is the committed round-1 config {2,4}: max -> {3,4}.
-  EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig{3, 4}));
+  EXPECT_EQ(proxy->effective_quorum(7), (QuorumConfig::of(3, 4)));
   net.send(sim::rm_id(), sim::proxy_id(0), kv::ConfirmMsg{1, 2, {}});
   sim.run();
-  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig{3, 3}));
+  EXPECT_EQ(proxy->default_quorum(), (QuorumConfig::of(3, 3)));
 }
 
 TEST_F(ProxyHarness, CrashedProxyStopsResponding) {

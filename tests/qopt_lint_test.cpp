@@ -130,9 +130,32 @@ TEST(QoptLintTest, PointerValuesAreFine) {
 TEST(QoptLintTest, QuorumLiteralFixtureFlagsInvariantViolations) {
   const auto findings = lint_fixture("quorum_literal.fixture");
   const auto counts = count_by_rule(findings);
-  // {0,3}, {3,0}, annotated {3,2} with n=5, annotated {6,1} with n=5.
-  EXPECT_EQ(counts.at("quorum-literal"), 4);
+  // Aggregates: {0,3}, {3,0}, annotated {3,2} with n=5, annotated {6,1}
+  // with n=5. Factories: of(0,3), annotated of(2,3) with n=5,
+  // majority(2,3,5), majority(6,1,5).
+  EXPECT_EQ(counts.at("quorum-literal"), 8);
   EXPECT_EQ(counts.size(), 1u);
+}
+
+TEST(QoptLintTest, NamedFactoriesAreCheckedLikeLiterals) {
+  const auto bad = lint_source(
+      "x.cpp", "auto s = kv::QuorumStrategy::majority(2, 3, 5);\n");
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].rule, "quorum-literal");
+
+  // Annotation supplies n for the two-argument spellings.
+  const auto annotated = lint_source(
+      "x.cpp",
+      "// qopt-lint: quorum(n=5)\n"
+      "auto q = kv::QuorumConfig::of(2, 3);\n");
+  ASSERT_EQ(annotated.size(), 1u);
+  EXPECT_EQ(annotated[0].line, 2u);
+
+  EXPECT_TRUE(lint_source(
+                  "x.cpp", "auto s = kv::QuorumStrategy::majority(3, 3, 5);\n")
+                  .empty());
+  EXPECT_TRUE(
+      lint_source("x.cpp", "auto q = kv::QuorumConfig::of(2, 3);\n").empty());
 }
 
 TEST(QoptLintTest, QuorumAnnotationEnablesIntersectionCheck) {

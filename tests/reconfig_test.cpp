@@ -32,10 +32,10 @@ TEST(ReconfigTest, GlobalReconfigurationCompletes) {
   cluster.run_for(seconds(1));
   EXPECT_TRUE(done);
   EXPECT_TRUE(ok);
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{4, 2}));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(4, 2)));
   EXPECT_EQ(cluster.rm().config().cfno, 1u);
   for (std::uint32_t i = 0; i < 3; ++i) {
-    EXPECT_EQ(cluster.proxy(i).default_quorum(), (kv::QuorumConfig{4, 2}));
+    EXPECT_EQ(cluster.proxy(i).default_quorum(), (kv::QuorumConfig::of(4, 2)));
     EXPECT_FALSE(cluster.proxy(i).in_transition());
   }
   EXPECT_EQ(cluster.obs().registry().counter_value("rm.epoch_changes"), 0u);
@@ -48,7 +48,7 @@ TEST(ReconfigTest, InvalidChangeRejected) {
   cluster.run_for(seconds(1));
   EXPECT_FALSE(ok);
   EXPECT_EQ(cluster.obs().registry().counter_value("rm.rejected_invalid"), 1u);
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{1, 5}));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(1, 5)));
 }
 
 TEST(ReconfigTest, EmptyPerObjectChangeRejected) {
@@ -68,7 +68,7 @@ TEST(ReconfigTest, ReconfigurationsSerialize) {
   EXPECT_GE(cluster.rm().queued() + (cluster.rm().busy() ? 1u : 0u), 3u);
   cluster.run_for(seconds(2));
   EXPECT_EQ(completion_order, (std::vector<int>{1, 2, 3}));
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{2, 4}));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(2, 4)));
   EXPECT_EQ(cluster.rm().config().cfno, 3u);
 }
 
@@ -76,12 +76,12 @@ TEST(ReconfigTest, PerObjectOverridesInstalled) {
   Cluster cluster(small_config());
   cluster.reconfigure_objects({{100, {5, 1}}, {200, {3, 3}}});
   cluster.run_for(seconds(1));
-  EXPECT_EQ(cluster.rm().quorum_for(100), (kv::QuorumConfig{5, 1}));
-  EXPECT_EQ(cluster.rm().quorum_for(200), (kv::QuorumConfig{3, 3}));
-  EXPECT_EQ(cluster.rm().quorum_for(300), (kv::QuorumConfig{1, 5}));
+  EXPECT_EQ(cluster.rm().quorum_for(100), (kv::QuorumConfig::of(5, 1)));
+  EXPECT_EQ(cluster.rm().quorum_for(200), (kv::QuorumConfig::of(3, 3)));
+  EXPECT_EQ(cluster.rm().quorum_for(300), (kv::QuorumConfig::of(1, 5)));
   for (std::uint32_t i = 0; i < 3; ++i) {
     EXPECT_EQ(cluster.proxy(i).effective_quorum(100),
-              (kv::QuorumConfig{5, 1}));
+              (kv::QuorumConfig::of(5, 1)));
   }
 }
 
@@ -90,7 +90,7 @@ TEST(ReconfigTest, OverrideReplacedByLaterChange) {
   cluster.reconfigure_objects({{100, {5, 1}}});
   cluster.reconfigure_objects({{100, {2, 4}}});
   cluster.run_for(seconds(1));
-  EXPECT_EQ(cluster.rm().quorum_for(100), (kv::QuorumConfig{2, 4}));
+  EXPECT_EQ(cluster.rm().quorum_for(100), (kv::QuorumConfig::of(2, 4)));
   // The canonical override list must not contain duplicates.
   EXPECT_EQ(cluster.rm().config().overrides.size(), 1u);
 }
@@ -100,8 +100,8 @@ TEST(ReconfigTest, GlobalChangeKeepsOverrides) {
   cluster.reconfigure_objects({{100, {5, 1}}});
   cluster.reconfigure({3, 3});
   cluster.run_for(seconds(1));
-  EXPECT_EQ(cluster.rm().quorum_for(100), (kv::QuorumConfig{5, 1}));
-  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig{3, 3}));
+  EXPECT_EQ(cluster.rm().quorum_for(100), (kv::QuorumConfig::of(5, 1)));
+  EXPECT_EQ(cluster.rm().config().default_q, (kv::QuorumConfig::of(3, 3)));
 }
 
 TEST(ReconfigTest, CrashedProxyTriggersEpochChangeAndCompletes) {
@@ -113,8 +113,8 @@ TEST(ReconfigTest, CrashedProxyTriggersEpochChangeAndCompletes) {
   EXPECT_TRUE(ok) << "reconfiguration must terminate despite a crashed proxy";
   EXPECT_GE(cluster.obs().registry().counter_value("rm.epoch_changes"), 1u);
   // Live proxies reach the new configuration.
-  EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig{4, 2}));
-  EXPECT_EQ(cluster.proxy(1).default_quorum(), (kv::QuorumConfig{4, 2}));
+  EXPECT_EQ(cluster.proxy(0).default_quorum(), (kv::QuorumConfig::of(4, 2)));
+  EXPECT_EQ(cluster.proxy(1).default_quorum(), (kv::QuorumConfig::of(4, 2)));
   // Storage nodes advanced their epoch.
   EXPECT_GE(cluster.storage(0).epoch(), 1u);
 }
@@ -134,7 +134,7 @@ TEST(ReconfigTest, FalselySuspectedProxyRecoversViaNack) {
   cluster.run_for(seconds(10));
   EXPECT_TRUE(ok);
   EXPECT_GE(cluster.obs().registry().counter_value("rm.epoch_changes"), 1u);
-  EXPECT_EQ(cluster.proxy(2).default_quorum(), (kv::QuorumConfig{4, 2}))
+  EXPECT_EQ(cluster.proxy(2).default_quorum(), (kv::QuorumConfig::of(4, 2)))
       << "falsely suspected proxy failed to resynchronize";
   EXPECT_GE(cluster.obs().registry().counter_value(obs::instrument_name("proxy", 2, "nacks_received")), 1u);
   EXPECT_TRUE(cluster.checker().clean());
@@ -150,8 +150,8 @@ TEST(ReconfigTest, ReconfigurationUnderLoadPreservesConsistency) {
   cluster.run_for(seconds(1));
   // Ping-pong between extreme configurations while traffic flows.
   for (const kv::QuorumConfig q :
-       {kv::QuorumConfig{5, 1}, kv::QuorumConfig{1, 5}, kv::QuorumConfig{3, 3},
-        kv::QuorumConfig{2, 4}}) {
+       {kv::QuorumConfig::of(5, 1), kv::QuorumConfig::of(1, 5), kv::QuorumConfig::of(3, 3),
+        kv::QuorumConfig::of(2, 4)}) {
     cluster.reconfigure(q);
     cluster.run_for(seconds(2));
   }
@@ -195,8 +195,8 @@ TEST(ReconfigTest, EpochChangeQuorumReachesEnoughStorageNodes) {
 TEST(ReconfigTest, ManyReconfigurationsAccumulateHistory) {
   Cluster cluster(small_config());
   for (int i = 0; i < 10; ++i) {
-    cluster.reconfigure(i % 2 ? kv::QuorumConfig{5, 1}
-                              : kv::QuorumConfig{1, 5});
+    cluster.reconfigure(i % 2 ? kv::QuorumConfig::of(5, 1)
+                              : kv::QuorumConfig::of(1, 5));
   }
   cluster.run_for(seconds(5));
   EXPECT_EQ(cluster.rm().config().cfno, 10u);

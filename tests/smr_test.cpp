@@ -18,7 +18,7 @@ Command make_command(std::uint64_t id, int write_q) {
   Command command;
   command.id = id;
   command.change.is_global = true;
-  command.change.global = kv::QuorumConfig{5 - write_q + 1, write_q};
+  command.change.global = kv::QuorumConfig::of(5 - write_q + 1, write_q);
   return command;
 }
 
@@ -211,13 +211,13 @@ TEST(ConfigStateMachineTest, AppliesGlobalAndPerObjectChanges) {
   ConfigStateMachine machine({3, 3}, 5);
   Command global = make_command(1, 1);
   machine.apply(global);
-  EXPECT_EQ(machine.config().default_q, (kv::QuorumConfig{5, 1}));
+  EXPECT_EQ(machine.config().default_q, (kv::QuorumConfig::of(5, 1)));
   EXPECT_EQ(machine.config().cfno, 1u);
 
   Command per_object;
   per_object.id = 2;
   per_object.change.is_global = false;
-  per_object.change.overrides = {{42, kv::QuorumConfig{1, 5}}};
+  per_object.change.overrides = {{42, kv::QuorumConfig::of(1, 5)}};
   machine.apply(per_object);
   EXPECT_EQ(machine.config().overrides.size(), 1u);
   EXPECT_EQ(machine.config().cfno, 2u);
@@ -230,7 +230,7 @@ TEST(ConfigStateMachineTest, RejectsNonStrictDeterministically) {
   Command bad;
   bad.id = 1;
   bad.change.is_global = true;
-  bad.change.global = {2, 3};  // 2+3 == N
+  bad.change.global = kv::QuorumConfig::of(2, 3);  // 2+3 == N
   machine.apply(bad);
   EXPECT_EQ(machine.config().cfno, 0u);
   EXPECT_EQ(machine.applied(), 0u);
@@ -245,7 +245,7 @@ TEST(ConfigStateMachineTest, ReplicatedConfigHistoryConverges) {
   std::vector<std::unique_ptr<ConfigStateMachine>> machines;
   for (int i = 0; i < 3; ++i) {
     machines.push_back(std::make_unique<ConfigStateMachine>(
-        kv::QuorumConfig{3, 3}, 5));
+        kv::QuorumConfig::of(3, 3), 5));
   }
   // The apply callback runs on every replica; dispatch on... each Replica
   // shares one ApplyFn, so route by inspecting which replica applied via

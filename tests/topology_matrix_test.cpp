@@ -53,7 +53,7 @@ TEST_P(TopologyMatrix, EveryStrictQuorumWorks) {
   for (int w = 1; w <= replication; ++w) {
     cluster.reconfigure({replication - w + 1, w});
     cluster.run_for(seconds(1));
-    EXPECT_EQ(cluster.rm().config().default_q.write_q, w);
+    EXPECT_EQ(cluster.rm().config().default_q.write_footprint(), w);
   }
   EXPECT_EQ(cluster.obs().registry().counter_value("rm.reconfigurations_completed"),
             static_cast<std::uint64_t>(replication));
@@ -97,7 +97,7 @@ TEST_P(TopologyMatrix, AutotuningMovesInTheRightDirection) {
   cluster.run_for(seconds(45));
   // Read-heavy: the tuned default must have a read quorum no larger than
   // the balanced start (and typically R=1).
-  EXPECT_LE(cluster.rm().config().default_q.read_q,
+  EXPECT_LE(cluster.rm().config().default_q.read_footprint(),
             replication / 2 + 1);
   EXPECT_TRUE(cluster.checker().clean());
 }
@@ -187,7 +187,7 @@ TEST(InsertingWorkloadTest, EndToEndUploadScenario) {
   EXPECT_GT(load->keys_inserted(), 1'000u);
   EXPECT_TRUE(cluster.checker().clean());
   // ~80% of operations are writes: small W wins.
-  EXPECT_LE(cluster.rm().config().default_q.write_q, 2);
+  EXPECT_LE(cluster.rm().config().default_q.write_footprint(), 2);
 }
 
 }  // namespace

@@ -246,36 +246,72 @@ void check_quorum_literal(const std::string& path,
                           const std::string& stripped,
                           const Annotations& ann,
                           std::vector<Finding>& findings) {
+  // All three blessed spellings of a literal quorum configuration are held
+  // to the same invariants: the legacy aggregate, the named QuorumConfig
+  // factory, and the majority-strategy factory (whose third argument, when
+  // a positive literal, supplies n inline — no annotation needed).
   static const std::regex literal_re(
       R"(QuorumConfig\s*([A-Za-z_]\w*\s*)?\{\s*(-?\d+)\s*,\s*(-?\d+)\s*\})");
+  static const std::regex of_re(
+      R"(QuorumConfig::of\s*\(\s*(-?\d+)\s*,\s*(-?\d+)\s*\))");
+  static const std::regex majority_re(
+      R"(QuorumStrategy::majority\s*\(\s*(-?\d+)\s*,\s*(-?\d+)\s*(?:,\s*(-?\d+)\s*)?\))");
+
+  struct Literal {
+    std::string spelling;
+    int r = 0;
+    int w = 0;
+    int n = 0;  // 0 = not given inline; fall back to the annotation
+  };
+
   const std::vector<std::string> lines = split_lines(stripped);
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::size_t lineno = i + 1;
-    auto begin =
-        std::sregex_iterator(lines[i].begin(), lines[i].end(), literal_re);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      const int r = std::stoi((*it)[2].str());
-      const int w = std::stoi((*it)[3].str());
+    std::vector<Literal> found;
+    // `base` is the capture group holding r; w follows it, an inline n (the
+    // factory regex only) follows w.
+    const auto scan = [&](const std::regex& re, const char* name,
+                          std::size_t base, bool braces) {
+      auto begin = std::sregex_iterator(lines[i].begin(), lines[i].end(), re);
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        Literal lit;
+        lit.r = std::stoi((*it)[base].str());
+        lit.w = std::stoi((*it)[base + 1].str());
+        if (base + 2 <= it->size() - 1 && (*it)[base + 2].matched) {
+          lit.n = std::stoi((*it)[base + 2].str());
+        }
+        const std::string args =
+            std::to_string(lit.r) + ", " + std::to_string(lit.w) +
+            (lit.n != 0 ? ", " + std::to_string(lit.n) : "");
+        lit.spelling = braces ? std::string(name) + "{" + args + "}"
+                              : std::string(name) + "(" + args + ")";
+        found.push_back(std::move(lit));
+      }
+    };
+    scan(literal_re, "QuorumConfig", 2, /*braces=*/true);
+    scan(of_re, "QuorumConfig::of", 1, /*braces=*/false);
+    scan(majority_re, "QuorumStrategy::majority", 1, /*braces=*/false);
+
+    for (const Literal& lit : found) {
       if (allowed(ann, lineno, "quorum-literal")) continue;
-      if (r < 1 || w < 1) {
+      if (lit.r < 1 || lit.w < 1) {
         findings.push_back(
             {path, lineno, "quorum-literal",
-             "QuorumConfig{" + std::to_string(r) + ", " + std::to_string(w) +
-                 "}: quorum sizes must be >= 1 (encode 'no quorum' as "
-                 "std::optional, not a {0,0} sentinel)"});
+             lit.spelling + ": quorum sizes must be >= 1 (encode 'no "
+                            "quorum' as std::optional, not a {0,0} "
+                            "sentinel)"});
         continue;
       }
-      const auto n_it = ann.quorum_n.find(lineno);
-      if (n_it != ann.quorum_n.end()) {
-        const int n = n_it->second;
-        if (r + w <= n || r > n || w > n) {
-          findings.push_back(
-              {path, lineno, "quorum-literal",
-               "QuorumConfig{" + std::to_string(r) + ", " +
-                   std::to_string(w) + "} violates the strict-quorum " +
-                   "invariant for n=" + std::to_string(n) +
-                   " (need r + w > n with r, w <= n)"});
-        }
+      int n = lit.n;
+      if (n == 0) {
+        const auto n_it = ann.quorum_n.find(lineno);
+        if (n_it != ann.quorum_n.end()) n = n_it->second;
+      }
+      if (n > 0 && (lit.r + lit.w <= n || lit.r > n || lit.w > n)) {
+        findings.push_back(
+            {path, lineno, "quorum-literal",
+             lit.spelling + " violates the strict-quorum invariant for n=" +
+                 std::to_string(n) + " (need r + w > n with r, w <= n)"});
       }
     }
   }

@@ -15,10 +15,12 @@
 //                   through std::map or sorted-key snapshots.
 //   pointer-key     no std::map/std::set (or multi- variants) keyed by a
 //                   pointer: address order changes run to run.
-//   quorum-literal  every QuorumConfig{r, w} literal must satisfy r >= 1 and
-//                   w >= 1; with an explicit replication annotation
-//                   `// qopt-lint: quorum(n=N)` the strict-quorum invariant
-//                   r + w > n (and r, w <= n) is checked too.
+//   quorum-literal  every literal quorum construction — QuorumConfig{r, w},
+//                   QuorumConfig::of(r, w), QuorumStrategy::majority(r, w[,
+//                   n]) — must satisfy r >= 1 and w >= 1; with a known
+//                   replication degree (the factory's inline n argument, or
+//                   `// qopt-lint: quorum(n=N)`) the strict-quorum
+//                   invariant r + w > n (and r, w <= n) is checked too.
 //   bare-allow      a `// qopt-lint: allow(<rule>)` suppression without a
 //                   justification after the closing parenthesis.
 //

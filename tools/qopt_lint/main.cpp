@@ -27,8 +27,10 @@ int main(int argc, char** argv) {
           "src/util/rng\n"
           "unordered-iter  iteration over std::unordered_map/unordered_set\n"
           "pointer-key     std::map/std::set keyed by a pointer\n"
-          "quorum-literal  QuorumConfig{r, w} with r < 1 or w < 1 (and "
-          "r + w <= n under `qopt-lint: quorum(n=N)`)\n"
+          "quorum-literal  QuorumConfig{r, w} / QuorumConfig::of(r, w) / "
+          "QuorumStrategy::majority(r, w[, n]) with r < 1 or w < 1 (and "
+          "r + w <= n when n is known inline or via "
+          "`qopt-lint: quorum(n=N)`)\n"
           "bare-allow      allow() suppression without a justification\n");
       return 0;
     }
