@@ -38,6 +38,12 @@ bool well_formed(const std::vector<WeightedQuorum>& set, int n) {
 const WeightedQuorum& sample(const std::vector<WeightedQuorum>& set,
                              Rng& rng) {
   assert(!set.empty());
+  if (set.empty()) {
+    // Unreachable for any installed strategy (valid() rejects empty sides);
+    // a well-defined fallback beats undefined behaviour in release builds.
+    static const WeightedQuorum kEmpty{};
+    return kEmpty;
+  }
   double total = 0.0;
   for (const auto& q : set) total += q.weight;
   double point = rng.next_double() * total;
@@ -66,9 +72,14 @@ QuorumStrategy QuorumStrategy::explicit_sets(int n,
   for (auto& q : writes) std::sort(q.members.begin(), q.members.end());
   s.reads = std::move(reads);
   s.writes = std::move(writes);
-  // The grid field is unused for explicit strategies; mirror the footprint so
-  // accidental reads of `grid` stay sane rather than the {1,1} default.
-  s.grid = QuorumConfig{s.read_footprint(), s.write_footprint()};
+  // A side with no quorums (or n < 1) is malformed — valid() rejects it for
+  // every replication degree; keep the default grid rather than mirroring a
+  // footprint derived from an empty side.
+  if (n >= 1 && !s.reads.empty() && !s.writes.empty()) {
+    // The grid field is unused for explicit strategies; mirror the footprint
+    // so accidental reads of `grid` stay sane rather than the {1,1} default.
+    s.grid = QuorumConfig{s.read_footprint(), s.write_footprint()};
+  }
   return s;
 }
 
@@ -82,6 +93,9 @@ int QuorumStrategy::min_write_size() const noexcept {
 
 int QuorumStrategy::read_footprint() const noexcept {
   if (is_majority()) return grid.read_q;
+  // Malformed (empty side): be conservative — demand every replica. valid()
+  // rejects such a strategy before it can ever be installed.
+  if (writes.empty()) return n < 1 ? 1 : n;
   // Any (n - wmin + 1) replicas intersect every write quorum: a write quorum
   // has >= wmin members, and two subsets of [n] with sizes a, b intersect
   // whenever a + b > n.
@@ -91,6 +105,7 @@ int QuorumStrategy::read_footprint() const noexcept {
 
 int QuorumStrategy::write_footprint() const noexcept {
   if (is_majority()) return grid.write_q;
+  if (reads.empty()) return n < 1 ? 1 : n;
   int fp = n - min_read_size() + 1;
   return fp < 1 ? 1 : (fp > n ? n : fp);
 }
@@ -111,6 +126,15 @@ bool QuorumStrategy::valid(int replication) const {
   }
   if (n != replication || replication < 1) return false;
   if (!well_formed(reads, n) || !well_formed(writes, n)) return false;
+  // Counting compositionality: the proxy may complete a write with any
+  // write_footprint() = n - rmin + 1 distinct replies and a read with any
+  // read_footprint() = n - wmin + 1, without either set containing a full
+  // quorum. Those two completion sets intersect by counting only when
+  // (n - rmin + 1) + (n - wmin + 1) > n, i.e. rmin + wmin <= n + 1. Without
+  // this, e.g. reads = writes = {[0..n)} at n = 3 passes pairwise
+  // intersection yet lets a 1-reply write miss a 1-reply read entirely.
+  // Majority grids satisfy it trivially (any r/w-set IS a quorum).
+  if (min_read_size() + min_write_size() > n + 1) return false;
   return quorums_intersect(reads, writes);
 }
 

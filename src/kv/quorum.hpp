@@ -121,8 +121,11 @@ struct QuorumStrategy {
   const WeightedQuorum& sample_write(Rng& rng) const;
 
   /// Full validity check against a replication degree: strictness for
-  /// majority grids, pairwise read/write intersection (plus well-formed
-  /// members and weights) for explicit systems.
+  /// majority grids; for explicit systems, pairwise read/write intersection,
+  /// well-formed members and weights, and counting compositionality
+  /// (min_read_size() + min_write_size() <= n + 1) so that two
+  /// footprint-completed operations are themselves guaranteed to intersect
+  /// — the proxy's counting completion path depends on it.
   bool valid(int replication) const;
 
   /// Compact human-readable form, e.g. "majority(r=3,w=3)" or

@@ -372,6 +372,10 @@ void Proxy::launch_op(std::uint64_t op_id) {
 }
 
 bool Proxy::quorum_met(const PendingOp& op) const {
+  // Counting completion: footprint-many distinct replies intersect every
+  // quorum of the opposite side, and — via the rmin + wmin <= n + 1
+  // invariant QuorumStrategy::valid() enforces — the reply set of any other
+  // counting-completed operation as well.
   if (op.received >= op.footprint_needed) return true;
   if (op.received < op.needed) return false;
   if (op.drawn.empty()) return true;  // majority path: needed IS the quorum
@@ -603,13 +607,16 @@ void Proxy::maybe_complete_read(std::uint64_t op_id) {
 
   if (!op.repair && op.any_found && op.best.cfno < lcfno_) {
     // Algorithm 4 lines 10-17: the freshest version was created under an
-    // older configuration; if any configuration installed since used a
-    // larger read quorum (footprint), re-read with that quorum to guarantee
-    // intersection with the writing quorum. Counting suffices here even for
-    // explicit strategies: received >= needed >= old_r replies already
-    // intersect every write quorum of the writing configuration.
+    // older configuration; if the replies in hand are fewer than the largest
+    // read-quorum footprint installed since, re-read with that quorum to
+    // guarantee intersection with the writing quorum. The guarantee actually
+    // in hand is op.received distinct replies — on the explicit path
+    // quorum_met() can fire with only footprint_needed <= needed of them —
+    // so the skip condition counts replies, not the drawn-quorum size:
+    // received >= old_r replies intersect every write quorum of the writing
+    // configuration by counting.
     const int old_r = max_read_q_since(op.best.cfno);
-    if (old_r > op.needed) {
+    if (old_r > op.received) {
       on_quorum_satisfied(op);  // the first-phase quorum is in hand
       op.repair = true;
       op.needed = old_r;

@@ -67,6 +67,43 @@ TEST(QuorumStrategyTest, ValidRejectsDisjointSystems) {
   EXPECT_FALSE(s.valid(5));
 }
 
+TEST(QuorumStrategyTest, ValidRequiresCountingCompositionality) {
+  // reads = writes = {[0,1,2]} passes pairwise intersection, but the proxy's
+  // counting path would let a 1-reply write (footprint n - rmin + 1 = 1)
+  // miss a 1-reply read entirely: rmin + wmin = 6 > n + 1 = 4.
+  const QuorumStrategy s = QuorumStrategy::explicit_sets(
+      3, {{{0, 1, 2}, 1.0}}, {{{0, 1, 2}, 1.0}});
+  EXPECT_FALSE(s.valid(3));
+
+  // Boundary case rmin + wmin == n + 1 is exactly admissible: footprints
+  // 2 and 3 overlap in any pair of subsets of [4].
+  const QuorumStrategy b = QuorumStrategy::explicit_sets(
+      4, {{{0, 1}, 1.0}}, {{{1, 2, 3}, 1.0}});
+  EXPECT_TRUE(b.valid(4));
+  EXPECT_EQ(b.read_footprint() + b.write_footprint(), 4 + 1);
+}
+
+TEST(QuorumStrategyTest, EmptySidesAreInvalidButSafe) {
+  const QuorumStrategy no_writes =
+      QuorumStrategy::explicit_sets(5, {{{0, 1, 2}, 1.0}}, {});
+  const QuorumStrategy no_reads =
+      QuorumStrategy::explicit_sets(5, {}, {{{0, 1, 2}, 1.0}});
+  const QuorumStrategy nothing = QuorumStrategy::explicit_sets(0, {}, {});
+  for (const QuorumStrategy* s : {&no_writes, &no_reads, &nothing}) {
+    for (int replication = 0; replication <= 5; ++replication) {
+      EXPECT_FALSE(s->valid(replication)) << s->describe();
+    }
+    // Footprints stay conservative (full-set where defined) instead of
+    // reflecting min_size() == 0 nonsense.
+    EXPECT_GE(s->read_footprint(), 1);
+    EXPECT_GE(s->write_footprint(), 1);
+  }
+  EXPECT_EQ(no_writes.read_footprint(), 5);
+  EXPECT_EQ(no_reads.write_footprint(), 5);
+  // The grid mirror keeps its default for malformed strategies.
+  EXPECT_EQ(nothing.grid, QuorumConfig::of(1, 1));
+}
+
 TEST(QuorumStrategyTest, TransitionGeneralizesComponentwiseMax) {
   const QuorumStrategy a = QuorumStrategy::majority(2, 4, 5);
   const QuorumStrategy b = QuorumStrategy::majority(4, 2, 5);
