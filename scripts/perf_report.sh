@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Runs the qopt_perf hot-path scan against the committed ratchet baseline
+# (tools/qopt_perf/baseline.txt).
+#
+# Usage: scripts/perf_report.sh [--update-baseline | --suppressions]
+#   scripts/perf_report.sh                    # ratchet scan; exit 1 on regression
+#   scripts/perf_report.sh --update-baseline  # record fixed findings (counts
+#                                             # may only go down)
+#   scripts/perf_report.sh --suppressions     # list every justified allow
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target qopt_perf >/dev/null
+
+./build/tools/qopt_perf \
+  --manifest docs/HOT_PATHS.toml --root . \
+  --baseline tools/qopt_perf/baseline.txt \
+  "$@" \
+  src tools tests bench examples
+
+echo "baseline: tools/qopt_perf/baseline.txt"

@@ -21,28 +21,30 @@ Placement::Placement(std::uint32_t num_storage_nodes, int replication_degree,
 }
 
 std::vector<std::uint32_t> Placement::replicas(ObjectId oid) const {
-  struct Weighted {
-    std::uint64_t weight;
-    std::uint32_t node;
-  };
-  std::vector<Weighted> weights;
-  weights.reserve(num_nodes_);
+  std::vector<std::uint32_t> out;
+  replicas_into(oid, out);
+  return out;
+}
+
+void Placement::replicas_into(ObjectId oid,
+                              std::vector<std::uint32_t>& out) const {
+  weights_.clear();
+  weights_.reserve(num_nodes_);
   for (std::uint32_t node = 0; node < num_nodes_; ++node) {
     const std::uint64_t w =
         mix64(oid ^ (static_cast<std::uint64_t>(node) * 0x9E3779B97F4A7C15ULL) ^
               seed_);
-    weights.push_back(Weighted{w, node});
+    weights_.push_back(Weighted{w, node});
   }
   const auto k = static_cast<std::size_t>(replication_);
-  std::partial_sort(weights.begin(), weights.begin() + static_cast<long>(k),
-                    weights.end(), [](const Weighted& a, const Weighted& b) {
+  std::partial_sort(weights_.begin(), weights_.begin() + static_cast<long>(k),
+                    weights_.end(), [](const Weighted& a, const Weighted& b) {
                       if (a.weight != b.weight) return a.weight > b.weight;
                       return a.node < b.node;
                     });
-  std::vector<std::uint32_t> out;
+  out.clear();
   out.reserve(k);
-  for (std::size_t i = 0; i < k; ++i) out.push_back(weights[i].node);
-  return out;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(weights_[i].node);
 }
 
 }  // namespace qopt::kv

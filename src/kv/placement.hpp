@@ -24,13 +24,27 @@ class Placement {
   /// order (descending rendezvous weight). Size == replication degree.
   std::vector<std::uint32_t> replicas(ObjectId oid) const;
 
+  /// As replicas(), but writes into `out`, reusing its capacity — the
+  /// per-operation placement lookup on the proxy data plane stays
+  /// allocation-free once the vector is warm.
+  void replicas_into(ObjectId oid, std::vector<std::uint32_t>& out) const;
+
   std::uint32_t num_storage_nodes() const noexcept { return num_nodes_; }
   int replication_degree() const noexcept { return replication_; }
 
  private:
+  struct Weighted {
+    std::uint64_t weight;
+    std::uint32_t node;
+  };
+
   std::uint32_t num_nodes_;
   int replication_;
   std::uint64_t seed_;
+  /// Scratch for the rendezvous weights, reused across calls so the
+  /// placement lookup does not allocate per operation. Placement is only
+  /// ever used from the single-threaded simulation loop.
+  mutable std::vector<Weighted> weights_;
 };
 
 }  // namespace qopt::kv

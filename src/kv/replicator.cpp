@@ -62,10 +62,12 @@ void Replicator::sweep() {
 
   // Push the freshest version to stale or missing replicas, throttled.
   std::size_t repairs = 0;
+  std::vector<std::uint32_t> replica_scratch;  // reused across objects
   for (const auto& [oid, version] : freshest) {
     ++stats_.objects_checked;
     if (repairs >= options_.max_repairs_per_sweep) break;
-    for (std::uint32_t replica : placement_.replicas(oid)) {
+    placement_.replicas_into(oid, replica_scratch);
+    for (std::uint32_t replica : replica_scratch) {
       StorageNode* node = nodes_[replica];
       if (node->crashed()) continue;
       const Version* held = node->peek(oid);

@@ -137,6 +137,13 @@ void StorageNode::handle_read(const sim::NodeId& from,
   });
 }
 
+std::set<std::uint64_t>& StorageNode::applied_writes_for(std::uint32_t index) {
+  // Grows only on the first write from a new proxy; afterwards the lookup
+  // is a plain vector access.
+  if (index >= applied_writes_.size()) applied_writes_.resize(index + 1);
+  return applied_writes_[index];
+}
+
 void StorageNode::handle_write(const sim::NodeId& from,
                                const StorageWriteReq& req) {
   if (req.epno < config_.epno) {
@@ -149,7 +156,7 @@ void StorageNode::handle_write(const sim::NodeId& from,
   // Only *applied* ids are in the table, so the fast ack never races the
   // original apply; a copy arriving while the first is still queued goes
   // through the normal path and is discarded by the timestamp rule.
-  auto& seen = applied_writes_[from.index];
+  auto& seen = applied_writes_for(from.index);
   if (seen.contains(req.op_id)) {
     ins_.dup_writes_ignored->inc();
     net_.send(self_, from, StorageWriteResp{req.op_id});
@@ -186,7 +193,7 @@ void StorageNode::handle_write(const sim::NodeId& from,
     } else {
       ins_.writes_applied->inc();
     }
-    auto& applied = applied_writes_[from.index];
+    auto& applied = applied_writes_for(from.index);
     applied.insert(req.op_id);
     // Bound the window; proxy op-ids grow monotonically, so evicting the
     // smallest ids loses only the oldest (least likely to re-arrive) ones.

@@ -18,6 +18,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "kv/quorum.hpp"
 #include "kv/service_model.hpp"
@@ -126,7 +127,12 @@ class StorageNode {
   /// precedes durability). Bounded by pruning the oldest ids; an evicted id
   /// that re-arrives is re-applied, which the freshest-wins rule makes
   /// idempotent. Volatile: cleared on crash (it is RAM, not disk).
-  std::map<std::uint32_t, std::set<std::uint64_t>> applied_writes_;
+  /// Indexed by the dense proxy index (grown on demand) so the per-write
+  /// lookup is a vector access, not a map-node search/allocation.
+  std::vector<std::set<std::uint64_t>> applied_writes_;
+
+  /// The dedup set for proxy `index`, growing the table on first contact.
+  std::set<std::uint64_t>& applied_writes_for(std::uint32_t index);
 
   // Observability: counters cached at construction, bumped on the hot path.
   std::unique_ptr<obs::Observability> own_obs_;  // fallback when none shared

@@ -315,9 +315,15 @@ void Proxy::launch_op(std::uint64_t op_id) {
   op.replied.clear();
   op.any_found = false;
   op.repair = false;
-  op.replica_order = placement_.replicas(op.oid);
+  placement_.replicas_into(op.oid, op.replica_order);
   const std::size_t n = op.replica_order.size();
-  const kv::QuorumStrategy strategy = effective_strategy(op.oid);
+  // Outside a transition the strategy is a stored object; bind a reference
+  // instead of copying its weighted-quorum tables on every operation. The
+  // transition composite only exists while a change is draining.
+  kv::QuorumStrategy transitional;
+  if (in_transition_) transitional = effective_strategy(op.oid);
+  const kv::QuorumStrategy& strategy =
+      in_transition_ ? transitional : base_strategy(op.oid);
   const bool is_read = op.kind == PendingOp::Kind::kRead;
   if (strategy.is_majority()) {
     // Load balancing: rotate the replica list by a hash of the proxy
@@ -930,7 +936,12 @@ void Proxy::note_access(ObjectId oid, bool is_write, std::uint64_t size) {
       ++counters.size_count;
     }
   };
-  if (monitored_.contains(oid)) update(monitored_stats_[oid]);
+  // monitored_stats_ holds exactly the monitored_ keys (handle_new_topk
+  // pre-populates them), so a single find() replaces contains + operator[]
+  // and never allocates on this per-operation path.
+  if (auto it = monitored_stats_.find(oid); it != monitored_stats_.end()) {
+    update(it->second);
+  }
   if (!overrides_.contains(oid)) update(tail_);
 }
 

@@ -121,6 +121,7 @@ class Network {
     p.symmetric = symmetric;
     std::sort(p.a.begin(), p.a.end());
     std::sort(p.b.begin(), p.b.end());
+    // qopt-perf: allow(vector-growth-hot) fault-script control plane, not per-message
     partitions_.push_back(std::move(p));
     return partitions_.back().id;
   }

@@ -16,9 +16,11 @@ void Simulator::after(Duration d, std::function<void()> fn) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  // priority_queue::top returns const&; moving the closure out requires a
-  // copy-free extraction, so we take a copy of the handle then pop.
-  Event ev = queue_.top();
+  // priority_queue::top returns const&; move the event out before popping so
+  // the closure (and any captured state) is not copied per event. pop() only
+  // compares time/seq during the sift-down, and those are trivially copied
+  // by the move, so the moved-from element still orders correctly.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.time;
   ++processed_;

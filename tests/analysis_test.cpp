@@ -49,6 +49,69 @@ TEST(AnalysisTest, StripHandlesEscapesRawStringsAndCharLiterals) {
   EXPECT_EQ(out.find("raw"), std::string::npos);
 }
 
+TEST(AnalysisTest, StripHandlesCustomDelimiterRawStrings) {
+  const std::string src =
+      "const char* p = R\"re(match )\" rand( here)re\"; int x = 1;\n"
+      "const char* q = u8R\"_x(multi\nline \"quoted\")_x\"; int y = 2;\n"
+      "const char* s = LR\"(plain)\"; int z = 3;\n";
+  const std::string out = strip_comments_and_literals(src);
+  ASSERT_EQ(out.size(), src.size());  // offsets are preserved
+  EXPECT_NE(out.find("int x = 1;"), std::string::npos) << out;
+  EXPECT_NE(out.find("int y = 2;"), std::string::npos) << out;
+  EXPECT_NE(out.find("int z = 3;"), std::string::npos) << out;
+  EXPECT_EQ(out.find("rand"), std::string::npos) << out;
+  EXPECT_EQ(out.find("match"), std::string::npos) << out;
+  EXPECT_EQ(out.find("quoted"), std::string::npos) << out;
+}
+
+TEST(AnalysisTest, RawStringLookAlikesDoNotSwallowTheFile) {
+  // Regression: a `"` preceded by `R` used to trigger an unbounded search
+  // for '(' — `R"abc";` (no d-char '(' at all) or `FOOR"str"` (identifier
+  // ending in R before a plain string) latched onto a later unrelated
+  // paren, built a garbage delimiter, and blanked the rest of the file,
+  // silently disabling every token rule downstream.
+  {
+    const std::string src =
+        "const char* a = FOOR\"str\"; g(rand());\n"
+        "int tail = 1;\n";
+    const std::string out = strip_comments_and_literals(src);
+    ASSERT_EQ(out.size(), src.size());
+    EXPECT_NE(out.find("rand"), std::string::npos) << out;
+    EXPECT_NE(out.find("int tail = 1;"), std::string::npos) << out;
+    EXPECT_EQ(out.find("str"), std::string::npos) << out;
+  }
+  {
+    // No '(' within the 16-char delimiter window: not a raw string.
+    const std::string src =
+        "const char* a = R\"abc\"; use(rand());\n"
+        "int tail = 2;\n";
+    const std::string out = strip_comments_and_literals(src);
+    ASSERT_EQ(out.size(), src.size());
+    EXPECT_NE(out.find("rand"), std::string::npos) << out;
+    EXPECT_NE(out.find("int tail = 2;"), std::string::npos) << out;
+  }
+  {
+    // Delimiter containing a space is ill-formed; treat as a plain string
+    // rather than scanning forward for a ')… "' that will never match.
+    const std::string src =
+        "const char* a = R\"no delim(x)\"; use(rand());\n"
+        "int tail = 3;\n";
+    const std::string out = strip_comments_and_literals(src);
+    ASSERT_EQ(out.size(), src.size());
+    EXPECT_NE(out.find("int tail = 3;"), std::string::npos) << out;
+  }
+}
+
+TEST(AnalysisTest, AdjacentRawStringsStripIndependently) {
+  const std::string src =
+      "f(R\"(one)\", R\"(two)\"); int mid = 4;\n";
+  const std::string out = strip_comments_and_literals(src);
+  ASSERT_EQ(out.size(), src.size());
+  EXPECT_EQ(out.find("one"), std::string::npos) << out;
+  EXPECT_EQ(out.find("two"), std::string::npos) << out;
+  EXPECT_NE(out.find("int mid = 4;"), std::string::npos) << out;
+}
+
 TEST(AnalysisTest, DigitSeparatorIsNotACharLiteral) {
   // Regression: `8'000` once opened a char-literal state that swallowed
   // everything to the next apostrophe, hiding entire files from the

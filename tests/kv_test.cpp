@@ -202,8 +202,8 @@ struct StorageFixture : ::testing::Test {
                       });
   }
 
-  void send(Message m) {
-    net.send(sim::proxy_id(0), sim::storage_id(0), std::move(m));
+  void send(const Message& m) {
+    net.send(sim::proxy_id(0), sim::storage_id(0), m);
   }
 };
 

@@ -17,6 +17,38 @@ bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+namespace {
+
+/// True when the identifier characters ending at `quote` (exclusive) form a
+/// raw-string prefix: R, uR, u8R, UR, or LR — and nothing longer. `FOOR"x"`
+/// is an identifier next to a plain string, not a raw literal.
+bool is_raw_string_prefix(const std::string& src, std::size_t quote) {
+  std::size_t start = quote;
+  while (start > 0 && is_ident_char(src[start - 1])) --start;
+  const std::string prefix = src.substr(start, quote - start);
+  return prefix == "R" || prefix == "uR" || prefix == "u8R" ||
+         prefix == "UR" || prefix == "LR";
+}
+
+/// For a raw string opening at `quote` (the '"'), finds the '(' that ends
+/// the d-char sequence. Returns npos when the text is not a well-formed raw
+/// string opener: delimiter longer than 16 chars, or containing characters
+/// the grammar forbids (space, parens, backslash, control characters).
+std::size_t raw_delimiter_paren(const std::string& src, std::size_t quote) {
+  const std::size_t limit = std::min(src.size(), quote + 18);  // " + 16 + (
+  for (std::size_t i = quote + 1; i < limit; ++i) {
+    const char c = src[i];
+    if (c == '(') return i;
+    const bool forbidden = c == ')' || c == '\\' || c == '"' ||
+                           std::isspace(static_cast<unsigned char>(c)) ||
+                           !std::isprint(static_cast<unsigned char>(c));
+    if (forbidden) return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
 std::string strip_comments_and_literals(const std::string& src) {
   std::string out = src;
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
@@ -35,10 +67,15 @@ std::string strip_comments_and_literals(const std::string& src) {
           out[i] = out[i + 1] = ' ';
           ++i;
         } else if (c == '"') {
-          // Raw strings: skip to the matching delimiter without escape
-          // handling.
-          if (i > 0 && src[i - 1] == 'R') {
-            std::size_t paren = src.find('(', i);
+          // Raw strings: skip to the matching `)delim"` without escape
+          // handling. Only a genuine opener counts — the `"` must follow a
+          // raw-string prefix (R/uR/u8R/UR/LR, not a longer identifier) and
+          // the d-char sequence must be well-formed (<= 16 legal chars
+          // before a '('). Anything else falls through to the ordinary
+          // string state; the old unbounded `find('(')` let look-alikes
+          // like `R"abc";` blank the rest of the file.
+          if (i > 0 && src[i - 1] == 'R' && is_raw_string_prefix(src, i)) {
+            const std::size_t paren = raw_delimiter_paren(src, i);
             if (paren != std::string::npos) {
               const std::string delim =
                   ")" + src.substr(i + 1, paren - i - 1) + "\"";

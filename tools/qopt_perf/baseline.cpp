@@ -1,0 +1,139 @@
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/source.hpp"
+#include "qopt_perf/perf.hpp"
+
+namespace qopt::perf {
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+bool baselinable(const std::string& rule) {
+  return rule != "manifest" && rule != "io" && rule != "bare-allow" &&
+         rule != "baseline";
+}
+
+Baseline parse_baseline(const std::string& path, const std::string& text) {
+  Baseline b;
+  const std::vector<std::string> lines = analysis::split_lines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::size_t lineno = i + 1;
+    const std::string line = trimmed(lines[i]);
+    if (line.empty() || line.front() == '#') continue;
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      b.errors.push_back(
+          {path, lineno, "baseline", "expected `rule count`: `" + line + "`"});
+      continue;
+    }
+    const std::string rule = trimmed(line.substr(0, space));
+    const std::string count_text = trimmed(line.substr(space + 1));
+    if (!baselinable(rule)) {
+      b.errors.push_back({path, lineno, "baseline",
+                          "rule `" + rule +
+                              "` may not be baselined; its count must stay "
+                              "at zero"});
+      continue;
+    }
+    int count = 0;
+    bool numeric = !count_text.empty();
+    for (const char c : count_text) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        numeric = false;
+        break;
+      }
+      count = count * 10 + (c - '0');
+    }
+    if (!numeric) {
+      b.errors.push_back({path, lineno, "baseline",
+                          "count for `" + rule + "` is not a number: `" +
+                              count_text + "`"});
+      continue;
+    }
+    b.counts[rule] = count;
+  }
+  return b;
+}
+
+Baseline load_baseline(const std::string& path) {
+  std::string text;
+  if (!analysis::read_file(path, text)) {
+    Baseline b;
+    b.errors.push_back({path, 0, "baseline", "cannot read baseline"});
+    return b;
+  }
+  return parse_baseline(path, text);
+}
+
+std::string format_baseline(const std::map<std::string, int>& counts) {
+  std::string out =
+      "# qopt_perf ratchet baseline — per-rule finding counts for the tree\n"
+      "# scan. The qopt_perf_tree ctest fails when any rule's count rises\n"
+      "# above its entry here (absent rules count as 0); counts may only go\n"
+      "# down. Regenerate after fixing violations with:\n"
+      "#   scripts/perf_report.sh --update-baseline\n";
+  for (const auto& [rule, count] : counts) {
+    if (count <= 0 || !baselinable(rule)) continue;
+    out += rule + " " + std::to_string(count) + "\n";
+  }
+  return out;
+}
+
+std::map<std::string, int> count_by_rule(
+    const std::vector<Finding>& findings) {
+  std::map<std::string, int> counts;
+  for (const Finding& f : findings) ++counts[f.rule];
+  return counts;
+}
+
+std::vector<std::string> ratchet_failures(
+    const std::map<std::string, int>& counts, const Baseline& baseline) {
+  std::vector<std::string> out;
+  for (const auto& [rule, count] : counts) {
+    if (count <= 0) continue;
+    if (!baselinable(rule)) {
+      out.push_back("rule " + rule + ": " + std::to_string(count) +
+                    " finding(s); this rule may never be baselined");
+      continue;
+    }
+    const auto it = baseline.counts.find(rule);
+    const int allowed = it == baseline.counts.end() ? 0 : it->second;
+    if (count > allowed) {
+      out.push_back("rule " + rule + ": " + std::to_string(count) +
+                    " finding(s) exceeds the baseline of " +
+                    std::to_string(allowed) +
+                    "; fix the new violation or justify it with "
+                    "`// qopt-perf: allow(" +
+                    rule + ") <reason>`");
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> ratchet_improvements(
+    const std::map<std::string, int>& counts, const Baseline& baseline) {
+  std::vector<std::string> out;
+  for (const auto& [rule, allowed] : baseline.counts) {
+    const auto it = counts.find(rule);
+    const int count = it == counts.end() ? 0 : it->second;
+    if (count < allowed) {
+      out.push_back("rule " + rule + ": " + std::to_string(count) +
+                    " finding(s), baseline allows " + std::to_string(allowed) +
+                    " — ratchet down with --update-baseline");
+    }
+  }
+  return out;
+}
+
+}  // namespace qopt::perf
