@@ -1,0 +1,15 @@
+# Shared plumbing for the analyzer report scripts (perf/arch/proto): move
+# to the repository root, pick a parallelism level, and configure + build
+# the requested analyzer target. Sourced, not executed.
+#
+#   source "$(dirname "$0")/analysis_report_common.sh"
+#   build_analyzer qopt_perf
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+build_analyzer() {
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "$jobs" --target "$1" >/dev/null
+}

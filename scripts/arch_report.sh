@@ -5,13 +5,8 @@
 # Usage: scripts/arch_report.sh [--suppressions]
 #   scripts/arch_report.sh                  # scan + exports; exit 1 on findings
 #   scripts/arch_report.sh --suppressions   # also list every justified allow
-set -euo pipefail
-cd "$(dirname "$0")/.."
-
-jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
-
-cmake -B build -S . >/dev/null
-cmake --build build -j "$jobs" --target qopt_arch >/dev/null
+source "$(dirname "$0")/analysis_report_common.sh"
+build_analyzer qopt_arch
 
 ./build/tools/qopt_arch \
   --manifest docs/ARCHITECTURE.toml --root . \

@@ -7,13 +7,8 @@
 #   scripts/perf_report.sh --update-baseline  # record fixed findings (counts
 #                                             # may only go down)
 #   scripts/perf_report.sh --suppressions     # list every justified allow
-set -euo pipefail
-cd "$(dirname "$0")/.."
-
-jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 2)
-
-cmake -B build -S . >/dev/null
-cmake --build build -j "$jobs" --target qopt_perf >/dev/null
+source "$(dirname "$0")/analysis_report_common.sh"
+build_analyzer qopt_perf
 
 ./build/tools/qopt_perf \
   --manifest docs/HOT_PATHS.toml --root . \

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the qopt_proto wire-protocol conformance scan against the committed
+# manifest (docs/PROTOCOL.toml) and diffs the wire-header inventory against
+# the manifest inventory (empty diff = the record matches the code).
+#
+# Usage: scripts/proto_report.sh [--suppressions]
+#   scripts/proto_report.sh                  # scan + inventory diff; exit 1 on findings
+#   scripts/proto_report.sh --suppressions   # also list every justified allow
+source "$(dirname "$0")/analysis_report_common.sh"
+build_analyzer qopt_proto
+
+./build/tools/qopt_proto --manifest docs/PROTOCOL.toml --root . "$@"
+
+./build/tools/qopt_proto --manifest docs/PROTOCOL.toml --root . \
+  --dump-wire > build/qopt_proto_wire.txt
+./build/tools/qopt_proto --manifest docs/PROTOCOL.toml --root . \
+  --dump-manifest > build/qopt_proto_manifest.txt
+diff -u build/qopt_proto_wire.txt build/qopt_proto_manifest.txt
+echo "inventories agree: build/qopt_proto_wire.txt build/qopt_proto_manifest.txt"

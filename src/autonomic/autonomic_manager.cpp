@@ -118,11 +118,18 @@ void AutonomicManager::on_message(const sim::NodeId& from,
                                   const Message& msg) {
   if (!running_) return;
   if (const auto* stats = std::get_if<RoundStatsMsg>(&msg)) {
-    if (gathering_ && stats->round == round_) {
-      reports_[from.index] = *stats;
-      maybe_process_round();
-    }
+    handle_round_stats(from, *stats);
   }
+}
+
+void AutonomicManager::handle_round_stats(const sim::NodeId& from,
+                                          const RoundStatsMsg& stats) {
+  // Round fencing: a report from an earlier round (a slow proxy, or a
+  // retransmit crossing a round boundary) must not pollute the current
+  // gather; re-reporting proxies just overwrite their own slot.
+  if (!gathering_ || stats.round != round_) return;
+  reports_[from.index] = stats;
+  maybe_process_round();
 }
 
 void AutonomicManager::maybe_process_round() {

@@ -124,6 +124,8 @@ class AutonomicManager {
   enum class Mode { kFineGrain, kSteady };
 
   void begin_round();
+  void handle_round_stats(const sim::NodeId& from,
+                          const kv::RoundStatsMsg& stats);
   void maybe_process_round();
   void process_round();
   void process_fine_grain(const std::vector<kv::ObjectStats>& merged_topk,

@@ -70,34 +70,41 @@ void Client::arm_retry() {
 }
 
 void Client::on_message(const sim::NodeId& /*from*/, const kv::Message& msg) {
-  bool completed = false;
-  bool failed = false;
   if (const auto* read = std::get_if<kv::ClientReadResp>(&msg)) {
-    if (!op_in_flight_ || read->req_id != pending_req_) return;
-    failed = read->failed;
-    if (checker_ && !failed) {
-      checker_->read_completed(pending_op_.oid, issued_at_, sim_.now(),
-                               read->found, read->version.ts,
-                               read_snapshot_);
-      if (read->found) {
-        checker_->observe(self_.index, pending_op_.oid, read->version.ts);
-      }
-    }
-    completed = true;
+    handle_read_resp(*read);
   } else if (const auto* write = std::get_if<kv::ClientWriteResp>(&msg)) {
-    if (!op_in_flight_ || write->req_id != pending_req_) return;
-    failed = write->failed;
-    // A failed write is indeterminate (it may have reached some replicas);
-    // the checker only lower-bounds the store by *completed* writes, so
-    // skipping it is safe either way.
-    if (checker_ && !failed) {
-      checker_->write_completed(pending_op_.oid, write->ts);
-      checker_->observe(self_.index, pending_op_.oid, write->ts);
-    }
-    completed = true;
+    handle_write_resp(*write);
   }
-  if (!completed) return;
+}
 
+void Client::handle_read_resp(const kv::ClientReadResp& read) {
+  // Request-id fencing doubles as at-least-once dedup: a duplicated reply,
+  // or a late reply to a request abandoned by the proxy-failover retry,
+  // carries a req_id != pending_req_ and is dropped here.
+  if (!op_in_flight_ || read.req_id != pending_req_) return;
+  if (checker_ && !read.failed) {
+    checker_->read_completed(pending_op_.oid, issued_at_, sim_.now(),
+                             read.found, read.version.ts, read_snapshot_);
+    if (read.found) {
+      checker_->observe(self_.index, pending_op_.oid, read.version.ts);
+    }
+  }
+  complete_op(read.failed);
+}
+
+void Client::handle_write_resp(const kv::ClientWriteResp& write) {
+  if (!op_in_flight_ || write.req_id != pending_req_) return;
+  // A failed write is indeterminate (it may have reached some replicas);
+  // the checker only lower-bounds the store by *completed* writes, so
+  // skipping it is safe either way.
+  if (checker_ && !write.failed) {
+    checker_->write_completed(pending_op_.oid, write.ts);
+    checker_->observe(self_.index, pending_op_.oid, write.ts);
+  }
+  complete_op(write.failed);
+}
+
+void Client::complete_op(bool failed) {
   op_in_flight_ = false;
   if (failed) {
     // Reported-failed after the proxy's retry budget: not a completion, so

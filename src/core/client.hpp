@@ -58,6 +58,10 @@ class Client {
   void issue_next();
   void send_pending();
   void arm_retry();
+  void handle_read_resp(const kv::ClientReadResp& read);
+  void handle_write_resp(const kv::ClientWriteResp& write);
+  /// Common completion tail: closes the loop and schedules the next op.
+  void complete_op(bool failed);
 
   sim::Simulator& sim_;
   Net& net_;

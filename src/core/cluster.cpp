@@ -112,11 +112,7 @@ Cluster::Cluster(const ClusterConfig& config)
       config_.initial_quorum, config_.replication, &obs_);
   net_.register_node(sim::rm_id(), [this](const sim::NodeId& from,
                                           const kv::Message& msg) {
-    if (std::holds_alternative<kv::HeartbeatMsg>(msg)) {
-      if (heartbeat_watcher_) heartbeat_watcher_->beat(from);
-      return;
-    }
-    rm_->on_message(from, msg);
+    handle_rm_message(from, msg);
   });
 
   if (config_.heartbeat_fd) {
@@ -151,6 +147,18 @@ Cluster::Cluster(const ClusterConfig& config)
 }
 
 Cluster::~Cluster() = default;
+
+void Cluster::handle_rm_message(const sim::NodeId& from,
+                                const kv::Message& msg) {
+  // The RM's inbox: heartbeats feed the failure detector's watcher and
+  // never reach the protocol layer; everything else is reconfiguration
+  // protocol traffic for the RM proper.
+  if (std::holds_alternative<kv::HeartbeatMsg>(msg)) {
+    if (heartbeat_watcher_) heartbeat_watcher_->beat(from);
+    return;
+  }
+  rm_->on_message(from, msg);
+}
 
 void Cluster::preload(std::uint64_t count, std::uint64_t size_bytes,
                       kv::ObjectId first_oid) {

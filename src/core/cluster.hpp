@@ -213,6 +213,10 @@ class Cluster {
  private:
   using Net = sim::Network<kv::Message>;
 
+  /// The RM's wire inbox: routes heartbeats to the watcher, protocol
+  /// messages to the ReconfigManager (see docs/PROTOCOL.toml).
+  void handle_rm_message(const sim::NodeId& from, const kv::Message& msg);
+
   ClusterConfig config_;
   // Declared before every component: they cache pointers into the registry,
   // so the bundle must outlive them (destroyed last).

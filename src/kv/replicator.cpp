@@ -10,7 +10,6 @@
 #include "util/time.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 namespace qopt::kv {
@@ -34,22 +33,43 @@ void Replicator::sweep() {
   if (!running_) return;
   ++stats_.sweeps;
 
-  // Build the freshest-version map across all live replicas (the daemon's
-  // hash comparison pass). Ordered map: the repair loop below is throttled
-  // by max_repairs_per_sweep, so *which* objects get repaired this sweep
-  // depends on iteration order.
-  std::map<ObjectId, Version> freshest;
+  // Build the freshest-version table across all live replicas (the
+  // daemon's hash comparison pass) in the reusable scratch vector: one
+  // flat buffer sorted once beats a node-allocating map rebuilt per sweep.
+  // The repair loop below is throttled by max_repairs_per_sweep, so *which*
+  // objects get repaired this sweep depends on iteration order — the sort
+  // pins it to ascending oid, exactly the order the old ordered map gave.
+  freshest_scratch_.clear();
+  std::size_t total = 0;
+  for (const StorageNode* node : nodes_) {
+    if (!node->crashed()) total += node->object_count();
+  }
+  freshest_scratch_.reserve(total);
   for (const StorageNode* node : nodes_) {
     if (node->crashed()) continue;
-    for (const auto& [oid, version] : node->sorted_contents()) {
-      auto [it, inserted] = freshest.try_emplace(oid, version);
-      if (!inserted && (version.ts > it->second.ts ||
-                        (version.ts == it->second.ts &&
-                         version.cfno > it->second.cfno))) {
-        it->second = version;
-      }
-    }
+    node->for_each_version([this](ObjectId oid, const Version& version) {
+      freshest_scratch_.emplace_back(oid, version);
+    });
   }
+  // Ascending oid; freshest first within an oid. The stable sort keeps
+  // node order among fully tied versions, so the node-scan order of the
+  // old per-node snapshots decides ties exactly as before. (The hash-map
+  // visit order within one node is harmless: a node holds one version per
+  // oid, and the sort key does not depend on visit order.)
+  std::stable_sort(
+      freshest_scratch_.begin(), freshest_scratch_.end(),
+      [](const auto& a, const auto& b) {
+        if (a.first != b.first) return a.first < b.first;
+        if (a.second.ts != b.second.ts) return b.second.ts < a.second.ts;
+        return b.second.cfno < a.second.cfno;
+      });
+  freshest_scratch_.erase(
+      std::unique(freshest_scratch_.begin(), freshest_scratch_.end(),
+                  [](const auto& a, const auto& b) {
+                    return a.first == b.first;
+                  }),
+      freshest_scratch_.end());
+  const auto& freshest = freshest_scratch_;
 
   // One trace per sweep; each repair push is a child span covering the
   // write service time it induces on the receiving node.

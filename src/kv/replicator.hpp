@@ -13,10 +13,12 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "kv/placement.hpp"
 #include "kv/storage_node.hpp"
+#include "kv/types.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/time.hpp"
@@ -58,6 +60,9 @@ class Replicator {
   ReplicatorStats stats_;
   bool running_ = false;
   obs::Observability* obs_ = nullptr;  // nullable: spans off when absent
+  /// Freshest-version table scratch, reused across sweeps so steady-state
+  /// sweeps allocate nothing once the buffer has grown to the store size.
+  std::vector<std::pair<ObjectId, Version>> freshest_scratch_;
 };
 
 }  // namespace qopt::kv

@@ -88,12 +88,21 @@ class StorageNode {
     store_[oid] = version;
   }
 
-  /// Full store contents as an oid-ordered snapshot (anti-entropy sweep /
-  /// diagnostics). The live store is a hash map for the hot path; exposing
-  /// it directly would leak implementation-defined iteration order into the
-  /// replicator's repair schedule.
+  /// Full store contents as an oid-ordered snapshot (diagnostics/tests).
+  /// The live store is a hash map for the hot path; exposing it directly
+  /// would leak implementation-defined iteration order.
   std::map<ObjectId, Version> sorted_contents() const {
     return {store_.begin(), store_.end()};
+  }
+
+  /// Visits every stored (oid, version) pair without materializing a
+  /// snapshot (anti-entropy sweeps). Iteration order is the hash map's —
+  /// implementation-defined — so callers deriving schedules from it must
+  /// sort what they collect (the replicator stable-sorts into its scratch).
+  template <typename Fn>
+  void for_each_version(Fn&& fn) const {
+    // qopt-lint: allow(unordered-iter) callers must sort what they collect
+    for (const auto& [oid, version] : store_) fn(oid, version);
   }
 
   /// Anti-entropy push from the replicator daemon: pays write service time

@@ -317,6 +317,7 @@ void Proxy::launch_op(std::uint64_t op_id) {
   op.repair = false;
   placement_.replicas_into(op.oid, op.replica_order);
   const std::size_t n = op.replica_order.size();
+  op.replied.reserve(n);
   // Outside a transition the strategy is a stored object; bind a reference
   // instead of copying its weighted-quorum tables on every operation. The
   // transition composite only exists while a change is draining.
@@ -411,14 +412,14 @@ void Proxy::send_request(std::uint64_t op_id, PendingOp& op,
   // RPC, retried; the kRetransmit marker records the extra round.
   obs::SpanContext rpc;
   if (op.wait_span.valid()) {
-    if (auto it = op.rpc_spans.find(replica); it != op.rpc_spans.end()) {
-      rpc = it->second;
+    if (const obs::SpanContext* open = op.find_rpc_span(replica)) {
+      rpc = *open;
     } else if (open_span) {
       rpc = obs_->spans().open_span(
           op.wait_span,
           is_read ? obs::Phase::kReplicaRead : obs::Phase::kReplicaWrite,
           is_read ? "replica_read" : "replica_write", node_name_, sim_.now());
-      if (rpc.valid()) op.rpc_spans[replica] = rpc;
+      if (rpc.valid()) op.put_rpc_span(replica, rpc);
     }
   }
   const sim::NodeId target = sim::storage_id(replica);
@@ -546,10 +547,9 @@ void Proxy::note_reply(PendingOp& op, std::uint32_t replica) {
   op.prev_reply_at = op.last_reply_at;
   op.last_reply_at = sim_.now();
   op.last_replica = replica;
-  auto it = op.rpc_spans.find(replica);
-  if (it != op.rpc_spans.end()) {
-    obs_->spans().close_span(it->second, sim_.now(), op.oid, replica);
-    op.rpc_spans.erase(it);
+  if (const obs::SpanContext* rpc = op.find_rpc_span(replica)) {
+    obs_->spans().close_span(*rpc, sim_.now(), op.oid, replica);
+    op.drop_rpc_span(replica);
   }
 }
 
@@ -590,7 +590,7 @@ void Proxy::handle_read_reply(const sim::NodeId& from,
   auto it = ops_.find(resp.op_id);
   if (it == ops_.end()) return;  // stale attempt or already completed
   PendingOp& op = it->second;
-  if (!op.replied.insert(from.index).second) {
+  if (!op.replied.insert(from.index)) {
     // Network duplicate or retransmit answer from an already-counted
     // replica: a quorum must be `needed` *distinct* replicas.
     ins_.duplicate_replies->inc();
@@ -657,7 +657,7 @@ void Proxy::handle_write_reply(const sim::NodeId& from,
   auto it = ops_.find(resp.op_id);
   if (it == ops_.end()) return;
   PendingOp& op = it->second;
-  if (!op.replied.insert(from.index).second) {
+  if (!op.replied.insert(from.index)) {
     ins_.duplicate_replies->inc();
     return;
   }

@@ -22,11 +22,12 @@
 //    tail profile reported to the Autonomic Manager each round.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "kv/placement.hpp"
@@ -162,6 +163,31 @@ class Proxy {
   std::size_t override_count() const noexcept { return overrides_.size(); }
 
  private:
+  /// Ordered set of replica indices on a flat vector. Reply fan-in is a
+  /// handful of replicas per operation, so a binary-searched vector beats a
+  /// node-allocating tree on the per-reply hot path: the buffer is grown
+  /// once per operation and reused verbatim across retransmit attempts.
+  class ReplicaSet {
+   public:
+    /// Returns true when `v` was newly inserted (false: already present).
+    bool insert(std::uint32_t v) {
+      const auto it = std::lower_bound(members_.begin(), members_.end(), v);
+      if (it != members_.end() && *it == v) return false;
+      members_.insert(it, v);
+      return true;
+    }
+    bool contains(std::uint32_t v) const noexcept {
+      return std::binary_search(members_.begin(), members_.end(), v);
+    }
+    void clear() noexcept { members_.clear(); }
+    void reserve(std::size_t n) { members_.reserve(n); }
+    auto begin() const noexcept { return members_.begin(); }
+    auto end() const noexcept { return members_.end(); }
+
+   private:
+    std::vector<std::uint32_t> members_;  // sorted ascending
+  };
+
   struct PendingOp {
     enum class Kind { kRead, kWrite, kWriteBack };
     Kind kind = Kind::kRead;
@@ -186,20 +212,42 @@ class Proxy {
     kv::Version write_version;  // payload (writes / write-backs)
     std::vector<std::uint32_t> replica_order;
     int contacted = 0;  // prefix of replica_order already contacted
-    /// Replicas whose reply was counted this attempt (ordered set: the
+    /// Replicas whose reply was counted this attempt (ordered: the
     /// retransmit path iterates it). Network-duplicated replies and replies
     /// to retransmits from an already-counted replica are dropped so a
     /// quorum is always `needed` *distinct* replicas.
-    std::set<std::uint32_t> replied;
+    ReplicaSet replied;
     Time start_time = 0;
     bool drains = false;  // counts toward the current NEWQ drain
 
     // Span-layer state (all dormant when the op's trace is not sampled).
     obs::SpanContext trace_ctx;  // root span of the op's trace
     obs::SpanContext wait_span;  // current quorum-wait / repair-wait span
-    // Open per-replica RPC spans, keyed by replica index (ordered: crash
-    // teardown iterates it).
-    std::map<std::uint32_t, obs::SpanContext> rpc_spans;
+    // Open per-replica RPC spans as a replica-index-sorted flat vector
+    // (ordered: crash teardown iterates it; empty whenever the op's trace
+    // is unsampled, so the common path never allocates).
+    std::vector<std::pair<std::uint32_t, obs::SpanContext>> rpc_spans;
+
+    /// Open RPC span for `replica`, or nullptr.
+    obs::SpanContext* find_rpc_span(std::uint32_t replica) {
+      const auto it = std::lower_bound(
+          rpc_spans.begin(), rpc_spans.end(), replica,
+          [](const auto& entry, std::uint32_t r) { return entry.first < r; });
+      if (it == rpc_spans.end() || it->first != replica) return nullptr;
+      return &it->second;
+    }
+    void put_rpc_span(std::uint32_t replica, const obs::SpanContext& ctx) {
+      const auto it = std::lower_bound(
+          rpc_spans.begin(), rpc_spans.end(), replica,
+          [](const auto& entry, std::uint32_t r) { return entry.first < r; });
+      rpc_spans.insert(it, {replica, ctx});
+    }
+    void drop_rpc_span(std::uint32_t replica) {
+      const auto it = std::lower_bound(
+          rpc_spans.begin(), rpc_spans.end(), replica,
+          [](const auto& entry, std::uint32_t r) { return entry.first < r; });
+      if (it != rpc_spans.end() && it->first == replica) rpc_spans.erase(it);
+    }
     Time wait_start = 0;      // current wait phase began here
     Time prev_reply_at = 0;   // second-to-last counted reply
     Time last_reply_at = 0;   // last counted reply

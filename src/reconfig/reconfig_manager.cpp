@@ -244,20 +244,32 @@ void ReconfigManager::on_message(const sim::NodeId& from, const Message& msg) {
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;
         if constexpr (std::is_same_v<T, kv::AckNewQuorumMsg>) {
-          if (phase_ == Phase::kNewQuorum && m.cfno == current_cfno_) {
-            acked_proxies_.insert(from.index);
-            evaluate_phase1();
-          }
+          handle_ack_new_quorum(from, m);
         } else if constexpr (std::is_same_v<T, kv::AckConfirmMsg>) {
-          if (phase_ == Phase::kConfirm && m.cfno == current_cfno_) {
-            acked_proxies_.insert(from.index);
-            evaluate_phase2();
-          }
+          handle_ack_confirm(from, m);
         } else if constexpr (std::is_same_v<T, kv::AckNewEpochMsg>) {
           handle_epoch_ack(from, m);
         }
       },
       msg);
+}
+
+void ReconfigManager::handle_ack_new_quorum(const sim::NodeId& from,
+                                            const kv::AckNewQuorumMsg& ack) {
+  // Phase + generation fencing: a retransmitted or stale ack (an earlier
+  // cfno, or a phase this RM already left) must not count toward the
+  // current phase's quorum. Re-inserting an already-counted proxy is
+  // idempotent (acked_proxies_ is a set).
+  if (phase_ != Phase::kNewQuorum || ack.cfno != current_cfno_) return;
+  acked_proxies_.insert(from.index);
+  evaluate_phase1();
+}
+
+void ReconfigManager::handle_ack_confirm(const sim::NodeId& from,
+                                         const kv::AckConfirmMsg& ack) {
+  if (phase_ != Phase::kConfirm || ack.cfno != current_cfno_) return;
+  acked_proxies_.insert(from.index);
+  evaluate_phase2();
 }
 
 void ReconfigManager::on_suspicion_change(const sim::NodeId& node,

@@ -113,6 +113,9 @@ class ReconfigManager {
   void evaluate_phase2();
   void begin_confirm();
   void begin_epoch_change(bool after_phase1);
+  void handle_ack_new_quorum(const sim::NodeId& from,
+                             const kv::AckNewQuorumMsg&);
+  void handle_ack_confirm(const sim::NodeId& from, const kv::AckConfirmMsg&);
   void handle_epoch_ack(const sim::NodeId& from, const kv::AckNewEpochMsg&);
   void commit();
   void on_suspicion_change(const sim::NodeId& node, bool suspected);

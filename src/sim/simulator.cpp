@@ -14,15 +14,53 @@ void Simulator::after(Duration d, std::function<void()> fn) {
   at(now_ + (d > 0 ? d : 0), std::move(fn));
 }
 
-bool Simulator::step() {
-  if (queue_.empty()) return false;
+Simulator::Event Simulator::pop_least() {
   // priority_queue::top returns const&; move the event out before popping so
   // the closure (and any captured state) is not copied per event. pop() only
   // compares time/seq during the sift-down, and those are trivially copied
   // by the move, so the moved-from element still orders correctly.
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
-  now_ = ev.time;
+  return ev;
+}
+
+void Simulator::set_schedule_chooser(ScheduleChooser chooser,
+                                     std::size_t window) {
+  chooser_ = std::move(chooser);
+  chooser_window_ = window < 2 ? 2 : window;
+  staged_.reserve(chooser_window_);
+}
+
+void Simulator::clear_schedule_chooser() {
+  chooser_ = nullptr;
+  chooser_window_ = 0;
+  staged_.clear();
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  Event ev = pop_least();
+  if (chooser_ && !queue_.empty()) {
+    // Stage the earliest `window` events and let the chooser reorder them.
+    staged_.clear();
+    staged_.reserve(chooser_window_);
+    staged_.push_back(std::move(ev));
+    while (staged_.size() < chooser_window_ && !queue_.empty()) {
+      staged_.push_back(pop_least());
+    }
+    std::size_t pick = chooser_(staged_.size());
+    if (pick >= staged_.size()) pick = 0;
+    ev = std::move(staged_[pick]);
+    for (std::size_t i = 0; i < staged_.size(); ++i) {
+      // Unchosen events keep their original (time, seq), so removing the
+      // chooser restores the canonical order for everything still queued.
+      if (i != pick) queue_.push(std::move(staged_[i]));
+    }
+    staged_.clear();
+  }
+  // Monotone clock: an event displaced behind a later one runs at the later
+  // event's time (delivery was delayed; the clock never rewinds).
+  if (ev.time > now_) now_ = ev.time;
   ++processed_;
   ev.fn();
   return true;

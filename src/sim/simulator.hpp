@@ -42,6 +42,28 @@ class Simulator {
   std::size_t pending() const noexcept { return queue_.size(); }
   std::uint64_t events_processed() const noexcept { return processed_; }
 
+  // ---------------------------------------------------- schedule override
+  //
+  // Hook for exhaustive small-scope interleaving exploration (see
+  // tests/interleave_gate_test.cpp). When installed, each step() stages the
+  // up-to-`window` earliest pending events and asks the chooser which one
+  // runs next; the others go back on the queue with their original time and
+  // sequence number, so clearing the chooser restores the deterministic
+  // (time, seq) order exactly. The virtual clock never moves backwards:
+  // running a later event first pins now() until the displaced earlier
+  // events catch up. Off (null chooser) in every production run.
+
+  /// Called with the number of staged candidates (>= 2, earliest first);
+  /// must return the index of the event to run next.
+  // qopt-perf: allow(heap-alloc-hot) test-only hook, assigned once per explored schedule
+  using ScheduleChooser = std::function<std::size_t(std::size_t)>;
+
+  void set_schedule_chooser(ScheduleChooser chooser, std::size_t window);
+  void clear_schedule_chooser();
+  bool schedule_chooser_active() const noexcept {
+    return static_cast<bool>(chooser_);
+  }
+
  private:
   struct Event {
     Time time;
@@ -55,11 +77,18 @@ class Simulator {
     }
   };
 
+  /// Pops the (time, seq)-least event, moving it out of the queue.
+  Event pop_least();
+
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stopped_ = false;
+  // qopt-perf: allow(heap-alloc-hot) null on production runs; step() sees a bool test
+  ScheduleChooser chooser_;
+  std::size_t chooser_window_ = 0;
+  std::vector<Event> staged_;  // scratch reused across chooser steps
 };
 
 }  // namespace qopt::sim

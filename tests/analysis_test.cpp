@@ -123,6 +123,65 @@ TEST(AnalysisTest, DigitSeparatorIsNotACharLiteral) {
   EXPECT_NE(out.find("Cluster cluster(config);"), std::string::npos) << out;
 }
 
+TEST(AnalysisTest, LineContinuationExtendsLineComment) {
+  // Phase-2 line splicing runs before comment recognition, so a backslash
+  // immediately before the newline keeps the next *physical* line inside
+  // the `//` comment. The tokenizer used to drop back to code state at the
+  // newline, letting commented-out text like this reach the token rules.
+  const std::string src =
+      "int a = 1; // disabled: \\\n"
+      "rand(); system_clock x;\n"
+      "int b = 2;\n";
+  const std::string out = strip_comments_and_literals(src);
+  ASSERT_EQ(out.size(), src.size());  // offsets are preserved
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+  EXPECT_EQ(out.find("rand"), std::string::npos) << out;
+  EXPECT_EQ(out.find("system_clock"), std::string::npos) << out;
+  EXPECT_NE(out.find("int a = 1;"), std::string::npos) << out;
+  EXPECT_NE(out.find("int b = 2;"), std::string::npos) << out;
+}
+
+TEST(AnalysisTest, ChainedLineContinuationsStayInComment) {
+  const std::string src =
+      "// one \\\n"
+      "two \\\n"
+      "three rand()\n"
+      "int live = 1;\n";
+  const std::string out = strip_comments_and_literals(src);
+  ASSERT_EQ(out.size(), src.size());
+  EXPECT_EQ(out.find("rand"), std::string::npos) << out;
+  EXPECT_EQ(out.find("three"), std::string::npos) << out;
+  EXPECT_NE(out.find("int live = 1;"), std::string::npos) << out;
+}
+
+TEST(AnalysisTest, BackslashInsideCommentBodyIsNotASplice) {
+  // Only a backslash *immediately before* the newline splices; a backslash
+  // mid-comment (e.g. a Windows path) must not extend the comment.
+  const std::string src =
+      "// path C:\\temp ends here\n"
+      "int live = 2;\n";
+  const std::string out = strip_comments_and_literals(src);
+  ASSERT_EQ(out.size(), src.size());
+  EXPECT_NE(out.find("int live = 2;"), std::string::npos) << out;
+}
+
+TEST(AnalysisTest, AdjacentStringLiteralsStripIndependently) {
+  // Adjacent string-literal concatenation: each literal opens and closes
+  // its own string state; the code between and after must survive.
+  const std::string src =
+      "const char* m = \"one rand()\" \" two time()\"; int x = 5;\n"
+      "f(\"a\"\n"
+      "  \"b\", rand());\n";
+  const std::string out = strip_comments_and_literals(src);
+  ASSERT_EQ(out.size(), src.size());
+  EXPECT_EQ(out.find("one"), std::string::npos) << out;
+  EXPECT_EQ(out.find("two"), std::string::npos) << out;
+  EXPECT_EQ(out.find("time"), std::string::npos) << out;
+  EXPECT_NE(out.find("int x = 5;"), std::string::npos) << out;
+  // The second literal's body is blanked but the call's rand() is live.
+  EXPECT_NE(out.find("rand()"), std::string::npos) << out;
+}
+
 TEST(AnalysisTest, SplitLinesAndLineOfOffsetAgree) {
   const std::string text = "one\ntwo\nthree";
   const auto lines = split_lines(text);

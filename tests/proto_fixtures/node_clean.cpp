@@ -1,0 +1,22 @@
+// Fixture component: a fully conformant consumer of the fixture protocol.
+#include "node_clean.hpp"
+
+void Node::on_message(const Message& msg) {
+  if (const auto* ping = std::get_if<PingMsg>(&msg)) {
+    handle_ping(*ping);
+    return;
+  }
+  if (const auto* pong = std::get_if<PongMsg>(&msg)) {
+    handle_pong(*pong);
+  }
+}
+
+void Node::handle_ping(const PingMsg& ping) {
+  if (ping.version > 1) return;            // drop frames from the future
+  if (ping.epno < epno_) return;           // epoch fence
+  if (seen_.count(ping.seq) > 0) return;   // dedup before apply
+  last_span_ = ping.span;                  // propagate the span
+  seen_.insert(ping.seq);
+}
+
+void Node::handle_pong(const PongMsg& pong) { last_pong_ = pong.seq; }

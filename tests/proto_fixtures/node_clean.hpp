@@ -1,0 +1,18 @@
+// Fixture component header: declarations only — qopt_proto must find the
+// handler *bodies* in the .cpp, not mistake these declarations for them.
+#pragma once
+
+#include <set>
+
+#include "wire_clean.hpp"
+
+struct Node {
+  void on_message(const Message& msg);
+  void handle_ping(const PingMsg& ping);
+  void handle_pong(const PongMsg& pong);
+
+  std::set<unsigned long> seen_;
+  unsigned long epno_ = 0;
+  unsigned long last_pong_ = 0;
+  SpanContext last_span_;
+};

@@ -1,0 +1,34 @@
+// Fixture: handle_ping applies without ever consulting the dedup set.
+#include <set>
+
+#include "wire_clean.hpp"
+
+struct Node {
+  void on_message(const Message& msg);
+  void handle_ping(const PingMsg& ping);
+  void handle_pong(const PongMsg& pong);
+
+  std::set<unsigned long> applied_;
+  unsigned long epno_ = 0;
+  unsigned long last_pong_ = 0;
+  SpanContext last_span_;
+};
+
+void Node::on_message(const Message& msg) {
+  if (const auto* ping = std::get_if<PingMsg>(&msg)) {
+    handle_ping(*ping);
+    return;
+  }
+  if (const auto* pong = std::get_if<PongMsg>(&msg)) {
+    handle_pong(*pong);
+  }
+}
+
+void Node::handle_ping(const PingMsg& ping) {
+  if (ping.version > 1) return;
+  if (ping.epno < epno_) return;
+  last_span_ = ping.span;
+  applied_.insert(ping.seq);  // re-applies on every retransmit
+}
+
+void Node::handle_pong(const PongMsg& pong) { last_pong_ = pong.seq; }

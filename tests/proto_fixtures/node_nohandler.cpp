@@ -1,0 +1,33 @@
+// Fixture: handle_pong is declared and even called, but defined nowhere —
+// the call site and declaration must not pass for a handler body.
+#include <set>
+
+#include "wire_clean.hpp"
+
+struct Node {
+  void on_message(const Message& msg);
+  void handle_ping(const PingMsg& ping);
+  void handle_pong(const PongMsg& pong);
+
+  std::set<unsigned long> seen_;
+  unsigned long epno_ = 0;
+  SpanContext last_span_;
+};
+
+void Node::on_message(const Message& msg) {
+  if (const auto* ping = std::get_if<PingMsg>(&msg)) {
+    handle_ping(*ping);
+    return;
+  }
+  if (const auto* pong = std::get_if<PongMsg>(&msg)) {
+    handle_pong(*pong);
+  }
+}
+
+void Node::handle_ping(const PingMsg& ping) {
+  if (ping.version > 1) return;
+  if (ping.epno < epno_) return;
+  if (seen_.count(ping.seq) > 0) return;
+  last_span_ = ping.span;
+  seen_.insert(ping.seq);
+}

@@ -1,0 +1,18 @@
+// Fixture: a second component that consumes only PongMsg — used to prove a
+// dispatch may not handle a type the manifest routes elsewhere.
+#include "wire_clean.hpp"
+
+struct Other {
+  void on_message(const Message& msg);
+  void handle_pong(const PongMsg& pong);
+
+  unsigned long last_pong_ = 0;
+};
+
+void Other::on_message(const Message& msg) {
+  if (const auto* pong = std::get_if<PongMsg>(&msg)) {
+    handle_pong(*pong);
+  }
+}
+
+void Other::handle_pong(const PongMsg& pong) { last_pong_ = pong.seq; }

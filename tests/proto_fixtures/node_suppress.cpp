@@ -1,0 +1,38 @@
+// Fixture: one justified suppression (silences its finding) and one bare
+// allow (suppresses nothing and is itself a finding).
+#include <set>
+
+#include "wire_clean.hpp"
+
+struct Node {
+  void on_message(const Message& msg);
+  void handle_ping(const PingMsg& ping);
+  void handle_pong(const PongMsg& pong);
+
+  std::set<unsigned long> seen_;
+  unsigned long epno_ = 0;
+  unsigned long last_pong_ = 0;
+  SpanContext last_span_;
+};
+
+void Node::on_message(const Message& msg) {
+  if (const auto* ping = std::get_if<PingMsg>(&msg)) {
+    handle_ping(*ping);
+    return;
+  }
+  if (const auto* pong = std::get_if<PongMsg>(&msg)) {
+    handle_pong(*pong);
+  }
+}
+
+// qopt-proto: allow(epoch-guard) the caller fences epochs before dispatch
+void Node::handle_ping(const PingMsg& ping) {
+  if (ping.version > 1) return;
+  if (seen_.count(ping.seq) > 0) return;
+  epno_ = ping.epno;
+  last_span_ = ping.span;
+  seen_.insert(ping.seq);
+}
+
+// qopt-proto: allow(span-propagation)
+void Node::handle_pong(const PongMsg& pong) { last_pong_ = pong.seq; }

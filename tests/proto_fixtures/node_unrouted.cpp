@@ -1,0 +1,32 @@
+// Fixture: the dispatch silently ignores PongMsg (the handler body exists
+// but nothing routes to it).
+#include <set>
+
+#include "wire_clean.hpp"
+
+struct Node {
+  void on_message(const Message& msg);
+  void handle_ping(const PingMsg& ping);
+  void handle_pong(const PongMsg& pong);
+
+  std::set<unsigned long> seen_;
+  unsigned long epno_ = 0;
+  unsigned long last_pong_ = 0;
+  SpanContext last_span_;
+};
+
+void Node::on_message(const Message& msg) {
+  if (const auto* ping = std::get_if<PingMsg>(&msg)) {
+    handle_ping(*ping);
+  }
+}
+
+void Node::handle_ping(const PingMsg& ping) {
+  if (ping.version > 1) return;
+  if (ping.epno < epno_) return;
+  if (seen_.count(ping.seq) > 0) return;
+  last_span_ = ping.span;
+  seen_.insert(ping.seq);
+}
+
+void Node::handle_pong(const PongMsg& pong) { last_pong_ = pong.seq; }

@@ -1,0 +1,24 @@
+// Fixture wire header: the shape qopt_proto expects of src/kv/wire.hpp.
+#pragma once
+
+#include <variant>
+
+struct SpanContext {
+  unsigned long trace_id = 0;
+};
+
+struct PingMsg {
+  unsigned long seq = 0;
+  unsigned long epno = 0;
+  SpanContext span;
+  unsigned version = 1;
+};
+
+struct PongMsg {
+  unsigned long seq = 0;
+
+  static constexpr unsigned kKind = 2;  // skipped: not a wire field
+  bool is_late() const { return false; }  // skipped: member function
+};
+
+using Message = std::variant<PingMsg, PongMsg>;

@@ -1,0 +1,17 @@
+// Fixture: the recorded PongMsg struct was deleted outright.
+#pragma once
+
+#include <variant>
+
+struct SpanContext {
+  unsigned long trace_id = 0;
+};
+
+struct PingMsg {
+  unsigned long seq = 0;
+  unsigned long epno = 0;
+  SpanContext span;
+  unsigned version = 1;
+};
+
+using Message = std::variant<PingMsg>;

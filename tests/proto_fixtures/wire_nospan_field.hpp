@@ -1,0 +1,20 @@
+// Fixture: PingMsg is declared span-carrying but has no `span` field.
+#pragma once
+
+#include <variant>
+
+struct SpanContext {
+  unsigned long trace_id = 0;
+};
+
+struct PingMsg {
+  unsigned long seq = 0;
+  unsigned long epno = 0;
+  unsigned version = 1;
+};
+
+struct PongMsg {
+  unsigned long seq = 0;
+};
+
+using Message = std::variant<PingMsg, PongMsg>;

@@ -1,0 +1,19 @@
+// Fixture: PongMsg lost its recorded `seq` field.
+#pragma once
+
+#include <variant>
+
+struct SpanContext {
+  unsigned long trace_id = 0;
+};
+
+struct PingMsg {
+  unsigned long seq = 0;
+  unsigned long epno = 0;
+  SpanContext span;
+  unsigned version = 1;
+};
+
+struct PongMsg {};
+
+using Message = std::variant<PingMsg, PongMsg>;

@@ -1,0 +1,21 @@
+// Fixture: PingMsg's first two fields are swapped relative to the manifest.
+#pragma once
+
+#include <variant>
+
+struct SpanContext {
+  unsigned long trace_id = 0;
+};
+
+struct PingMsg {
+  unsigned long epno = 0;
+  unsigned long seq = 0;
+  SpanContext span;
+  unsigned version = 1;
+};
+
+struct PongMsg {
+  unsigned long seq = 0;
+};
+
+using Message = std::variant<PingMsg, PongMsg>;

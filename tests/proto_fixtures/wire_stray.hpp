@@ -1,0 +1,25 @@
+// Fixture: a wire struct exists that the manifest does not record.
+#pragma once
+
+#include <variant>
+
+struct SpanContext {
+  unsigned long trace_id = 0;
+};
+
+struct PingMsg {
+  unsigned long seq = 0;
+  unsigned long epno = 0;
+  SpanContext span;
+  unsigned version = 1;
+};
+
+struct PongMsg {
+  unsigned long seq = 0;
+};
+
+struct StrayMsg {
+  unsigned payload = 0;
+};
+
+using Message = std::variant<PingMsg, PongMsg>;

@@ -1,0 +1,21 @@
+// Fixture: the variant's tag order was swapped relative to the manifest.
+#pragma once
+
+#include <variant>
+
+struct SpanContext {
+  unsigned long trace_id = 0;
+};
+
+struct PingMsg {
+  unsigned long seq = 0;
+  unsigned long epno = 0;
+  SpanContext span;
+  unsigned version = 1;
+};
+
+struct PongMsg {
+  unsigned long seq = 0;
+};
+
+using Message = std::variant<PongMsg, PingMsg>;

@@ -1,0 +1,23 @@
+// Fixture: a field was appended *after* the version field of a versioned
+// message — the version field must stay last.
+#pragma once
+
+#include <variant>
+
+struct SpanContext {
+  unsigned long trace_id = 0;
+};
+
+struct PingMsg {
+  unsigned long seq = 0;
+  unsigned long epno = 0;
+  SpanContext span;
+  unsigned version = 1;
+  unsigned hops = 0;
+};
+
+struct PongMsg {
+  unsigned long seq = 0;
+};
+
+using Message = std::variant<PingMsg, PongMsg>;

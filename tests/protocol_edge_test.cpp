@@ -4,11 +4,17 @@
 // storage-side write NACKs, and monitoring isolation from internal traffic.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "core/cluster.hpp"
+#include "kv/quorum.hpp"
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "proxy/proxy.hpp"
+#include "qopt_proto/proto.hpp"
+#include "sim/ids.hpp"
 #include "workload/workload.hpp"
 
 namespace qopt {
@@ -195,6 +201,95 @@ TEST(ProtocolEdgeTest, ReadRepairAcrossManyConfigGenerations) {
   EXPECT_TRUE(cluster.checker().clean())
       << "stale read: historical-quorum repair failed across generations";
   EXPECT_GT(cluster.checker().reads_checked(), 100u);
+}
+
+// ------------------------------------------------- wire-evolution symmetry
+//
+// Driven by the committed protocol manifest: every message recorded as
+// `versioned = true` in docs/PROTOCOL.toml must have a driver below proving
+// (a) the message survives the wire round trip unchanged and (b) a frame
+// stamped with a future version is dropped by its handler without touching
+// receiver state — while the same frame with the current version applies.
+// The closing assertion compares the driver set against the manifest, so a
+// newly versioned message fails this test until it gains a driver here.
+
+TEST(WireSymmetryTest, VersionedMessagesRoundTripAndDropFutureFrames) {
+  const proto::Manifest manifest = proto::load_manifest(
+      std::string(QOPT_SOURCE_ROOT) + "/docs/PROTOCOL.toml");
+  ASSERT_TRUE(manifest.errors.empty())
+      << proto::format_finding(manifest.errors.front());
+  std::set<std::string> versioned;
+  for (const auto& message : manifest.messages) {
+    if (message.versioned) versioned.insert(message.name);
+  }
+  ASSERT_FALSE(versioned.empty());
+
+  // One quiescent cluster provides wired-up receivers for the drop checks.
+  Cluster cluster(small_config());
+  cluster.run_for(milliseconds(100));
+  std::set<std::string> covered;
+
+  {  // NewQuorumMsg — RM -> proxy, phase 1 of the two-phase install.
+    covered.insert("NewQuorumMsg");
+    proxy::Proxy& proxy = cluster.proxy(0);
+    kv::NewQuorumMsg msg;
+    msg.epno = proxy.epoch();
+    msg.cfno = 100;  // far beyond anything the quiescent cluster installed
+    msg.change.is_global = true;
+    msg.change.global = kv::QuorumStrategy::majority(4, 2, 5);
+
+    kv::Message frame = msg;        // onto the wire
+    const kv::Message copy = frame;  // delivery copies the frame
+    const auto* decoded = std::get_if<kv::NewQuorumMsg>(&copy);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(decoded->epno, msg.epno);
+    EXPECT_EQ(decoded->cfno, msg.cfno);
+    EXPECT_EQ(decoded->change.is_global, msg.change.is_global);
+    EXPECT_EQ(decoded->change.global, msg.change.global);
+    EXPECT_EQ(decoded->strategy_version, kv::QuorumStrategy::kWireVersion);
+
+    const kv::QuorumConfig before = proxy.effective_quorum(0);
+    kv::NewQuorumMsg future = msg;
+    future.strategy_version = kv::QuorumStrategy::kWireVersion + 1;
+    proxy.on_message(sim::rm_id(), kv::Message{future});
+    EXPECT_EQ(proxy.effective_quorum(0), before)
+        << "future-version NEWQ must be dropped";
+    proxy.on_message(sim::rm_id(), kv::Message{msg});
+    EXPECT_NE(proxy.effective_quorum(0), before)
+        << "current-version NEWQ must apply (the drop above was the tag)";
+  }
+
+  {  // NewEpochMsg — RM -> storage, epoch installation.
+    covered.insert("NewEpochMsg");
+    kv::StorageNode& node = cluster.storage(0);
+    kv::NewEpochMsg msg;
+    msg.config.epno = node.epoch() + 5;
+    msg.config.cfno = 100;
+    msg.config.default_q = kv::QuorumStrategy::majority(4, 2, 5);
+
+    kv::Message frame = msg;
+    const kv::Message copy = frame;
+    const auto* decoded = std::get_if<kv::NewEpochMsg>(&copy);
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(decoded->config.epno, msg.config.epno);
+    EXPECT_EQ(decoded->config.cfno, msg.config.cfno);
+    EXPECT_EQ(decoded->config.default_q, msg.config.default_q);
+    EXPECT_EQ(decoded->strategy_version, kv::QuorumStrategy::kWireVersion);
+
+    const std::uint64_t before = node.epoch();
+    kv::NewEpochMsg future = msg;
+    future.strategy_version = kv::QuorumStrategy::kWireVersion + 1;
+    node.on_message(sim::rm_id(), kv::Message{future});
+    EXPECT_EQ(node.epoch(), before)
+        << "future-version NEWEP must be dropped";
+    node.on_message(sim::rm_id(), kv::Message{msg});
+    EXPECT_EQ(node.epoch(), msg.config.epno)
+        << "current-version NEWEP must apply (the drop above was the tag)";
+  }
+
+  EXPECT_EQ(covered, versioned)
+      << "every `versioned = true` message in docs/PROTOCOL.toml needs a "
+         "round-trip + future-version-drop driver in this test";
 }
 
 }  // namespace

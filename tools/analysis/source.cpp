@@ -101,7 +101,15 @@ std::string strip_comments_and_literals(const std::string& src) {
         }
         break;
       case State::kLineComment:
-        if (c == '\n') {
+        if (c == '\\' && next == '\n') {
+          // Line splicing: a backslash immediately before the newline keeps
+          // the *next* physical line inside this `//` comment (phase-2 line
+          // splicing happens before comment recognition). Blank the
+          // backslash, keep the newline for line structure, and stay in the
+          // comment state.
+          out[i] = ' ';
+          ++i;
+        } else if (c == '\n') {
           state = State::kCode;
         } else {
           out[i] = ' ';
