@@ -5,23 +5,31 @@
 // small scale ladder, and the trajectory lands in BENCH_engine.json so
 // successive engine-speed PRs have a committed before/after artifact.
 //
-// Determinism: all simulation-derived fields (events, ops, messages,
-// events per virtual second) are byte-identical across same-seed reruns.
-// Wall-derived fields (wall seconds, events/sec, peak RSS) are host
-// facts; `--deterministic` zeroes them so the byte-identity gate can diff
-// the artifact (tests/determinism re-runs use this mode).
+// `--profile` enables the engine self-profiler (src/obs/profiler.hpp) and
+// appends each scale's attribution table — per-subsystem event/allocation
+// counts, per-wire-message-type delivery counts, queue telemetry — to the
+// JSON. Attribution counts are simulation facts: they are byte-identical
+// across same-seed reruns, and their per-subsystem sum equals the scale's
+// event total (asserted by tests/profiler_test.cpp).
 //
-// Usage: engine_events_per_sec [--deterministic] [--out <path>]
+// Determinism: all simulation-derived fields (events, ops, messages,
+// events per virtual second, profile attribution) are byte-identical
+// across same-seed reruns. Wall-derived fields (wall seconds, events/sec,
+// RSS, profile wall_ns) are host facts; `--deterministic` zeroes them so
+// the byte-identity gate can diff the artifact.
+//
+// Usage: engine_events_per_sec [--deterministic] [--profile] [--out <path>]
+#include <unistd.h>
+
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include <sys/resource.h>
-
 #include "bench/bench_common.hpp"
 #include "core/cluster.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "util/time.hpp"
 #include "workload/workload.hpp"
@@ -47,22 +55,40 @@ struct ScaleResult {
   // Wall-derived (zeroed under --deterministic).
   double wall_seconds = 0.0;
   double events_per_second = 0.0;
-  std::uint64_t peak_rss_kb = 0;
+  std::uint64_t rss_kb = 0;
+  // --profile attribution (empty string otherwise).
+  std::string profile_json;
 };
 
-std::uint64_t peak_rss_kb() {
-  struct rusage usage {};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-  return static_cast<std::uint64_t>(usage.ru_maxrss);  // KiB on Linux
+/// Current resident set in KiB, from /proc/self/statm. getrusage's
+/// ru_maxrss is a process-wide monotone high-water mark, so in a ladder of
+/// scales every scale after the biggest-so-far would report a stale peak;
+/// current RSS sampled while the scale's cluster is still live is a
+/// per-scale fact.
+std::uint64_t current_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  unsigned long long pages_total = 0;
+  unsigned long long pages_resident = 0;
+  const int matched =
+      std::fscanf(f, "%llu %llu", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (matched != 2) return 0;
+  const long page_size = sysconf(_SC_PAGESIZE);
+  if (page_size <= 0) return 0;
+  return static_cast<std::uint64_t>(pages_resident) *
+         static_cast<std::uint64_t>(page_size) / 1024;
 }
 
-ScaleResult run_scale(const ScalePoint& scale, bool deterministic) {
+ScaleResult run_scale(const ScalePoint& scale, bool deterministic,
+                      bool profile) {
   qopt::ClusterConfig config;
   config.num_storage = scale.num_storage;
   config.num_proxies = scale.num_proxies;
   config.clients_per_proxy = scale.clients_per_proxy;
   config.replication = scale.replication;
   config.check_consistency = false;  // engine speed, not harness bookkeeping
+  config.profile = profile;
   config.seed = 42;
   qopt::Cluster cluster(config);
   cluster.preload(4096, 4096);
@@ -95,7 +121,13 @@ ScaleResult run_scale(const ScalePoint& scale, bool deterministic) {
     r.events_per_second =
         r.wall_seconds > 0 ? static_cast<double>(r.events) / r.wall_seconds
                            : 0.0;
-    r.peak_rss_kb = peak_rss_kb();
+    // Sampled while this scale's cluster is still allocated.
+    r.rss_kb = current_rss_kb();
+  }
+  if (profile) {
+    qopt::obs::ProfileReport prof = cluster.obs().profiler().report();
+    if (deterministic) prof.zero_wall();
+    r.profile_json = prof.to_json();
   }
   return r;
 }
@@ -117,40 +149,47 @@ void append_json(std::string& out, const ScaleResult& r) {
       "      \"events_per_virtual_second\": %.1f,\n"
       "      \"wall_seconds\": %.3f,\n"
       "      \"events_per_second\": %.1f,\n"
-      "      \"peak_rss_kb\": %llu\n"
-      "    }",
+      "      \"rss_kb\": %llu",
       r.scale.name, r.scale.num_storage, r.scale.num_proxies,
       r.scale.num_proxies * r.scale.clients_per_proxy, r.scale.replication,
       r.virtual_seconds, static_cast<unsigned long long>(r.events),
       static_cast<unsigned long long>(r.ops),
       static_cast<unsigned long long>(r.messages_delivered),
       r.events_per_virtual_second, r.wall_seconds, r.events_per_second,
-      static_cast<unsigned long long>(r.peak_rss_kb));
+      static_cast<unsigned long long>(r.rss_kb));
   out += buf;
+  if (!r.profile_json.empty()) {
+    out += ",\n      \"profile\": ";
+    out += r.profile_json;
+  }
+  out += "\n    }";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool deterministic = false;
+  bool profile = false;
   std::string out_path = "BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--deterministic") {
       deterministic = true;
+    } else if (arg == "--profile") {
+      profile = true;
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: engine_events_per_sec [--deterministic] "
-                   "[--out <path>]\n");
+                   "[--profile] [--out <path>]\n");
       return 2;
     }
   }
 
   qopt::bench::print_header(
       "engine_events_per_sec — simulator engine throughput trajectory",
-      "reproduction infrastructure (ROADMAP item 1): events/sec + peak RSS "
+      "reproduction infrastructure (ROADMAP item 1): events/sec + RSS "
       "per scale");
 
   const std::vector<ScalePoint> ladder = {
@@ -162,15 +201,17 @@ int main(int argc, char** argv) {
   std::string json = "{\n  \"bench\": \"engine_events_per_sec\",\n";
   json += std::string("  \"deterministic\": ") +
           (deterministic ? "true" : "false") + ",\n";
+  json += std::string("  \"profiled\": ") + (profile ? "true" : "false") +
+          ",\n";
   json += "  \"seed\": 42,\n  \"scales\": [\n";
   for (std::size_t i = 0; i < ladder.size(); ++i) {
-    const ScaleResult r = run_scale(ladder[i], deterministic);
+    const ScaleResult r = run_scale(ladder[i], deterministic, profile);
     std::printf(
         "%-14s events %10llu  ops %8llu  evt/vsec %12.1f  "
         "evt/sec %12.1f  rss %8llu KiB\n",
         r.scale.name, static_cast<unsigned long long>(r.events),
         static_cast<unsigned long long>(r.ops), r.events_per_virtual_second,
-        r.events_per_second, static_cast<unsigned long long>(r.peak_rss_kb));
+        r.events_per_second, static_cast<unsigned long long>(r.rss_kb));
     append_json(json, r);
     json += i + 1 < ladder.size() ? ",\n" : "\n";
   }

@@ -23,6 +23,7 @@
 #include "core/cluster.hpp"
 #include "core/nemesis.hpp"
 #include "kv/quorum.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "obs/span_export.hpp"
 #include "obs/trace.hpp"
@@ -57,6 +58,11 @@ void usage() {
       "            --trace-sample N   (every Nth trace per kind; default 1)\n"
       "            --trace-events FILE  (obs tracer JSON, all categories)\n"
       "            --record-ops FILE  (record the executed workload ops)\n"
+      "profiling:  --profile          (engine self-profiler: per-subsystem\n"
+      "                                cost attribution + queue telemetry in\n"
+      "                                the report; see docs/OBSERVABILITY.md)\n"
+      "            --profile-trace FILE  (per-event timeline, Chrome\n"
+      "                                trace_event JSON; implies --profile)\n"
       "faults:     --crash-proxy I --crash-storage I --crash-at S\n"
       "            --anti-entropy\n"
       "            --nemesis [--nemesis-interval MS]  (chaos schedule)\n"
@@ -216,8 +222,15 @@ int main(int argc, char** argv) {
     config.span_sample_every =
         static_cast<std::uint32_t>(flags.get_int("trace-sample", 1));
   }
+  const std::string profile_trace = flags.get_string("profile-trace", "");
+  config.profile = flags.get_bool("profile", false) || !profile_trace.empty();
 
   Cluster cluster(config);
+  if (!profile_trace.empty()) {
+    // Per-event timeline slices; bounded so a long run degrades to a
+    // truncated trace (timeline_dropped in the report) rather than OOM.
+    cluster.obs().profiler().enable_timeline(1u << 20);
+  }
   if (!trace_events.empty()) cluster.obs().tracer().enable_all();
   cluster.preload(objects, object_bytes);
   cluster.set_workload(source);
@@ -325,6 +338,11 @@ int main(int argc, char** argv) {
     write_file(trace_csv, obs::to_span_csv(cluster.obs().spans().completed()),
                "traces (CSV)", cluster.obs().spans().completed().size());
   }
+  if (!profile_trace.empty()) {
+    const obs::ProfileReport prof = cluster.obs().profiler().report();
+    write_file(profile_trace, cluster.obs().profiler().timeline_chrome_json(),
+               "profile slices (Chrome trace)", prof.timeline_slices);
+  }
 
   // One consistent summary for every output mode: the cluster-wide report
   // over the measurement window.
@@ -345,6 +363,8 @@ int main(int argc, char** argv) {
   } else if (csv) {
     std::printf("workload,%s\n", obs::RunReport::csv_header().c_str());
     std::printf("%s,%s\n", workload_name.c_str(), report.csv_row().c_str());
+    // Attribution rows ride below the summary row as a second CSV section.
+    if (report.has_profile) std::fputs(report.profile.to_csv().c_str(), stdout);
   } else {
     std::printf("\nworkload            %s\n", workload_name.c_str());
     std::fputs(report.render().c_str(), stdout);

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Schema gate for the committed engine benchmark artifact.
+#
+# BENCH_engine.json is a committed before/after trajectory: PRs regenerate
+# it, and downstream tooling (CI trend plots, the README table) reads its
+# keys. This gate runs the bench in its deterministic profiled form and
+# fails when the key set of the freshly generated JSON drifts from the
+# committed artifact — a rename/removal must come with a regenerated
+# artifact in the same commit, never silently.
+#
+# Usage: bench_schema_check.sh <engine_events_per_sec binary> <committed json>
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <engine_events_per_sec binary> <committed BENCH_engine.json>" >&2
+  exit 2
+fi
+bench_bin=$1
+committed=$2
+
+workdir=$(mktemp -d)
+trap 'rm -rf "${workdir}"' EXIT
+
+"${bench_bin}" --deterministic --profile --out "${workdir}/fresh.json" \
+  > /dev/null
+
+# The schema is the sorted set of JSON object keys. Values differ between
+# the committed (wall-clock) and fresh (deterministic) artifacts by design;
+# the key set must not.
+keys() {
+  grep -o '"[A-Za-z0-9_]*"[[:space:]]*:' "$1" | tr -d ' :' | sort -u
+}
+
+keys "${committed}" > "${workdir}/committed.keys"
+keys "${workdir}/fresh.json" > "${workdir}/fresh.keys"
+
+if ! diff -u "${workdir}/committed.keys" "${workdir}/fresh.keys"; then
+  echo "" >&2
+  echo "BENCH_engine.json schema drift: the bench now emits a different" >&2
+  echo "key set than the committed artifact. Regenerate it with:" >&2
+  echo "    ${bench_bin} --profile --out BENCH_engine.json" >&2
+  echo "and commit the result alongside the bench change." >&2
+  exit 1
+fi
+echo "BENCH_engine.json schema OK ($(wc -l < "${workdir}/committed.keys") keys)"

@@ -3,6 +3,7 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "oracle/oracle.hpp"
 #include "oracle/strategy_optimizer.hpp"
@@ -116,6 +117,7 @@ void AutonomicManager::begin_round() {
 
 void AutonomicManager::on_message(const sim::NodeId& from,
                                   const Message& msg) {
+  QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kAm);
   if (!running_) return;
   if (const auto* stats = std::get_if<RoundStatsMsg>(&msg)) {
     handle_round_stats(from, *stats);
@@ -513,6 +515,7 @@ void AutonomicManager::schedule_next_round(bool reconfigured) {
   const Duration delay = reconfigured ? options_.quarantine : 0;
   const std::uint64_t generation = generation_;
   sim_.after(delay, [this, generation] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kAm);
     if (!running_ || generation != generation_) return;
     begin_round();
   });

@@ -1,6 +1,8 @@
 #include "core/client.hpp"
 #include "core/consistency.hpp"
 #include "core/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "kv/wire.hpp"
 #include "proxy/proxy.hpp"
 #include "sim/ids.hpp"
@@ -60,6 +62,7 @@ void Client::arm_retry() {
   if (retry_timeout_ <= 0 || num_proxies_ < 2) return;
   const std::uint64_t req = pending_req_;
   sim_.after(retry_timeout_, [this, req] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kClient);
     if (!op_in_flight_ || pending_req_ != req) return;
     // Unanswered: fail over to the next proxy and re-issue. A late reply to
     // the abandoned request id is ignored by the dispatch check.
@@ -70,6 +73,7 @@ void Client::arm_retry() {
 }
 
 void Client::on_message(const sim::NodeId& /*from*/, const kv::Message& msg) {
+  QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kClient);
   if (const auto* read = std::get_if<kv::ClientReadResp>(&msg)) {
     handle_read_resp(*read);
   } else if (const auto* write = std::get_if<kv::ClientWriteResp>(&msg)) {
@@ -114,6 +118,7 @@ void Client::complete_op(bool failed) {
     if (!running_) return;
     if (think_time_ > 0) {
       sim_.after(think_time_, [this] {
+        QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kClient);
         if (running_ && !op_in_flight_) issue_next();
       });
     } else {
@@ -132,6 +137,7 @@ void Client::complete_op(bool failed) {
   if (!running_) return;
   if (think_time_ > 0) {
     sim_.after(think_time_, [this] {
+      QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kClient);
       if (running_ && !op_in_flight_) issue_next();
     });
   } else {

@@ -10,6 +10,7 @@
 #include "core/consistency.hpp"
 #include "core/metrics.hpp"
 #include "kv/types.hpp"
+#include "obs/obs.hpp"
 #include "kv/wire.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
@@ -35,6 +36,10 @@ class Client {
   void set_source(std::shared_ptr<workload::OperationSource> source) {
     source_ = std::move(source);
   }
+
+  /// Optional: lets the engine profiler attribute client-driven events
+  /// (response handling, think-time and retry timers). Null detaches.
+  void bind_observability(obs::Observability* obs) noexcept { obs_ = obs; }
 
   /// Begins the closed loop (no-op without a workload source).
   void start();
@@ -73,6 +78,7 @@ class Client {
   Duration think_time_;
   std::uint32_t num_proxies_;
   Duration retry_timeout_;
+  obs::Observability* obs_ = nullptr;
   std::uint64_t retries_ = 0;
   std::shared_ptr<workload::OperationSource> source_;
 

@@ -6,6 +6,7 @@
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/trace.hpp"
@@ -40,6 +41,13 @@ Cluster::Cluster(const ClusterConfig& config)
   }
 
   net_.bind_observability(&obs_);
+  // Engine self-profiler: bound whether or not profiling is requested (a
+  // disabled profiler costs one branch per event); the message-name table
+  // gives count_message() its display names.
+  sim_.bind_profiler(&obs_.profiler());
+  obs_.profiler().set_message_names(kv::kMessageTypeNames.data(),
+                                    kv::kMessageTypeNames.size());
+  if (config_.profile) obs_.profiler().enable();
   net_.set_loss(config_.net_loss);
   net_.set_duplication(config_.net_duplication);
   net_.set_delay_spike(config_.net_delay_spike_p, config_.net_delay_spike);
@@ -137,6 +145,7 @@ Cluster::Cluster(const ClusterConfig& config)
         config_.check_consistency ? &checker_ : nullptr,
         config_.client_think_time, config_.num_proxies,
         config_.client_retry_timeout);
+    client->bind_observability(&obs_);
     Client* raw = client.get();
     net_.register_node(id, [raw](const sim::NodeId& from,
                                  const kv::Message& msg) {
@@ -153,6 +162,7 @@ void Cluster::handle_rm_message(const sim::NodeId& from,
   // The RM's inbox: heartbeats feed the failure detector's watcher and
   // never reach the protocol layer; everything else is reconfiguration
   // protocol traffic for the RM proper.
+  QOPT_PROFILE_SCOPE(&obs_, obs::ProfSubsystem::kRm);
   if (std::holds_alternative<kv::HeartbeatMsg>(msg)) {
     if (heartbeat_watcher_) heartbeat_watcher_->beat(from);
     return;
@@ -434,6 +444,14 @@ obs::RunReport Cluster::report(Time t0, Time t1) const {
   r.spans_dropped = reg.counter_value("obs.spans_dropped");
 
   r.instruments = reg.snapshot();
+
+  if (obs_.profiler().enabled()) {
+    // Cumulative over the profiler's lifetime (not windowed): attribution
+    // covers every event the engine ran, so the per-subsystem counts sum to
+    // simulator().events_processed().
+    r.profile = obs_.profiler().report();
+    r.has_profile = true;
+  }
   return r;
 }
 

@@ -90,6 +90,12 @@ struct ClusterConfig {
   /// Completed-trace ring size; evictions are counted in
   /// `obs.traces_evicted`.
   std::size_t span_completed_limit = 4096;
+  /// Engine self-profiler: per-subsystem event/allocation/wall attribution
+  /// plus queue telemetry, exported as the report's `profile` section. Has
+  /// no effect on simulation behavior (exports stay byte-identical modulo
+  /// that section); costs <2% events/sec when on, nothing when the
+  /// QOPT_PROFILE CMake option compiled the instruments out.
+  bool profile = false;
   std::uint64_t seed = 1;
 };
 

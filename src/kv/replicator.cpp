@@ -3,6 +3,7 @@
 #include "kv/storage_node.hpp"
 #include "kv/types.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span.hpp"
 #include "obs/span_store.hpp"
 #include "sim/ids.hpp"
@@ -30,6 +31,7 @@ void Replicator::start() {
 }
 
 void Replicator::sweep() {
+  QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kReplicator);
   if (!running_) return;
   ++stats_.sweeps;
 

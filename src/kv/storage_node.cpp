@@ -4,6 +4,7 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span.hpp"
 #include "obs/span_store.hpp"
 #include "obs/trace.hpp"
@@ -60,6 +61,7 @@ StorageNodeStats StorageNode::stats() const {
 }
 
 void StorageNode::on_message(const sim::NodeId& from, const Message& msg) {
+  QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kStorage);
   if (crashed_) return;
   std::visit(
       [&](const auto& m) {
@@ -125,6 +127,7 @@ void StorageNode::handle_read(const sim::NodeId& from,
   const ObjectId oid = req.oid;
   const std::uint64_t op_id = req.op_id;
   sim_.at(done, [this, from, oid, op_id, inc = incarnation_] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kStorage);
     if (crashed_ || inc != incarnation_) return;
     ins_.reads_served->inc();
     StorageReadResp resp;
@@ -172,6 +175,7 @@ void StorageNode::handle_write(const sim::NodeId& from,
     spans.close_span(s, done, req.oid, self_.index);
   }
   sim_.at(done, [this, from, req, inc = incarnation_] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kStorage);
     if (crashed_ || inc != incarnation_) return;
     // Apply-or-discard at service completion: newer timestamps win; an older
     // write is discarded but still acknowledged (Section 2.1).
@@ -208,6 +212,7 @@ Time StorageNode::replicate_in(ObjectId oid, const Version& version) {
   const Time done =
       pool_.submit(sim_.now(), service_.write_time(version.size_bytes, rng_));
   sim_.at(done, [this, oid, version, inc = incarnation_] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kStorage);
     if (crashed_ || inc != incarnation_) return;
     auto [it, inserted] = store_.try_emplace(oid, version);
     if (!inserted) {

@@ -5,6 +5,8 @@
 // ACKCONFIRM, NEWEP, ACKNEWEP, NACK, NEWROUND, ROUNDSTATS, NEWTOPK).
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <variant>
 #include <vector>
@@ -194,5 +196,22 @@ using Message =
                  AckNewQuorumMsg, ConfirmMsg, AckConfirmMsg, NewEpochMsg,
                  AckNewEpochMsg, NewRoundMsg, RoundStatsMsg, NewTopKMsg,
                  HeartbeatMsg>;
+
+inline constexpr std::size_t kMessageTypeCount = std::variant_size_v<Message>;
+
+/// Display names in variant-tag order — metadata for the engine profiler's
+/// per-message-type attribution (Cluster injects it into obs, which cannot
+/// include this header). The tag order itself is pinned by qopt_proto's
+/// append-only-evolution rule, so this table only ever grows at the end.
+inline constexpr std::array<const char*, kMessageTypeCount>
+    kMessageTypeNames = {
+        "ClientReadReq",   "ClientReadResp", "ClientWriteReq",
+        "ClientWriteResp", "StorageReadReq", "StorageReadResp",
+        "StorageWriteReq", "StorageWriteResp", "EpochNack",
+        "NewQuorumMsg",    "AckNewQuorumMsg", "ConfirmMsg",
+        "AckConfirmMsg",   "NewEpochMsg",    "AckNewEpochMsg",
+        "NewRoundMsg",     "RoundStatsMsg",  "NewTopKMsg",
+        "HeartbeatMsg",
+};
 
 }  // namespace qopt::kv

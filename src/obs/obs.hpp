@@ -4,6 +4,7 @@
 // stand-alone component tests construct their own and pass a pointer.
 #pragma once
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/span_store.hpp"
 #include "obs/trace.hpp"
@@ -18,12 +19,16 @@ class Observability {
   const Tracer& tracer() const noexcept { return tracer_; }
   SpanStore& spans() noexcept { return spans_; }
   const SpanStore& spans() const noexcept { return spans_; }
+  /// Engine self-profiler (off until enabled; see docs/OBSERVABILITY.md).
+  EngineProfiler& profiler() noexcept { return profiler_; }
+  const EngineProfiler& profiler() const noexcept { return profiler_; }
 
  private:
   // Registry first: the span store mirrors its counters there.
   MetricRegistry registry_;
   Tracer tracer_;
   SpanStore spans_{&registry_};
+  EngineProfiler profiler_;
 };
 
 }  // namespace qopt::obs

@@ -96,6 +96,10 @@ std::string RunReport::to_json() const {
   field(out, "spans_dropped", spans_dropped);
   out.append(",\"instruments\":");
   out.append(instruments.to_json());
+  if (has_profile) {
+    out.append(",\"profile\":");
+    out.append(profile.to_json());
+  }
   out.push_back('}');
   return out;
 }
@@ -187,6 +191,7 @@ std::string RunReport::render() const {
                   static_cast<unsigned long long>(spans_dropped));
     out.append(line);
   }
+  if (has_profile) out.append(profile.render());
   return out;
 }
 

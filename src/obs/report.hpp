@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "util/time.hpp"
 
@@ -79,6 +80,15 @@ struct RunReport {
 
   /// Full registry dump (every per-component instrument, ordered by name).
   Snapshot instruments;
+
+  // ---- engine self-profiler (populated only when profiling was enabled)
+  //
+  // Kept beside the instrument snapshot, not inside it, so that a
+  // profiling-on export differs from a profiling-off export by this section
+  // alone — the byte-identity gate (tests/profiler_test.cpp) clears
+  // `has_profile` and diffs the rest verbatim.
+  ProfileReport profile;
+  bool has_profile = false;
 
   std::uint64_t messages_dropped() const noexcept {
     return dropped_sender_crashed + dropped_receiver_crashed +

@@ -3,6 +3,7 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span.hpp"
 #include "obs/span_store.hpp"
 #include "obs/trace.hpp"
@@ -143,7 +144,10 @@ void Proxy::heartbeat_loop(std::uint64_t gen) {
   if (!heartbeats_paused_) {
     net_.send(self_, hb_target_, kv::HeartbeatMsg{++heartbeat_seq_});
   }
-  sim_.after(hb_interval_, [this, gen] { heartbeat_loop(gen); });
+  sim_.after(hb_interval_, [this, gen] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kProxy);
+    heartbeat_loop(gen);
+  });
 }
 
 // ---------------------------------------------------------------- quorums
@@ -206,6 +210,7 @@ int Proxy::max_read_q_since(std::uint64_t cfno) const {
 // ------------------------------------------------------------- dispatcher
 
 void Proxy::on_message(const sim::NodeId& from, const Message& msg) {
+  QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kProxy);
   if (crashed_) return;
   std::visit(
       [&](const auto& m) {
@@ -244,6 +249,7 @@ void Proxy::handle_client_read(const sim::NodeId& from,
   const obs::SpanContext trace_ctx =
       begin_op_trace(obs::TraceKind::kRead, "read", arrival, ready);
   sim_.at(ready, [this, from, req, arrival, trace_ctx, inc = incarnation_] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kProxy);
     if (crashed_ || inc != incarnation_) {
       obs_->spans().end_trace(trace_ctx, sim_.now());
       return;
@@ -261,6 +267,7 @@ void Proxy::handle_client_write(const sim::NodeId& from,
   const obs::SpanContext trace_ctx =
       begin_op_trace(obs::TraceKind::kWrite, "write", arrival, ready);
   sim_.at(ready, [this, from, req, arrival, trace_ctx, inc = incarnation_] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kProxy);
     if (crashed_ || inc != incarnation_) {
       obs_->spans().end_trace(trace_ctx, sim_.now());
       return;
@@ -438,6 +445,7 @@ void Proxy::arm_fallback(std::uint64_t op_id) {
   //  sent to the remaining replicas until the desired quorum is ensured"
   // (Section 2.1). Rare path, taken mainly under storage failures.
   sim_.after(options_.fallback_timeout, [this, op_id] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kProxy);
     if (crashed_) return;
     auto it = ops_.find(op_id);
     if (it == ops_.end()) return;
@@ -460,6 +468,7 @@ void Proxy::arm_retransmit(std::uint64_t op_id, int attempt) {
   delay *= 1.0 + options_.retry_jitter * (2.0 * rng_.next_double() - 1.0);
   sim_.after(static_cast<Duration>(delay),
              [this, op_id, attempt, inc = incarnation_] {
+               QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kProxy);
                if (crashed_ || inc != incarnation_) return;
                fire_retransmit(op_id, attempt);
              });
@@ -956,6 +965,7 @@ void Proxy::handle_new_round(const sim::NodeId& from,
   for (auto& [oid, counters] : monitored_stats_) counters = ObjCounters{};
   const std::uint64_t round = msg.round;
   sim_.after(msg.window, [this, from, round] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kProxy);
     if (crashed_ || current_round_ != round) return;
     send_round_stats(from, round);
   });

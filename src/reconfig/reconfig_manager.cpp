@@ -2,6 +2,7 @@
 #include "kv/types.hpp"
 #include "kv/wire.hpp"
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "obs/span.hpp"
 #include "obs/span_store.hpp"
 #include "obs/trace.hpp"
@@ -127,6 +128,7 @@ void ReconfigManager::arm_phase_retransmit(int attempt) {
   delay = std::min(delay, kRetryCap);
   const std::uint64_t gen = retry_gen_;
   sim_.after(delay, [this, gen, attempt] {
+    QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kRm);
     if (gen != retry_gen_) return;  // the phase moved on
     resend_phase();
     arm_phase_retransmit(attempt + 1);
@@ -240,6 +242,7 @@ int ReconfigManager::max_read_q(const FullConfig& state) {
 // ------------------------------------------------------------- message i/o
 
 void ReconfigManager::on_message(const sim::NodeId& from, const Message& msg) {
+  QOPT_PROFILE_SCOPE(obs_, obs::ProfSubsystem::kRm);
   std::visit(
       [&](const auto& m) {
         using T = std::decay_t<decltype(m)>;

@@ -21,9 +21,11 @@
 #include <span>
 #include <unordered_map>
 #include <utility>
+#include <variant>
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sim/ids.hpp"
@@ -32,6 +34,15 @@
 #include "util/time.hpp"
 
 namespace qopt::sim {
+
+namespace detail {
+/// Detects std::variant message types so the profiler can count deliveries
+/// per alternative (non-variant payloads skip the per-type table).
+template <typename T>
+inline constexpr bool is_variant_v = false;
+template <typename... Ts>
+inline constexpr bool is_variant_v<std::variant<Ts...>> = true;
+}  // namespace detail
 
 /// One-way link latency: base + uniform jitter in [0, jitter).
 struct LatencyModel {
@@ -250,7 +261,16 @@ class Network {
     // the previous delivery on this link.
     Time deliver_at = sim_.now() + lat;
     auto& last = last_delivery_[{from, to}];
-    if (deliver_at <= last) deliver_at = last + 1;
+    if (deliver_at <= last) {
+      deliver_at = last + 1;
+#if QOPT_PROFILE_ENABLED
+      // Clamp churn feeds the queue-telemetry section: heavy clamping means
+      // the latency model is finer than the link's message rate.
+      if (obs_ && obs_->profiler().enabled()) {
+        obs_->profiler().note_fifo_clamp();
+      }
+#endif
+    }
     last = deliver_at;
     sim_.at(deliver_at, [this, from, to, duplicate, m = msg]() {
       deliver(from, to, m, duplicate);
@@ -259,6 +279,18 @@ class Network {
 
   void deliver(const NodeId& from, const NodeId& to, const M& msg,
                bool duplicate) {
+#if QOPT_PROFILE_ENABLED
+    // Claim the event for the network layer; the component handler invoked
+    // below overrides the claim with its own subsystem (last claim wins),
+    // leaving kNet charged for drops and the delivery machinery itself.
+    obs::EngineProfiler* prof =
+        obs_ != nullptr ? &obs_->profiler() : nullptr;
+    if (prof != nullptr && prof->enabled()) {
+      prof->enter(obs::ProfSubsystem::kNet);
+    } else {
+      prof = nullptr;
+    }
+#endif
     auto it = nodes_.find(to);
     if (it == nodes_.end() || !it->second.handler) {
       ++stats_.messages_dropped;
@@ -290,6 +322,13 @@ class Network {
       ++stats_.duplicates_delivered;
       if (duplicated_) duplicated_->inc();
     }
+#if QOPT_PROFILE_ENABLED
+    if (prof != nullptr) {
+      if constexpr (detail::is_variant_v<M>) {
+        prof->count_message(msg.index());
+      }
+    }
+#endif
     it->second.handler(from, msg);
   }
 

@@ -7,7 +7,12 @@ namespace qopt::sim {
 
 void Simulator::at(Time t, std::function<void()> fn) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  Event ev{t, next_seq_++, std::move(fn)};
+#if QOPT_PROFILE_ENABLED
+  ev.enqueued_at = now_;
+  if (profiler_ && profiler_->enabled()) profiler_->note_schedule();
+#endif
+  queue_.push(std::move(ev));
 }
 
 void Simulator::after(Duration d, std::function<void()> fn) {
@@ -54,7 +59,12 @@ bool Simulator::step() {
     for (std::size_t i = 0; i < staged_.size(); ++i) {
       // Unchosen events keep their original (time, seq), so removing the
       // chooser restores the canonical order for everything still queued.
-      if (i != pick) queue_.push(std::move(staged_[i]));
+      if (i != pick) {
+        queue_.push(std::move(staged_[i]));
+#if QOPT_PROFILE_ENABLED
+        if (profiler_ && profiler_->enabled()) profiler_->note_requeue();
+#endif
+      }
     }
     staged_.clear();
   }
@@ -62,7 +72,14 @@ bool Simulator::step() {
   // event's time (delivery was delayed; the clock never rewinds).
   if (ev.time > now_) now_ = ev.time;
   ++processed_;
+#if QOPT_PROFILE_ENABLED
+  const bool profiled = profiler_ && profiler_->enabled();
+  if (profiled) profiler_->begin_event(now_, ev.enqueued_at, queue_.size());
+#endif
   ev.fn();
+#if QOPT_PROFILE_ENABLED
+  if (profiled) profiler_->end_event();
+#endif
   return true;
 }
 

@@ -12,6 +12,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/profiler.hpp"
 #include "util/time.hpp"
 
 namespace qopt::sim {
@@ -42,6 +43,18 @@ class Simulator {
   std::size_t pending() const noexcept { return queue_.size(); }
   std::uint64_t events_processed() const noexcept { return processed_; }
 
+  /// Attaches the engine self-profiler (owned by the obs bundle; Cluster
+  /// wires it). Null detaches. Every hook call compiles away under
+  /// QOPT_PROFILE=OFF, and a bound-but-disabled profiler costs one branch
+  /// per event.
+  void bind_profiler(obs::EngineProfiler* profiler) noexcept {
+#if QOPT_PROFILE_ENABLED
+    profiler_ = profiler;
+#else
+    (void)profiler;
+#endif
+  }
+
   // ---------------------------------------------------- schedule override
   //
   // Hook for exhaustive small-scope interleaving exploration (see
@@ -69,6 +82,9 @@ class Simulator {
     Time time;
     std::uint64_t seq;
     std::function<void()> fn;
+#if QOPT_PROFILE_ENABLED
+    Time enqueued_at = 0;  // virtual instant at() staged it (dwell telemetry)
+#endif
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const noexcept {
@@ -89,6 +105,9 @@ class Simulator {
   ScheduleChooser chooser_;
   std::size_t chooser_window_ = 0;
   std::vector<Event> staged_;  // scratch reused across chooser steps
+#if QOPT_PROFILE_ENABLED
+  obs::EngineProfiler* profiler_ = nullptr;
+#endif
 };
 
 }  // namespace qopt::sim
