@@ -45,6 +45,8 @@ void usage() {
       "            --object-bytes N  (default 4096)\n"
       "topology:   --storage N --proxies N --clients-per-proxy N\n"
       "            --replication N   (default 5)\n"
+      "            --rm-replicas N   (replicated RM with leader failover;\n"
+      "                               default 1 = single RM)\n"
       "quorum:     --read-q N --write-q N   (static; default 3/3)\n"
       "            --autotune [--round-window S] [--topk N]\n"
       "            --strategy-optimizer  (autotune with the quoracle-style\n"
@@ -68,6 +70,9 @@ void usage() {
       "            --nemesis [--nemesis-interval MS]  (chaos schedule)\n"
       "            --nemesis-partitions  (adds partition/loss-burst/restart\n"
       "                                   events to the --nemesis schedule)\n"
+      "            --nemesis-rm  (adds RM-leader crash/partition events to\n"
+      "                           the --nemesis schedule; needs\n"
+      "                           --rm-replicas >= 3)\n"
       "network:    --net-loss P   (per-message drop probability, [0,1])\n"
       "            --net-dup P    (per-message duplication probability)\n"
       "            --retry-budget N   (proxy retransmit rounds; default 6,\n"
@@ -147,6 +152,8 @@ int main(int argc, char** argv) {
   config.clients_per_proxy =
       static_cast<std::uint32_t>(flags.get_int("clients-per-proxy", 10));
   config.replication = static_cast<int>(flags.get_int("replication", 5));
+  config.rm_replicas =
+      static_cast<std::uint32_t>(flags.get_int("rm-replicas", 1));
   config.initial_quorum =
       kv::QuorumConfig::of(static_cast<int>(flags.get_int("read-q", 3)),
                            static_cast<int>(flags.get_int("write-q", 3)));
@@ -178,6 +185,12 @@ int main(int argc, char** argv) {
   // retransmit of its own — the client's proxy-failover timer is the
   // at-least-once layer there. Default it on whenever links can drop.
   const bool nemesis_partitions = flags.get_bool("nemesis-partitions", false);
+  const bool nemesis_rm = flags.get_bool("nemesis-rm", false);
+  if (nemesis_rm && config.rm_replicas < 3) {
+    std::fprintf(stderr, "--nemesis-rm needs --rm-replicas >= 3 (a single "
+                         "RM fault must leave a live majority)\n");
+    return 2;
+  }
   const bool lossy = config.net_loss > 0 || nemesis_partitions;
   config.client_retry_timeout =
       milliseconds(flags.get_int("client-retry", lossy ? 1000 : 0));
@@ -257,7 +270,7 @@ int main(int argc, char** argv) {
   if (flags.get_bool("anti-entropy", false)) cluster.enable_anti_entropy();
 
   std::unique_ptr<Nemesis> nemesis;
-  if (flags.get_bool("nemesis", false) || nemesis_partitions) {
+  if (flags.get_bool("nemesis", false) || nemesis_partitions || nemesis_rm) {
     NemesisOptions chaos;
     chaos.mean_interval =
         milliseconds(flags.get_int("nemesis-interval", 500));
@@ -266,6 +279,10 @@ int main(int argc, char** argv) {
       chaos.partition = 1.0;
       chaos.loss_burst = 1.0;
       chaos.restart = 2.0;  // recover what the schedule crashes
+    }
+    if (nemesis_rm) {
+      chaos.rm_crash = 1.0;
+      chaos.rm_partition = 1.0;
     }
     nemesis = std::make_unique<Nemesis>(cluster, chaos);
     nemesis->start();

@@ -13,6 +13,7 @@
 #include "oracle/oracle.hpp"
 #include "proxy/proxy.hpp"
 #include "reconfig/reconfig_manager.hpp"
+#include "reconfig/replicated_rm.hpp"
 #include "sim/heartbeat.hpp"
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
@@ -115,13 +116,35 @@ Cluster::Cluster(const ClusterConfig& config)
   for (std::uint32_t i = 0; i < config_.num_storage; ++i) {
     storage_ids.push_back(sim::storage_id(i));
   }
-  rm_ = std::make_unique<reconfig::ReconfigManager>(
-      sim_, net_, sim::rm_id(), fd_, proxy_ids, storage_ids,
-      config_.initial_quorum, config_.replication, &obs_);
-  net_.register_node(sim::rm_id(), [this](const sim::NodeId& from,
-                                          const kv::Message& msg) {
-    handle_rm_message(from, msg);
-  });
+  if (config_.rm_replicas > 1) {
+    // Replicated control plane: one ReconfigManager per RM replica over a
+    // private SMR log; only the leader-role holder drives phases. Proxies
+    // and storages keep addressing "the RM" — whichever replica's inbox a
+    // reply lands on, ReplicatedRm gates it by the leader role.
+    reconfig::ReplicatedRmOptions rm_options;
+    rm_options.replicas = config_.rm_replicas;
+    rm_options.network = config_.network;
+    rm_options.fd_detection_delay = config_.rm_fd_detection_delay;
+    rm_options.seed = mix64(config_.seed ^ 0x524D726D);
+    rrm_ = std::make_unique<reconfig::ReplicatedRm>(
+        sim_, net_, fd_, proxy_ids, storage_ids, config_.initial_quorum,
+        config_.replication, rm_options, &obs_);
+    for (std::uint32_t i = 0; i < config_.rm_replicas; ++i) {
+      net_.register_node(sim::rm_replica_id(i),
+                         [this, i](const sim::NodeId& from,
+                                   const kv::Message& msg) {
+                           handle_rm_replica_message(i, from, msg);
+                         });
+    }
+  } else {
+    rm_ = std::make_unique<reconfig::ReconfigManager>(
+        sim_, net_, sim::rm_id(), fd_, proxy_ids, storage_ids,
+        config_.initial_quorum, config_.replication, &obs_);
+    net_.register_node(sim::rm_id(), [this](const sim::NodeId& from,
+                                            const kv::Message& msg) {
+      handle_rm_message(from, msg);
+    });
+  }
 
   if (config_.heartbeat_fd) {
     heartbeat_watcher_ = std::make_unique<sim::HeartbeatWatcher>(
@@ -129,8 +152,23 @@ Cluster::Cluster(const ClusterConfig& config)
         config_.heartbeat_interval);
     heartbeat_watcher_->start();
     for (auto& proxy : proxies_) {
+      // rm_replica_id(0) == rm_id(), so both modes start beating at the
+      // initial leader; failovers retarget through the hook below.
       proxy->enable_heartbeats(sim::rm_id(), config_.heartbeat_interval);
     }
+  }
+  if (rrm_) {
+    rrm_->set_leader_change_hook([this](std::uint32_t leader) {
+      if (obs_.tracer().enabled(obs::Category::kMembership)) {
+        obs_.tracer().record(sim_.now(), obs::Category::kMembership,
+                             "rm_leader", sim::to_string(
+                                 sim::rm_replica_id(leader)));
+      }
+      if (!config_.heartbeat_fd) return;
+      for (auto& proxy : proxies_) {
+        proxy->set_heartbeat_target(sim::rm_replica_id(leader));
+      }
+    });
   }
 
   // ---- clients (closed loop, statically bound to proxies)
@@ -168,6 +206,17 @@ void Cluster::handle_rm_message(const sim::NodeId& from,
     return;
   }
   rm_->on_message(from, msg);
+}
+
+void Cluster::handle_rm_replica_message(std::uint32_t replica,
+                                        const sim::NodeId& from,
+                                        const kv::Message& msg) {
+  QOPT_PROFILE_SCOPE(&obs_, obs::ProfSubsystem::kRm);
+  if (std::holds_alternative<kv::HeartbeatMsg>(msg)) {
+    if (heartbeat_watcher_) heartbeat_watcher_->beat(from);
+    return;
+  }
+  rrm_->on_message(replica, from, msg);
 }
 
 void Cluster::preload(std::uint64_t count, std::uint64_t size_bytes,
@@ -225,7 +274,7 @@ void Cluster::reconfigure(kv::QuorumConfig quorum,
   kv::QuorumChange change;
   change.is_global = true;
   change.global = quorum;
-  rm_->change_configuration(std::move(change), std::move(done));
+  rm().change_configuration(std::move(change), std::move(done));
 }
 
 void Cluster::reconfigure_strategy(kv::QuorumStrategy strategy,
@@ -233,7 +282,7 @@ void Cluster::reconfigure_strategy(kv::QuorumStrategy strategy,
   kv::QuorumChange change;
   change.is_global = true;
   change.global = std::move(strategy);
-  rm_->change_configuration(std::move(change), std::move(done));
+  rm().change_configuration(std::move(change), std::move(done));
 }
 
 void Cluster::reconfigure_objects(
@@ -242,7 +291,7 @@ void Cluster::reconfigure_objects(
   kv::QuorumChange change;
   change.is_global = false;
   change.overrides.assign(overrides.begin(), overrides.end());
-  rm_->change_configuration(std::move(change), std::move(done));
+  rm().change_configuration(std::move(change), std::move(done));
 }
 
 void Cluster::enable_autotuning(const autonomic::AutonomicOptions& options,
@@ -254,8 +303,12 @@ void Cluster::enable_autotuning(const autonomic::AutonomicOptions& options,
   for (std::uint32_t i = 0; i < config_.num_proxies; ++i) {
     proxy_ids.push_back(sim::proxy_id(i));
   }
+  // In replicated mode the AM binds to replica 0's manager: reads see that
+  // replica's committed state, and writes reroute through the replicated
+  // request hook to whichever replica currently leads.
+  reconfig::ReconfigManager& am_rm = rrm_ ? rrm_->rm(0) : *rm_;
   am_ = std::make_unique<autonomic::AutonomicManager>(
-      sim_, net_, sim::am_id(), fd_, *rm_, *oracle_, proxy_ids,
+      sim_, net_, sim::am_id(), fd_, am_rm, *oracle_, proxy_ids,
       config_.replication, options, &obs_);
   net_.register_node(sim::am_id(), [this](const sim::NodeId& from,
                                           const kv::Message& msg) {
@@ -324,6 +377,43 @@ void Cluster::inject_false_suspicion(std::uint32_t proxy_index,
   fd_.inject_false_suspicion(sim::proxy_id(proxy_index), duration);
 }
 
+void Cluster::crash_rm(std::uint32_t index) {
+  if (!rrm_ || rrm_->replica_crashed(index)) return;
+  rrm_->crash_replica(index);
+  if (obs_.tracer().enabled(obs::Category::kMembership)) {
+    obs_.tracer().record(sim_.now(), obs::Category::kMembership, "crash",
+                         sim::to_string(sim::rm_replica_id(index)));
+  }
+}
+
+void Cluster::restart_rm(std::uint32_t index) {
+  if (!rrm_ || !rrm_->replica_crashed(index)) return;
+  rrm_->restart_replica(index);
+  if (obs_.tracer().enabled(obs::Category::kMembership)) {
+    obs_.tracer().record(sim_.now(), obs::Category::kMembership, "restart",
+                         sim::to_string(sim::rm_replica_id(index)));
+  }
+}
+
+std::uint64_t Cluster::isolate_rm(std::uint32_t index) {
+  if (!rrm_) return 0;
+  // Both planes: the kv network (proxy acks, NEWEP traffic) and the group's
+  // private replication network (log entries, leadership).
+  const std::uint64_t kv_partition = isolate({sim::rm_replica_id(index)});
+  const std::uint64_t smr_partition = rrm_->partition_replica(index);
+  const std::uint64_t handle = ++rm_partition_seq_;
+  rm_partitions_[handle] = RmPartition{index, kv_partition, smr_partition};
+  return handle;
+}
+
+void Cluster::heal_rm_partition(std::uint64_t handle) {
+  auto it = rm_partitions_.find(handle);
+  if (it == rm_partitions_.end()) return;
+  heal_partition(it->second.kv_partition);
+  rrm_->heal_replica_partition(it->second.replica, it->second.smr_partition);
+  rm_partitions_.erase(it);
+}
+
 std::uint64_t Cluster::isolate(const std::vector<sim::NodeId>& nodes,
                                bool symmetric) {
   // Rest-of-world side: every node the cluster wired up that is not in the
@@ -347,7 +437,13 @@ std::uint64_t Cluster::isolate(const std::vector<sim::NodeId>& nodes,
   for (std::uint32_t i = 0; i < clients_.size(); ++i) {
     add_if_outside(sim::client_id(i));
   }
-  add_if_outside(sim::rm_id());
+  if (config_.rm_replicas > 1) {
+    for (std::uint32_t i = 0; i < config_.rm_replicas; ++i) {
+      add_if_outside(sim::rm_replica_id(i));
+    }
+  } else {
+    add_if_outside(sim::rm_id());
+  }
   add_if_outside(sim::am_id());
   const std::uint64_t id = net_.add_partition(nodes, rest, symmetric);
   if (obs_.tracer().enabled(obs::Category::kMembership)) {
@@ -411,7 +507,7 @@ obs::RunReport Cluster::report(Time t0, Time t1) const {
     r.throughput_timeline.push_back(metrics_.throughput(t, t + seconds(1)));
   }
 
-  const kv::FullConfig& canonical = rm_->config();
+  const kv::FullConfig& canonical = rm().config();
   r.default_read_q = canonical.default_q.read_footprint();
   r.default_write_q = canonical.default_q.write_footprint();
   r.override_count = canonical.overrides.size();
@@ -442,6 +538,14 @@ obs::RunReport Cluster::report(Time t0, Time t1) const {
 
   r.traces_completed = reg.counter_value("obs.traces_completed");
   r.spans_dropped = reg.counter_value("obs.spans_dropped");
+
+  if (rrm_) {
+    r.has_rm_failover = true;
+    r.rm_replicas = config_.rm_replicas;
+    r.rm_leader_changes = reg.counter_value("rm.leader_changes");
+    r.rm_rounds_resumed = reg.counter_value("rm.rounds_resumed");
+    r.rm_stale_leader_msgs = reg.counter_value("rm.stale_leader_msgs_ignored");
+  }
 
   r.instruments = reg.snapshot();
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "autonomic/autonomic_manager.hpp"
@@ -37,6 +38,7 @@
 #include "oracle/oracle.hpp"
 #include "proxy/proxy.hpp"
 #include "reconfig/reconfig_manager.hpp"
+#include "reconfig/replicated_rm.hpp"
 #include "sim/failure_detector.hpp"
 #include "sim/heartbeat.hpp"
 #include "sim/ids.hpp"
@@ -71,6 +73,15 @@ struct ClusterConfig {
   Duration net_delay_spike = milliseconds(50);  // extra latency per spike
   proxy::ProxyOptions proxy;  // `initial` is overwritten by initial_quorum
   Duration fd_detection_delay = milliseconds(500);
+  /// > 1 replicates the Reconfiguration Manager: that many RM replicas run
+  /// over a private SMR log, the leader role fails over on crashes and
+  /// partitions (crash_rm / isolate_rm, nemesis rm_crash / rm_partition).
+  /// 1 (default) keeps the paper's single logically-centralized RM — the
+  /// two deployments are byte-identical when no RM faults are injected.
+  std::uint32_t rm_replicas = 1;
+  /// Detection delay of the RM group's private failure detector — the RM
+  /// failover reaction time. Only meaningful when rm_replicas > 1.
+  Duration rm_fd_detection_delay = milliseconds(300);
   /// When set, suspicion of proxies is derived from heartbeat traffic over
   /// the simulated network instead of the omniscient oracle: crash_proxy()
   /// stops the beats and the watcher suspects the proxy organically.
@@ -174,6 +185,17 @@ class Cluster {
   void restart_storage(std::uint32_t index);
   void inject_false_suspicion(std::uint32_t proxy_index, Duration duration);
 
+  /// RM-replica faults (no-ops unless rm_replicas > 1). Crashing the
+  /// current leader deposes it; the next caught-up replica resumes any
+  /// in-flight reconfiguration from the replicated log.
+  void crash_rm(std::uint32_t index);
+  void restart_rm(std::uint32_t index);
+  /// Isolates RM replica `index` on both planes (kv network and the group's
+  /// private replication network). Returns a handle for heal_rm_partition();
+  /// 0 in single-RM mode (nothing isolated).
+  std::uint64_t isolate_rm(std::uint32_t index);
+  void heal_rm_partition(std::uint64_t handle);
+
   /// Partitions `nodes` away from every other node in the cluster (one-way
   /// when `symmetric` is false: the isolated side cannot reach out, but
   /// still receives). Returns an id for heal_partition().
@@ -199,7 +221,16 @@ class Cluster {
   const Metrics& metrics() const noexcept { return metrics_; }
   ConsistencyChecker& checker() noexcept { return checker_; }
   const ConsistencyChecker& checker() const noexcept { return checker_; }
-  reconfig::ReconfigManager& rm() noexcept { return *rm_; }
+  /// The authoritative RM view: the single instance, or (replicated mode)
+  /// the current leader replica's manager.
+  reconfig::ReconfigManager& rm() noexcept {
+    return rm_ ? *rm_ : rrm_->leader_rm();
+  }
+  const reconfig::ReconfigManager& rm() const noexcept {
+    return rm_ ? *rm_ : rrm_->leader_rm();
+  }
+  /// Replicated control plane; null when rm_replicas <= 1.
+  reconfig::ReplicatedRm* replicated_rm() noexcept { return rrm_.get(); }
   autonomic::AutonomicManager* am() noexcept { return am_.get(); }
   proxy::Proxy& proxy(std::uint32_t i) { return *proxies_.at(i); }
   kv::StorageNode& storage(std::uint32_t i) { return *storage_.at(i); }
@@ -222,6 +253,11 @@ class Cluster {
   /// The RM's wire inbox: routes heartbeats to the watcher, protocol
   /// messages to the ReconfigManager (see docs/PROTOCOL.toml).
   void handle_rm_message(const sim::NodeId& from, const kv::Message& msg);
+  /// Replicated-mode inbox of RM replica `replica` (same routing, with
+  /// leader-role gating inside ReplicatedRm).
+  void handle_rm_replica_message(std::uint32_t replica,
+                                 const sim::NodeId& from,
+                                 const kv::Message& msg);
 
   ClusterConfig config_;
   // Declared before every component: they cache pointers into the registry,
@@ -238,7 +274,17 @@ class Cluster {
   std::vector<std::unique_ptr<kv::StorageNode>> storage_;
   std::vector<std::unique_ptr<proxy::Proxy>> proxies_;
   std::vector<std::unique_ptr<Client>> clients_;
-  std::unique_ptr<reconfig::ReconfigManager> rm_;
+  std::unique_ptr<reconfig::ReconfigManager> rm_;   // single-RM mode
+  std::unique_ptr<reconfig::ReplicatedRm> rrm_;     // rm_replicas > 1
+  /// isolate_rm() handle -> (replica, kv-plane partition, smr-plane
+  /// partition), so a heal reconnects both planes.
+  struct RmPartition {
+    std::uint32_t replica;
+    std::uint64_t kv_partition;
+    std::uint64_t smr_partition;
+  };
+  std::unordered_map<std::uint64_t, RmPartition> rm_partitions_;
+  std::uint64_t rm_partition_seq_ = 0;
   std::unique_ptr<autonomic::AutonomicManager> am_;
   std::shared_ptr<oracle::Oracle> oracle_;
   std::unique_ptr<kv::Replicator> replicator_;

@@ -24,6 +24,8 @@ Nemesis::Nemesis(Cluster& cluster, const NemesisOptions& options)
   ins_.heals = &reg.counter("nemesis.heals");
   ins_.loss_bursts = &reg.counter("nemesis.loss_bursts");
   ins_.restarts = &reg.counter("nemesis.restarts");
+  ins_.rm_crashes = &reg.counter("nemesis.rm_crashes");
+  ins_.rm_partitions = &reg.counter("nemesis.rm_partitions");
 }
 
 void Nemesis::start() {
@@ -97,9 +99,15 @@ void Nemesis::fire() {
       max_quorum_dimension(cluster_.rm().config()) <=
           cluster_.config().replication - storage_unavailable - 1;
   const bool can_restart = proxies_crashed_ > 0 || storage_crashed_ > 0;
+  // An RM fault needs a replicated RM with at least 3 replicas (one outage
+  // leaves the SMR group a live majority); one outage at a time keeps that
+  // invariant under the auto-heal that follows every injection.
+  const bool can_fault_rm = !rm_fault_active_ &&
+                            cluster_.replicated_rm() != nullptr &&
+                            cluster_.config().rm_replicas >= 3;
   // New kinds are appended with zero default weights: a legacy options
   // struct draws the exact same event sequence as before they existed.
-  const std::array<Choice, 9> choices = {{
+  const std::array<Choice, 11> choices = {{
       {options_.reconfigure, 0},
       {options_.per_object_reconfigure, 1},
       {options_.false_suspicion, 2},
@@ -109,6 +117,8 @@ void Nemesis::fire() {
       {can_partition ? options_.partition : 0.0, 6},
       {burst_active_ ? 0.0 : options_.loss_burst, 7},
       {can_restart ? options_.restart : 0.0, 8},
+      {can_fault_rm ? options_.rm_crash : 0.0, 9},
+      {can_fault_rm ? options_.rm_partition : 0.0, 10},
   }};
   double total = 0;
   for (const Choice& choice : choices) total += choice.weight;
@@ -277,6 +287,42 @@ void Nemesis::fire() {
           }
         }
       }
+      break;
+    }
+    case 9: {
+      // Crash the current RM leader mid-whatever-it-is-doing; the next
+      // caught-up replica resumes any in-flight round from the replicated
+      // log. Restart after a bounded hold so the group regains full size.
+      ++stats_.rm_crashes;
+      ins_.rm_crashes->inc();
+      rm_fault_active_ = true;
+      const std::uint32_t victim = cluster_.replicated_rm()->leader();
+      cluster_.crash_rm(victim);
+      const auto hold = 1 + static_cast<Duration>(rng_.next_below(
+                            static_cast<std::uint64_t>(
+                                options_.max_rm_outage)));
+      cluster_.simulator().after(hold, [this, victim] {
+        cluster_.restart_rm(victim);
+        rm_fault_active_ = false;
+      });
+      break;
+    }
+    case 10: {
+      // Isolate the RM leader on both planes (kv and the replication
+      // network): it keeps driving into the void until the group deposes
+      // it, exercising the stale-leader guards. Heal after a bounded hold.
+      ++stats_.rm_partitions;
+      ins_.rm_partitions->inc();
+      rm_fault_active_ = true;
+      const std::uint32_t victim = cluster_.replicated_rm()->leader();
+      const std::uint64_t handle = cluster_.isolate_rm(victim);
+      const auto hold = 1 + static_cast<Duration>(rng_.next_below(
+                            static_cast<std::uint64_t>(
+                                options_.max_rm_outage)));
+      cluster_.simulator().after(hold, [this, handle] {
+        cluster_.heal_rm_partition(handle);
+        rm_fault_active_ = false;
+      });
       break;
     }
     default:

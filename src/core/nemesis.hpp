@@ -31,6 +31,10 @@ struct NemesisOptions {
   double partition = 0.0;   // isolate one storage node, heal later
   double loss_burst = 0.0;  // temporarily raise the link-loss rate
   double restart = 0.0;     // recover a previously crashed node
+  // RM-failover events (default 0; need a replicated RM and rm_replicas >= 3
+  // so a single fault leaves the SMR group a live majority).
+  double rm_crash = 0.0;      // crash the RM leader, restart after a hold
+  double rm_partition = 0.0;  // isolate the RM leader, heal after a hold
   // Bounds preserving liveness: crashed storage shrinks the quorum range
   // the nemesis installs (W and R both kept <= N - crashed_storage).
   std::uint32_t max_proxy_crashes = 1;
@@ -38,6 +42,7 @@ struct NemesisOptions {
   Duration max_suspicion = seconds(2);
   Duration max_partition = seconds(2);
   Duration max_loss_burst = seconds(1);
+  Duration max_rm_outage = seconds(2);  // RM crash/partition hold bound
   double burst_loss = 0.05;  // loss rate during a burst
   std::uint64_t seed = 1;
 };
@@ -55,10 +60,13 @@ struct NemesisStats {
   std::uint64_t heals = 0;  // partition heals (trails `partitions` by <= 1)
   std::uint64_t loss_bursts = 0;
   std::uint64_t restarts = 0;
+  std::uint64_t rm_crashes = 0;
+  std::uint64_t rm_partitions = 0;
   std::uint64_t total() const {
     return reconfigurations + per_object_reconfigurations +
            false_suspicions + heartbeat_pauses + proxy_crashes +
-           storage_crashes + partitions + loss_bursts + restarts;
+           storage_crashes + partitions + loss_bursts + restarts +
+           rm_crashes + rm_partitions;
   }
 };
 
@@ -84,6 +92,7 @@ class Nemesis {
   std::uint32_t storage_crashed_ = 0;
   bool partition_active_ = false;
   bool burst_active_ = false;
+  bool rm_fault_active_ = false;  // one RM outage at a time keeps a majority
 
   // Mirrors of stats_ in the cluster's metric registry (`nemesis.*`), so
   // chaos schedules appear in RunReport snapshots alongside everything else.
@@ -98,6 +107,8 @@ class Nemesis {
     obs::Counter* heals = nullptr;
     obs::Counter* loss_bursts = nullptr;
     obs::Counter* restarts = nullptr;
+    obs::Counter* rm_crashes = nullptr;
+    obs::Counter* rm_partitions = nullptr;
   };
   Instruments ins_;
 };

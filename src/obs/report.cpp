@@ -94,6 +94,12 @@ std::string RunReport::to_json() const {
   field(out, "consistency_violations", consistency_violations);
   field(out, "traces_completed", traces_completed);
   field(out, "spans_dropped", spans_dropped);
+  if (has_rm_failover) {
+    field(out, "rm_replicas", rm_replicas);
+    field(out, "rm_leader_changes", rm_leader_changes);
+    field(out, "rm_rounds_resumed", rm_rounds_resumed);
+    field(out, "rm_stale_leader_msgs", rm_stale_leader_msgs);
+  }
   out.append(",\"instruments\":");
   out.append(instruments.to_json());
   if (has_profile) {
@@ -191,6 +197,16 @@ std::string RunReport::render() const {
                   static_cast<unsigned long long>(spans_dropped));
     out.append(line);
   }
+  if (has_rm_failover) {
+    std::snprintf(line, sizeof(line),
+                  "rm failover         %llu replicas, %llu leader changes, "
+                  "%llu rounds resumed, %llu stale-leader msgs\n",
+                  static_cast<unsigned long long>(rm_replicas),
+                  static_cast<unsigned long long>(rm_leader_changes),
+                  static_cast<unsigned long long>(rm_rounds_resumed),
+                  static_cast<unsigned long long>(rm_stale_leader_msgs));
+    out.append(line);
+  }
   if (has_profile) out.append(profile.render());
   return out;
 }
@@ -200,7 +216,8 @@ std::string RunReport::csv_header() {
   // directions, in that order.
   return "ops_s,ops,reads,writes,read_p50_ms,read_p95_ms,read_p99_ms,"
          "write_p50_ms,write_p95_ms,write_p99_ms,read_q,write_q,overrides,"
-         "reconfigs,epoch_changes,messages_sent,messages_dropped,violations";
+         "reconfigs,epoch_changes,messages_sent,messages_dropped,violations,"
+         "rm_leader_changes,rm_rounds_resumed,rm_stale_leader_msgs";
 }
 
 std::string RunReport::csv_row() const {
@@ -240,6 +257,12 @@ std::string RunReport::csv_row() const {
   out.append(std::to_string(messages_dropped()));
   out.push_back(',');
   out.append(std::to_string(consistency_violations));
+  out.push_back(',');
+  out.append(std::to_string(rm_leader_changes));
+  out.push_back(',');
+  out.append(std::to_string(rm_rounds_resumed));
+  out.push_back(',');
+  out.append(std::to_string(rm_stale_leader_msgs));
   return out;
 }
 

@@ -78,6 +78,14 @@ struct RunReport {
   std::uint64_t traces_completed = 0;
   std::uint64_t spans_dropped = 0;
 
+  // ---- replicated RM failover (populated only when rm_replicas > 1; the
+  // gate keeps single-RM exports byte-identical to the pre-replication era)
+  std::uint64_t rm_replicas = 0;
+  std::uint64_t rm_leader_changes = 0;
+  std::uint64_t rm_rounds_resumed = 0;
+  std::uint64_t rm_stale_leader_msgs = 0;
+  bool has_rm_failover = false;
+
   /// Full registry dump (every per-component instrument, ordered by name).
   Snapshot instruments;
 

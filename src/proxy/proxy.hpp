@@ -138,6 +138,9 @@ class Proxy {
   /// (tests use pausing to provoke organic false suspicions).
   void enable_heartbeats(sim::NodeId target, Duration interval);
   void set_heartbeats_paused(bool paused) { heartbeats_paused_ = paused; }
+  /// Redirects the beats (RM leader failover); the running loop picks the
+  /// new target up on its next tick.
+  void set_heartbeat_target(sim::NodeId target) { hb_target_ = target; }
 
   // ------------------------------------------------------------ inspection
   std::uint64_t epoch() const noexcept { return lepno_; }

@@ -10,6 +10,7 @@
 #include "sim/failure_detector.hpp"
 #include "sim/ids.hpp"
 #include "sim/simulator.hpp"
+#include "smr/messages.hpp"
 #include "util/time.hpp"
 
 #include <algorithm>
@@ -92,6 +93,12 @@ const kv::QuorumStrategy& ReconfigManager::quorum_for(kv::ObjectId oid) const {
 
 void ReconfigManager::change_configuration(QuorumChange change,
                                            DoneCallback done) {
+  // Replicated deployments intercept here: the request is validated once and
+  // replicated through the current leader, whichever replica it entered at.
+  if (request_hook_) {
+    request_hook_(std::move(change), std::move(done));
+    return;
+  }
   if (!kv::validate_change(change, replication_)) {
     ins_.rejected_invalid->inc();
     if (done) done(false);
@@ -102,9 +109,12 @@ void ReconfigManager::change_configuration(QuorumChange change,
 }
 
 void ReconfigManager::start_next() {
-  if (queue_.empty() || phase_ != Phase::kIdle) return;
-  current_ = std::move(queue_.front());
-  queue_.pop_front();
+  if (queue_.empty() || phase_ != Phase::kIdle || !leader_active_) return;
+  // The head stays queued until its commit is decided; the driving copy
+  // carries no completion callback (the commit-apply path fires the one at
+  // the queue head), so an abandoned round loses nothing.
+  const Request& head = queue_.front();
+  current_ = Request{head.change, {}, head.origin, head.seq};
   current_cfno_ = canonical_.cfno + 1;
   started_at_ = sim_.now();
   acked_proxies_.clear();
@@ -172,6 +182,7 @@ void ReconfigManager::resend_phase() {
       }
       break;
     }
+    case Phase::kCommitWait:
     case Phase::kIdle:
       break;  // unreachable: the generation guard kills idle timers
   }
@@ -180,11 +191,16 @@ void ReconfigManager::resend_phase() {
 // ------------------------------------------------------------- state views
 
 FullConfig ReconfigManager::post_change_state() const {
+  return post_change_state_for(current_.change, current_cfno_);
+}
+
+FullConfig ReconfigManager::post_change_state_for(const QuorumChange& change,
+                                                  std::uint64_t cfno) const {
   FullConfig state = canonical_;
-  if (current_.change.is_global) {
-    state.default_q = current_.change.global;
+  if (change.is_global) {
+    state.default_q = change.global;
   } else {
-    for (const auto& [oid, q] : current_.change.overrides) {
+    for (const auto& [oid, q] : change.overrides) {
       bool replaced = false;
       for (auto& [existing_oid, existing_q] : state.overrides) {
         if (existing_oid == oid) {
@@ -196,8 +212,8 @@ FullConfig ReconfigManager::post_change_state() const {
       if (!replaced) state.overrides.emplace_back(oid, q);
     }
   }
-  state.cfno = current_cfno_;
-  state.read_q_history.emplace_back(current_cfno_, max_read_q(state));
+  state.cfno = cfno;
+  state.read_q_history.emplace_back(cfno, max_read_q(state));
   return state;
 }
 
@@ -358,18 +374,29 @@ void ReconfigManager::begin_epoch_change(bool after_phase1) {
   }
   epoch_quorum_needed_ =
       max_quorum_dimension(after_phase1 ? canonical_ : payload);
+  epoch_payload_ = payload;
 
-  canonical_.epno += 1;  // epochs are totally ordered RM-local counters
-  ins_.epoch->set(static_cast<double>(canonical_.epno));
+  // The epoch bump is a canonical-state decision: replicate it so epochs
+  // stay totally ordered across RM leader failovers. The broadcast follows
+  // in drive_epoch_broadcast() once the bump is decided (inline in classic
+  // single-instance mode). Kill the previous phase's retransmit timer so it
+  // cannot resend a NEWEP payload carrying a pre-decision epoch.
+  ++retry_gen_;
+  log_submit(smr::RmLogKind::kEpoch);
+}
+
+void ReconfigManager::drive_epoch_broadcast() {
   trace(obs::Category::kReconfig, "rm_epoch_change", canonical_.epno,
         current_cfno_);
   begin_phase_span(obs::Phase::kRmEpoch, "rm_epoch_change");
-  FullConfig msg_config = payload;
-  msg_config.epno = canonical_.epno;
-  epoch_payload_ = msg_config;
+  epoch_payload_.epno = canonical_.epno;
+  // A re-drive (new leader, or a second decided bump landing while this
+  // phase waits) restarts the acknowledgement tally: acks are only valid
+  // against the epoch they echo.
+  acked_storage_.clear();
   for (const sim::NodeId& storage : storages_) {
     net_.send(self_, storage,
-              kv::NewEpochMsg{msg_config, phase_span_});
+              kv::NewEpochMsg{epoch_payload_, phase_span_});
   }
   ++retry_gen_;
   arm_phase_retransmit(0);
@@ -389,18 +416,128 @@ void ReconfigManager::handle_epoch_ack(const sim::NodeId& from,
 }
 
 void ReconfigManager::commit() {
-  FullConfig next = post_change_state();
+  // The phase protocol is done; whether the round takes effect is now a
+  // replicated-log decision. kCommitWait fences late ACKCONFIRM / ACKNEWEP
+  // arrivals from re-triggering a second submission.
+  phase_ = Phase::kCommitWait;
+  ++retry_gen_;  // the decided round needs no more phase retransmits
+  log_submit(smr::RmLogKind::kCommit);
+}
+
+// --------------------------------------------------- replicated-log plumbing
+
+void ReconfigManager::log_submit(smr::RmLogKind kind) {
+  smr::Command entry;
+  entry.kind = kind;
+  entry.cfno = current_cfno_;
+  entry.origin = current_.origin;
+  entry.seq = current_.seq;
+  if (kind == smr::RmLogKind::kCommit) entry.change = current_.change;
+  if (sink_) {
+    sink_(std::move(entry));
+  } else {
+    apply_entry(entry);  // classic single-instance mode: decide inline
+  }
+}
+
+bool ReconfigManager::apply_entry(const smr::Command& entry) {
+  switch (entry.kind) {
+    case smr::RmLogKind::kRequest:
+      return apply_request(entry);
+    case smr::RmLogKind::kEpoch:
+      return apply_epoch(entry);
+    case smr::RmLogKind::kCommit:
+      return apply_commit(entry);
+  }
+  return false;
+}
+
+bool ReconfigManager::apply_request(const smr::Command& entry) {
+  // Validation happened before submission (change_configuration or the
+  // replicated RM's request path), so every replica queues identically.
+  queue_.push_back(Request{entry.change, {}, entry.origin, entry.seq});
+  if (leader_active_ && phase_ == Phase::kIdle) start_next();
+  return true;
+}
+
+bool ReconfigManager::apply_epoch(const smr::Command&) {
+  canonical_.epno += 1;  // epochs are totally ordered, log-decided counters
+  ins_.epoch->set(static_cast<double>(canonical_.epno));
+  // Only the replica driving an epoch-change phase broadcasts; a bump that
+  // lands mid-phase (a deposed leader's stray entry) re-drives with the
+  // fresh epoch, since acks against the superseded one no longer count.
+  if (leader_active_ &&
+      (phase_ == Phase::kEpochChange1 || phase_ == Phase::kEpochChange2)) {
+    drive_epoch_broadcast();
+  }
+  return true;
+}
+
+bool ReconfigManager::apply_commit(const smr::Command& entry) {
+  const bool driving = leader_active_ && phase_ != Phase::kIdle;
+  if (entry.cfno != canonical_.cfno + 1 || queue_.empty()) {
+    // cfno fence: a duplicate or deposed-leader commit for an installed
+    // round mutates nothing. If this replica is (re)driving that ghost
+    // round, stop — its request already completed.
+    if (driving && current_cfno_ <= canonical_.cfno) abandon_round();
+    return false;
+  }
+  Request finished = std::move(queue_.front());
+  queue_.pop_front();
+  FullConfig next = post_change_state_for(finished.change, entry.cfno);
   next.epno = canonical_.epno;
   canonical_ = std::move(next);
-  ins_.reconfigurations_completed->inc();
-  ins_.reconfig_time_ns->inc(
-      static_cast<std::uint64_t>(sim_.now() - started_at_));
+  const bool this_round = driving && current_cfno_ == entry.cfno;
+  if (this_round) {
+    ins_.reconfigurations_completed->inc();
+    ins_.reconfig_time_ns->inc(
+        static_cast<std::uint64_t>(sim_.now() - started_at_));
+  }
   ins_.cfno->set(static_cast<double>(canonical_.cfno));
-  trace(obs::Category::kReconfig, "rm_commit", canonical_.epno,
-        canonical_.cfno);
+  if (this_round) {
+    trace(obs::Category::kReconfig, "rm_commit", canonical_.epno,
+          canonical_.cfno);
+    if (phase_span_.valid()) {
+      obs_->spans().close_span(phase_span_, sim_.now(), canonical_.epno,
+                               canonical_.cfno);
+      phase_span_ = obs::SpanContext{};
+    }
+    if (round_trace_.valid()) {
+      obs_->spans().end_trace(round_trace_, sim_.now());
+      round_trace_ = obs::SpanContext{};
+    }
+    phase_ = Phase::kIdle;
+    ++retry_gen_;  // kill the committed round's retransmit timer
+    current_ = Request{};
+  } else if (driving && current_cfno_ <= canonical_.cfno) {
+    abandon_round();  // this commit retired the round we were re-driving
+  }
+  // The callback may synchronously enqueue (and start) the next
+  // reconfiguration; fire it only after the round state is fully retired.
+  if (finished.done) finished.done(true);
+  if (leader_active_ && phase_ == Phase::kIdle) start_next();
+  return true;
+}
+
+void ReconfigManager::set_leader_active(bool active) {
+  if (leader_active_ == active) return;
+  leader_active_ = active;
+  if (!active) {
+    if (phase_ != Phase::kIdle) abandon_round();
+    ++retry_gen_;  // no timers may survive demotion, busy or not
+  } else {
+    // Deterministic resume: the queue head (if any) is re-driven from
+    // committed state — NEWQ restarts, receivers are idempotent.
+    start_next();
+  }
+}
+
+void ReconfigManager::abandon_round() {
+  trace(obs::Category::kReconfig, "rm_round_abandoned", canonical_.epno,
+        current_cfno_);
   if (phase_span_.valid()) {
     obs_->spans().close_span(phase_span_, sim_.now(), canonical_.epno,
-                             canonical_.cfno);
+                             current_cfno_);
     phase_span_ = obs::SpanContext{};
   }
   if (round_trace_.valid()) {
@@ -408,14 +545,8 @@ void ReconfigManager::commit() {
     round_trace_ = obs::SpanContext{};
   }
   phase_ = Phase::kIdle;
-  ++retry_gen_;  // kill the committed round's retransmit timer
-  // Detach the finished request *before* invoking its callback: the callback
-  // may synchronously enqueue (and start) the next reconfiguration, which
-  // repopulates current_.
-  Request finished = std::move(current_);
+  ++retry_gen_;
   current_ = Request{};
-  if (finished.done) finished.done(true);
-  start_next();
 }
 
 }  // namespace qopt::reconfig

@@ -39,6 +39,7 @@
 #include "sim/ids.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "smr/messages.hpp"
 #include "util/time.hpp"
 
 namespace qopt::reconfig {
@@ -57,6 +58,16 @@ class ReconfigManager {
  public:
   using Net = sim::Network<kv::Message>;
   using DoneCallback = std::function<void(bool ok)>;
+  /// Destination for canonical-state decisions (epoch bumps, commits).
+  /// Unset (the default), decisions apply inline — the classic
+  /// single-instance RM. Set by the replicated RM, they are submitted to
+  /// the shared SMR log instead and take effect only when apply_entry()
+  /// delivers the chosen entry back, on every replica.
+  using LogSink = std::function<void(smr::Command)>;
+  /// Reroute for change_configuration(): the replicated RM installs one so
+  /// requests made against any replica (the AM's direct calls included) are
+  /// validated once and replicated through the current leader.
+  using RequestHook = std::function<void(kv::QuorumChange, DoneCallback)>;
 
   /// `obs` is the cluster-wide observability bundle; when null the RM
   /// allocates a private one (stand-alone component tests).
@@ -75,6 +86,28 @@ class ReconfigManager {
 
   void on_message(const sim::NodeId& from, const kv::Message& msg);
 
+  // ------------------------------------------------ replicated-RM wiring
+  //
+  // A replicated deployment hosts one ReconfigManager per RM replica, all
+  // bound to the same SMR log. Canonical state (epoch counter, committed
+  // configuration, request queue) advances only through decided log
+  // entries, so every replica folds the identical history; phase side
+  // effects (broadcasts, retransmit timers, traces) run only on the replica
+  // whose leader flag is set.
+
+  void bind_log(LogSink sink) { sink_ = std::move(sink); }
+  void set_request_hook(RequestHook hook) { request_hook_ = std::move(hook); }
+  /// Applies a decided log entry to this replica's canonical state.
+  /// Returns true when the entry mutated state (a stale kCommit from a
+  /// deposed leader is fenced off by its cfno and returns false).
+  bool apply_entry(const smr::Command& entry);
+  /// Leader-role flag. Demotion abandons any round this replica was
+  /// driving (timers die, spans close; committed state is untouched).
+  /// Promotion re-drives the queue head — the deterministic resume of an
+  /// in-flight round from committed state.
+  void set_leader_active(bool active);
+  bool leader_active() const noexcept { return leader_active_; }
+
   /// Canonical committed configuration (source of truth for NEWEP payloads
   /// and for the Autonomic Manager's view of installed quorums).
   const kv::FullConfig& config() const noexcept { return canonical_; }
@@ -85,7 +118,12 @@ class ReconfigManager {
     return quorum_for(oid).footprint();
   }
   bool busy() const noexcept { return phase_ != Phase::kIdle; }
-  std::size_t queued() const noexcept { return queue_.size(); }
+  /// Requests waiting behind the in-flight round. The queue keeps the head
+  /// until its commit is decided (so a new leader can re-drive it), hence
+  /// the compensation while a round is active.
+  std::size_t queued() const noexcept {
+    return queue_.size() - (phase_ != Phase::kIdle ? 1 : 0);
+  }
   /// Observability bundle in use (the shared one, or the private fallback).
   obs::Observability& observability() noexcept { return *obs_; }
   const obs::Observability& observability() const noexcept { return *obs_; }
@@ -99,9 +137,23 @@ class ReconfigManager {
     kEpochChange1,   // waiting for ACKNEWEP after phase 1
     kConfirm,        // waiting for ACKCONFIRM / suspicions
     kEpochChange2,   // waiting for ACKNEWEP after phase 2
+    kCommitWait,     // commit submitted to the log, decision pending
   };
 
   void start_next();
+  /// Routes a canonical-state decision through the log sink (replicated) or
+  /// applies it inline (classic single-instance mode).
+  void log_submit(smr::RmLogKind kind);
+  bool apply_request(const smr::Command& entry);
+  bool apply_epoch(const smr::Command& entry);
+  bool apply_commit(const smr::Command& entry);
+  /// Leader-side continuation of a decided epoch bump: (re)broadcast NEWEP
+  /// carrying the now-canonical epoch and re-arm the retransmit timer.
+  void drive_epoch_broadcast();
+  /// Stops driving the in-flight round without touching committed state:
+  /// spans close, timers die, the phase returns to idle. The round itself
+  /// stays at the queue head for whichever leader drives it next.
+  void abandon_round();
   /// Re-sends the current phase's message (NEWQ / CONFIRM / NEWEP) to every
   /// target that has neither acked nor been suspected, with exponential
   /// backoff. Receivers are idempotent, so lost control messages only delay
@@ -122,6 +174,10 @@ class ReconfigManager {
 
   /// Post-change state the current pending change would install.
   kv::FullConfig post_change_state() const;
+  /// Same fold for an arbitrary change/cfno (commit-apply runs it against
+  /// the replicated queue head, which every replica holds).
+  kv::FullConfig post_change_state_for(const kv::QuorumChange& change,
+                                       std::uint64_t cfno) const;
   /// Transition state: per-object kv::transition of current and post-change
   /// (component-wise max of grid footprints).
   kv::FullConfig transition_state() const;
@@ -143,8 +199,17 @@ class ReconfigManager {
   struct Request {
     kv::QuorumChange change;
     DoneCallback done;
+    // Requester identity, threaded through kCommit entries so the
+    // replicated RM fires completion callbacks exactly once cluster-wide.
+    std::uint32_t origin = 0;
+    std::uint64_t seq = 0;
   };
   std::deque<Request> queue_;
+
+  // Replicated-RM wiring (both unset in classic single-instance mode).
+  LogSink sink_;
+  RequestHook request_hook_;
+  bool leader_active_ = true;
 
   // In-flight reconfiguration state.
   Phase phase_ = Phase::kIdle;

@@ -31,6 +31,11 @@ inline NodeId client_id(std::uint32_t i) { return {NodeKind::kClient, i}; }
 inline NodeId proxy_id(std::uint32_t i) { return {NodeKind::kProxy, i}; }
 inline NodeId storage_id(std::uint32_t i) { return {NodeKind::kStorage, i}; }
 inline NodeId rm_id() { return {NodeKind::kReconfigManager, 0}; }
+/// Replica `i` of a replicated Reconfiguration Manager; rm_replica_id(0)
+/// is rm_id(), so single-RM deployments are the degenerate case.
+inline NodeId rm_replica_id(std::uint32_t i) {
+  return {NodeKind::kReconfigManager, i};
+}
 inline NodeId am_id() { return {NodeKind::kAutonomicManager, 0}; }
 
 struct NodeIdHash {

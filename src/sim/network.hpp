@@ -17,7 +17,6 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -255,6 +254,27 @@ class Network {
     return std::clamp(p, 0.0, 1.0);
   }
 
+  /// Hash of an ordered (from, to) link. Each NodeId packs exactly into
+  /// (kind << 32) | index, so distinct links mix distinct inputs; the FIFO
+  /// table is never iterated, only probed, so hash order can't leak into
+  /// the deterministic schedule.
+  struct LinkHash {
+    std::size_t operator()(
+        const std::pair<NodeId, NodeId>& link) const noexcept {
+      const std::uint64_t a =
+          (static_cast<std::uint64_t>(link.first.kind) << 32) |
+          link.first.index;
+      const std::uint64_t b =
+          (static_cast<std::uint64_t>(link.second.kind) << 32) |
+          link.second.index;
+      std::uint64_t h = a * 0x9E3779B97F4A7C15ull ^ b;
+      h ^= h >> 33;
+      h *= 0xFF51AFD7ED558CCDull;
+      h ^= h >> 33;
+      return static_cast<std::size_t>(h);
+    }
+  };
+
   void schedule_delivery(const NodeId& from, const NodeId& to, const M& msg,
                          Duration lat, bool duplicate = false) {
     // FIFO per ordered pair: clamp the delivery instant to strictly after
@@ -342,7 +362,10 @@ class Network {
   LatencyModel latency_;
   Rng rng_;
   std::unordered_map<NodeId, NodeState, NodeIdHash> nodes_;
-  std::map<std::pair<NodeId, NodeId>, Time> last_delivery_;
+  // Hashed, not ordered: probed once per message send (the FIFO clamp), so
+  // the red-black tree walk was pure overhead on the hottest path.
+  std::unordered_map<std::pair<NodeId, NodeId>, Time, LinkHash>
+      last_delivery_;
   NetworkStats stats_;
   SendTap tap_;
   double loss_ = 0.0;

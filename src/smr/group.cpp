@@ -22,10 +22,26 @@ Group::Group(sim::Simulator& sim, const GroupOptions& options,
       rng_(options.seed),
       net_(sim, options.network, rng_.fork(1)),
       fd_(sim, options.fd_detection_delay) {
+  if (apply) {
+    apply_ = [fn = std::move(apply)](std::uint32_t, std::uint64_t slot,
+                                     const Command& command) {
+      fn(slot, command);
+    };
+  }
+  wire(options);
+}
+
+void Group::wire(const GroupOptions& options) {
   for (std::uint32_t i = 0; i < options.replicas; ++i) {
+    // The first apply anywhere retires the command from the resubmit set;
+    // the user hook then sees every (replica, slot, command) decision.
+    auto apply = [this, i](std::uint64_t slot, const Command& command) {
+      unacked_.erase(command.id);
+      if (apply_) apply_(i, slot, command);
+    };
     replicas_.push_back(
         std::make_unique<Replica>(sim_, net_, fd_, i, options.replicas,
-                                  apply));
+                                  std::move(apply)));
     Replica* raw = replicas_.back().get();
     net_.register_node(replica_node(i),
                        [raw](const sim::NodeId& from, const Message& msg) {
@@ -34,16 +50,50 @@ Group::Group(sim::Simulator& sim, const GroupOptions& options,
   }
   fd_.subscribe([this](const sim::NodeId&, bool) {
     for (auto& replica : replicas_) replica->reevaluate_leadership();
+    resubmit_unacked();
   });
 }
 
 void Group::submit(std::uint32_t via_replica, Command command) {
-  replicas_.at(via_replica)->submit(std::move(command));
+  if (unacked_.emplace(command.id, command).second) {
+    unacked_order_.push_back(command.id);
+  }
+  Replica* via = replicas_.at(via_replica).get();
+  // A submission handed to a crashed replica would vanish silently; route
+  // it through the current leader instead (the resubmit path would recover
+  // it anyway, but only after the next leadership change).
+  if (via->crashed()) via = replicas_.at(leader()).get();
+  via->submit(std::move(command));
+}
+
+void Group::resubmit_unacked() {
+  if (unacked_.empty()) return;
+  // Compact the ordering vector (ids applied since the last sweep), then
+  // re-drive survivors through the current leader. Replica-side command-id
+  // dedup makes re-driving an in-flight (not actually lost) command a
+  // harmless duplicate.
+  std::size_t keep = 0;
+  for (const std::uint64_t id : unacked_order_) {
+    if (unacked_.contains(id)) unacked_order_[keep++] = id;
+  }
+  unacked_order_.resize(keep);
+  Replica& lead = *replicas_.at(leader());
+  if (lead.crashed()) return;  // no live leader: wait for the next change
+  for (const std::uint64_t id : unacked_order_) {
+    ++resubmissions_;
+    lead.submit(unacked_.at(id));
+  }
 }
 
 void Group::crash_replica(std::uint32_t index) {
   replicas_.at(index)->crash();
   fd_.node_crashed(replica_node(index));
+}
+
+void Group::restart_replica(std::uint32_t index) {
+  if (!replicas_.at(index)->crashed()) return;
+  replicas_.at(index)->restart();
+  fd_.node_recovered(replica_node(index));
 }
 
 std::uint32_t Group::leader() const {
@@ -63,6 +113,9 @@ ConfigStateMachine::ConfigStateMachine(kv::QuorumConfig initial,
 }
 
 void ConfigStateMachine::apply(const Command& command) {
+  // Control entries of the replicated RM (epoch bumps, commit fences) carry
+  // no quorum change; only kRequest entries mutate the folded config.
+  if (command.kind != RmLogKind::kRequest) return;
   const kv::QuorumChange& change = command.change;
   // Reject invalid strategies deterministically (every replica agrees),
   // through the same centralized check the RM uses.

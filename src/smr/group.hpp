@@ -7,7 +7,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "kv/quorum.hpp"
@@ -32,17 +34,33 @@ struct GroupOptions {
 /// A self-contained MultiPaxos group over its own simulated network.
 class Group {
  public:
+  /// Per-replica apply hook: which replica applied, plus the slot/command.
+  using IndexedApplyFn =
+      std::function<void(std::uint32_t replica, std::uint64_t slot,
+                         const Command& command)>;
+
   /// `apply` is invoked on every replica for every decided command (tests
   /// typically capture the replica-local state machines separately through
   /// each Replica's applied_log()).
   Group(sim::Simulator& sim, const GroupOptions& options,
         Replica::ApplyFn apply);
+  /// Replaces the apply hook with one that learns which replica applied —
+  /// the replicated RM dispatches each decision to that replica's state
+  /// machine. Must be installed before any submission.
+  void set_indexed_apply(IndexedApplyFn apply) { apply_ = std::move(apply); }
 
   /// Submits through a given replica (tests exercise both leader and
-  /// follower submission paths).
+  /// follower submission paths). The group remembers the command until some
+  /// replica applies it, and resubmits through the current leader on every
+  /// leadership change: a command handed to a replica that dies before
+  /// proposing is re-driven instead of silently lost (command-id dedup makes
+  /// the duplicates harmless).
   void submit(std::uint32_t via_replica, Command command);
 
   void crash_replica(std::uint32_t index);
+  /// Crash-recovery counterpart of crash_replica: the replica rejoins with
+  /// its durable state and in-flight unapplied commands are re-driven.
+  void restart_replica(std::uint32_t index);
   Replica& replica(std::uint32_t index) { return *replicas_.at(index); }
   std::uint32_t size() const {
     return static_cast<std::uint32_t>(replicas_.size());
@@ -50,13 +68,29 @@ class Group {
   /// Index of the current (failure-detector-designated) leader.
   std::uint32_t leader() const;
   sim::FailureDetector& failure_detector() noexcept { return fd_; }
+  sim::Network<Message>& network() noexcept { return net_; }
+  /// Commands re-driven through a new leader after a leadership change.
+  std::uint64_t resubmissions() const noexcept { return resubmissions_; }
+  /// Commands submitted but not yet applied by any replica.
+  std::size_t unacked() const noexcept { return unacked_.size(); }
 
  private:
+  void wire(const GroupOptions& options);
+  void resubmit_unacked();
+
   sim::Simulator& sim_;
   Rng rng_;
   sim::Network<Message> net_;
   sim::FailureDetector fd_;
+  IndexedApplyFn apply_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+
+  // Submitted-but-not-yet-applied commands, keyed by command id; erased on
+  // the first apply anywhere. Insertion-ordered ids keep resubmission order
+  // deterministic.
+  std::unordered_map<std::uint64_t, Command> unacked_;
+  std::vector<std::uint64_t> unacked_order_;
+  std::uint64_t resubmissions_ = 0;
 };
 
 /// Deterministic state machine folding QuorumChange commands into a

@@ -12,12 +12,27 @@
 
 namespace qopt::smr {
 
+/// Log-entry kinds for the replicated Reconfiguration Manager. Plain
+/// quorum-change replication (kRequest, the zero default) predates the
+/// other kinds, so legacy commands decode unchanged.
+enum class RmLogKind : std::uint8_t {
+  kRequest = 0,  // enqueue a validated reconfiguration request
+  kEpoch = 1,    // advance the canonical epoch counter by one
+  kCommit = 2,   // fold the queue head into the canonical configuration
+};
+
 /// A replicated command. Q-OPT's control plane replicates quorum
 /// reconfiguration decisions; `id` provides exactly-once application across
-/// leader re-proposals.
+/// leader re-proposals. `origin`/`seq` identify the requester (so completion
+/// callbacks survive RM leader failover) and `cfno` fences kCommit entries
+/// against stale-leader duplicates.
 struct Command {
   std::uint64_t id = 0;
   kv::QuorumChange change;
+  RmLogKind kind = RmLogKind::kRequest;
+  std::uint32_t origin = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t cfno = 0;
 };
 
 /// Phase-1a: a candidate leader claims `ballot` for all slots >= low_slot.
@@ -62,7 +77,16 @@ struct Forward {
   Command command;
 };
 
-using Message =
-    std::variant<Prepare, Promise, Accept, Accepted, Learn, Forward>;
+/// Phase-1 rejection: the acceptor already promised `promised` > ballot.
+/// Without it a candidate whose durable term lags the group (a replica that
+/// crashed before ever leading) would wait forever on a majority of
+/// promises that can never arrive.
+struct PrepareNack {
+  std::uint64_t ballot = 0;    // the rejected prepare's ballot
+  std::uint64_t promised = 0;  // what the acceptor is holding out for
+};
+
+using Message = std::variant<Prepare, Promise, Accept, Accepted, Learn,
+                             Forward, PrepareNack>;
 
 }  // namespace qopt::smr

@@ -28,6 +28,21 @@ Replica::Replica(sim::Simulator& sim, Net& net, sim::FailureDetector& fd,
 void Replica::crash() {
   crashed_ = true;
   net_.set_crashed(replica_node(index_));
+  // Volatile coordinator state dies with the process: buffered-but-
+  // unproposed commands are gone (the group-level resubmit path recovers
+  // them) and any leadership must be re-earned through phase 1 after a
+  // restart. Acceptor/learner state (promises, accepted slots, applied log)
+  // models stable storage and survives.
+  pending_.clear();
+  leading_ = false;
+  preparing_ = false;
+}
+
+void Replica::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  net_.set_crashed(replica_node(index_), false);
+  reevaluate_leadership();
 }
 
 std::uint32_t Replica::leader_index() const {
@@ -92,6 +107,8 @@ void Replica::on_message(const sim::NodeId& from, const Message& msg) {
           handle_learn(m);
         } else if constexpr (std::is_same_v<T, Forward>) {
           submit(m.command);
+        } else if constexpr (std::is_same_v<T, PrepareNack>) {
+          handle_prepare_nack(m);
         }
       },
       msg);
@@ -115,7 +132,14 @@ void Replica::submit(Command command) {
 // ------------------------------------------------------------- acceptor
 
 void Replica::handle_prepare(const sim::NodeId& from, const Prepare& msg) {
-  if (msg.ballot <= promised_ballot_) return;  // stale candidate
+  if (msg.ballot <= promised_ballot_) {
+    // Stale candidate — tell it what it must out-bid. A replica that
+    // crashed before ever leading restarts with a lagging durable term, and
+    // without the nack it would wait forever for this promise.
+    net_.send(replica_node(index_), from,
+              PrepareNack{msg.ballot, promised_ballot_});
+    return;
+  }
   promised_ballot_ = msg.ballot;
   Promise promise;
   promise.ballot = msg.ballot;
@@ -138,7 +162,15 @@ void Replica::handle_accept(const sim::NodeId& from, const Accept& msg) {
   if (msg.ballot < promised_ballot_) return;  // promised to a newer leader
   promised_ballot_ = msg.ballot;
   SlotState& state = slots_[msg.slot];
-  if (state.chosen) return;  // already decided; Learn already circulated
+  if (state.chosen) {
+    // Already decided — but still acknowledge: a recovering leader that
+    // missed the Learn re-proposes exactly the chosen value (phase 1
+    // reports chosen slots at the candidate's own ballot, which out-ranks
+    // every plain accepted entry), and without this ack it could never
+    // gather a majority for a slot the rest of the group already closed.
+    net_.send(replica_node(index_), from, Accepted{msg.ballot, msg.slot});
+    return;
+  }
   state.accepted_ballot = msg.ballot;
   state.accepted_command = msg.command;
   state.has_accepted = true;
@@ -173,6 +205,21 @@ void Replica::handle_promise(const sim::NodeId& from, const Promise& msg) {
     propose(slot, entry.command);
   }
   propose_pending();
+}
+
+void Replica::handle_prepare_nack(const PrepareNack& msg) {
+  // Only the prepare currently in flight matters; the first nack restarts
+  // phase 1 with a ballot out-ranking the promised one, and later nacks for
+  // the old ballot no longer match.
+  if (!preparing_ || msg.ballot != my_ballot_ || msg.promised < my_ballot_) {
+    return;
+  }
+  ++stats_.prepare_rejections;
+  // start_leadership pre-increments, so after the bump the new ballot is
+  // (promised/group + 1)*group + index + 1 > promised.
+  term_ = std::max(term_, msg.promised / group_size_);
+  preparing_ = false;
+  if (leader_index() == index_) start_leadership();
 }
 
 void Replica::propose_pending() {

@@ -41,7 +41,8 @@ namespace qopt::smr {
 struct ReplicaStats {
   std::uint64_t commands_applied = 0;
   std::uint64_t leadership_changes = 0;
-  std::uint64_t slots_recovered = 0;  // re-proposed during phase 1
+  std::uint64_t slots_recovered = 0;   // re-proposed during phase 1
+  std::uint64_t prepare_rejections = 0;  // ballot out-bid; re-prepared higher
 };
 
 class Replica {
@@ -61,6 +62,9 @@ class Replica {
   void submit(Command command);
 
   void crash();
+  /// Crash-recovery: rejoins with its durable acceptor/learner state (the
+  /// volatile pending queue and any leadership were lost at crash time).
+  void restart();
   bool crashed() const noexcept { return crashed_; }
 
   bool is_leader() const;
@@ -94,6 +98,7 @@ class Replica {
   void handle_accept(const sim::NodeId& from, const Accept& msg);
   void handle_accepted(const sim::NodeId& from, const Accepted& msg);
   void handle_learn(const Learn& msg);
+  void handle_prepare_nack(const PrepareNack& msg);
   void propose(std::uint64_t slot, Command command);
   void propose_pending();
   void choose(std::uint64_t slot, const Command& command);

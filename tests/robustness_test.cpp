@@ -465,5 +465,64 @@ TEST(ChaosAcceptanceTest, DenseScheduleIsSafeLiveAndDeterministic) {
   EXPECT_EQ(out.failed, again.failed);
 }
 
+// ------------------------------------------- acceptance: RM leader chaos
+
+// The replicated-RM acceptance scenario: the nemesis repeatedly crashes and
+// partitions the RM leader while its own reconfiguration events keep rounds
+// in flight — rounds must survive failovers (no lost or doubled commits),
+// clients must never get stuck, and the whole run must replay byte-identical
+// from the seed.
+ChaosOutcome run_rm_chaos(std::uint64_t seed) {
+  ClusterConfig config = lossy_config(seed);
+  config.rm_replicas = 3;
+  Cluster cluster(config);
+  cluster.preload(500, 1024);
+  cluster.set_workload(workload::ycsb_a(500));
+
+  NemesisOptions options;
+  options.mean_interval = milliseconds(250);
+  options.rm_crash = 2.0;
+  options.rm_partition = 2.0;
+  options.max_rm_outage = seconds(1);
+  options.seed = seed * 17 + 9;
+  Nemesis nemesis(cluster, options);
+  nemesis.start();
+  cluster.run_for(seconds(30));
+  nemesis.stop();
+  cluster.stop_clients();
+  cluster.run_for(seconds(20));  // pending RM restarts/heals fire in here
+
+  ChaosOutcome out;
+  out.nemesis = nemesis.stats();
+  out.clean = cluster.checker().clean();
+  out.all_resolved = true;
+  for (std::uint32_t i = 0; i < cluster.num_clients(); ++i) {
+    out.all_resolved &= !cluster.client(i).op_in_flight();
+    out.completed += cluster.client(i).ops_completed();
+    out.failed += cluster.client(i).failures();
+  }
+  out.report_json = cluster.report().to_json();
+  return out;
+}
+
+TEST(RmChaosAcceptanceTest, LeaderFaultsAreSafeLiveAndDeterministic) {
+  const ChaosOutcome out = run_rm_chaos(4);
+  EXPECT_TRUE(out.clean) << "consistency violations under RM leader chaos";
+  EXPECT_TRUE(out.all_resolved) << "a client operation is stuck";
+  EXPECT_GT(out.completed, 1'000u);
+  // The schedule really exercised both RM fault kinds, alongside the
+  // reconfiguration traffic that keeps rounds in flight when they strike.
+  EXPECT_GE(out.nemesis.rm_crashes, 1u);
+  EXPECT_GE(out.nemesis.rm_partitions, 1u);
+  EXPECT_GE(out.nemesis.reconfigurations, 1u);
+  EXPECT_NE(out.report_json.find("\"rm_leader_changes\":"),
+            std::string::npos);
+
+  const ChaosOutcome again = run_rm_chaos(4);
+  EXPECT_EQ(out.report_json, again.report_json);
+  EXPECT_EQ(out.completed, again.completed);
+  EXPECT_EQ(out.failed, again.failed);
+}
+
 }  // namespace
 }  // namespace qopt

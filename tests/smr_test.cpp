@@ -97,17 +97,90 @@ TEST_F(GroupFixture, LeaderCrashFailsOver) {
 TEST_F(GroupFixture, CommandSubmittedToDeadLeaderEraIsNotLost) {
   build();
   // Crash the leader, then immediately submit through a follower before
-  // anyone has been suspected: the forward chases the (dead) leader, so the
-  // client-side of the control plane must resubmit after failover. Here we
-  // verify the group itself recovers and continues to decide commands.
+  // anyone has been suspected: the forward chases the (dead) leader and is
+  // dropped. The group tracks unapplied submissions and re-drives them
+  // through the new leader once the failover happens, so the command
+  // survives instead of being silently lost.
   group->crash_replica(0);
   group->submit(1, make_command(1, 2));
-  sim.run(sim.now() + seconds(2));  // suspicion + takeover
+  sim.run(sim.now() + seconds(2));  // suspicion + takeover + resubmit
   group->submit(1, make_command(2, 3));
   sim.run(sim.now() + seconds(2));
+  expect_agreement(2);
   const auto& log = group->replica(1).applied_log();
-  ASSERT_GE(log.size(), 1u);
-  EXPECT_EQ(log.back().id, 2u);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].id, 1u);
+  EXPECT_EQ(log[1].id, 2u);
+  EXPECT_GT(group->resubmissions(), 0u);
+  EXPECT_EQ(group->unacked(), 0u);
+}
+
+TEST_F(GroupFixture, CommandSubmittedViaCrashingLeaderIsNotLost) {
+  build();
+  // Leader-path counterpart: the leader proposes the command and dies in
+  // the same instant, so every Accept it broadcast is dropped at delivery
+  // (sender crashed). Only the group-level resubmit recovers it.
+  group->submit(0, make_command(1, 2));
+  group->crash_replica(0);
+  sim.run(sim.now() + seconds(2));
+  group->submit(1, make_command(2, 3));
+  sim.run(sim.now() + seconds(2));
+  expect_agreement(2);
+  const auto& log = group->replica(2).applied_log();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].id, 1u);
+  EXPECT_EQ(log[1].id, 2u);
+}
+
+TEST_F(GroupFixture, SubmissionViaCrashedReplicaRoutesToLeader) {
+  build();
+  group->crash_replica(2);
+  sim.run(sim.now() + seconds(1));
+  // A submission handed to the crashed replica must not vanish: the group
+  // reroutes it through the live leader immediately.
+  group->submit(2, make_command(1, 2));
+  sim.run(sim.now() + seconds(2));
+  expect_agreement(1);
+}
+
+TEST_F(GroupFixture, RestartedReplicaCatchesUpAndLeads) {
+  build();
+  group->submit(0, make_command(1, 2));
+  sim.run(seconds(1));
+  group->crash_replica(0);
+  sim.run(sim.now() + seconds(1));  // replica 1 takes over
+  group->submit(1, make_command(2, 3));
+  sim.run(sim.now() + seconds(1));
+  // Restart: replica 0 rejoins with its durable acceptor state, retakes
+  // leadership (lowest non-suspected), and phase 1 recovers every slot it
+  // missed while down.
+  group->restart_replica(0);
+  sim.run(sim.now() + seconds(2));
+  group->submit(0, make_command(3, 4));
+  sim.run(sim.now() + seconds(2));
+  EXPECT_FALSE(group->replica(0).crashed());
+  EXPECT_TRUE(group->replica(0).is_leader());
+  expect_agreement(3);
+}
+
+TEST_F(GroupFixture, NeverLedReplicaRestartsWithStaleBallotAndStillLeads) {
+  // Replica 0 crashes before ever leading, so its durable term lags the
+  // group: after restart its first Prepare is out-bid by the failover
+  // leader's promises. The PrepareNack path must re-prepare with a higher
+  // ballot instead of waiting forever on a majority that cannot form.
+  build();
+  group->crash_replica(0);
+  sim.run(seconds(1));
+  group->submit(1, make_command(1, 2));  // replica 1 leads at a real ballot
+  sim.run(sim.now() + seconds(1));
+  group->restart_replica(0);
+  sim.run(sim.now() + seconds(2));
+  EXPECT_TRUE(group->replica(0).is_leader())
+      << "restarted replica wedged in phase 1";
+  EXPECT_GE(group->replica(0).stats().prepare_rejections, 1u);
+  group->submit(0, make_command(2, 3));
+  sim.run(sim.now() + seconds(2));
+  expect_agreement(2);
 }
 
 TEST_F(GroupFixture, MinorityCrashStillLive) {
